@@ -1,0 +1,54 @@
+//! Criterion benchmarks of full policy simulations: one millisecond of
+//! silicon time for representative policies, measuring simulator
+//! throughput (the cost of regenerating the paper's tables).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dtm_core::{DtmConfig, PolicySpec, SimConfig, ThermalTimingSim};
+use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn traces() -> Vec<std::sync::Arc<dtm_power::PowerTrace>> {
+    static LIB: OnceLock<Vec<std::sync::Arc<dtm_power::PowerTrace>>> = OnceLock::new();
+    LIB.get_or_init(|| {
+        let lib = TraceLibrary::new(TraceGenConfig::fast_test());
+        standard_workloads()[6]
+            .resolve()
+            .iter()
+            .map(|b| lib.trace(b))
+            .collect()
+    })
+    .clone()
+}
+
+fn policy_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_1ms");
+    for policy in [PolicySpec::baseline(), PolicySpec::best()] {
+        group.bench_function(policy.name(), |b| {
+            b.iter_batched(
+                || {
+                    ThermalTimingSim::new(
+                        SimConfig {
+                            duration: 1e-3,
+                            ..SimConfig::default()
+                        },
+                        DtmConfig::default(),
+                        policy,
+                        traces(),
+                    )
+                    .expect("construct")
+                },
+                |mut sim| black_box(sim.run().expect("run")),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = policy_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the simulation substrates: the thermal
+//! solver, the PI controller, the branch predictor, the cache model, and
+//! the out-of-order core model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dtm_control::ClippedPi;
+use dtm_floorplan::Floorplan;
+use dtm_microarch::{CoreConfig, CoreSim, SetAssocCache, StreamProfile};
+use dtm_thermal::{PackageConfig, ThermalModel, TransientSolver};
+use std::hint::black_box;
+
+fn thermal(c: &mut Criterion) {
+    let fp = Floorplan::ppc_cmp(4);
+    let model = ThermalModel::new(&fp, &PackageConfig::default()).unwrap();
+    let power = vec![0.5; model.n_blocks()];
+
+    c.bench_function("thermal/steady_state_4core", |b| {
+        b.iter(|| model.steady_state(black_box(&power)).unwrap())
+    });
+
+    c.bench_function("thermal/transient_step_27us", |b| {
+        let mut sim = TransientSolver::new(model.clone(), 7e-6);
+        sim.init_steady(&power).unwrap();
+        b.iter(|| sim.step(black_box(&power), 27.78e-6).unwrap())
+    });
+}
+
+fn control(c: &mut Criterion) {
+    c.bench_function("control/pi_update", |b| {
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        let mut e = 0.0;
+        b.iter(|| {
+            e = (e + 0.37) % 8.0 - 4.0;
+            black_box(pi.update(e))
+        })
+    });
+}
+
+fn microarch(c: &mut Criterion) {
+    c.bench_function("microarch/run_sample_x5", |b| {
+        b.iter_batched(
+            || {
+                let mut core =
+                    CoreSim::new(CoreConfig::default(), StreamProfile::generic_int(), 1);
+                core.run_cycles(100_000);
+                core
+            },
+            |mut core| black_box(core.run_sample(5)),
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("microarch/cache_access", |b| {
+        let geo = CoreConfig::default().l1d;
+        let mut cache = SetAssocCache::new(geo, 1.0);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x4df3).wrapping_mul(7) % (1 << 20);
+            black_box(cache.access(addr))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = thermal, control, microarch
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Calibration probe: runs the four non-migration policies on a subset
+//! of workloads and prints duty cycles, BIPS, and thermal stats so the
+//! power/thermal constants can be tuned toward the paper's operating
+//! point (Table 5 shape).
+
+use dtm_core::{DtmConfig, Experiment, PolicySpec, SimConfig};
+use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let duration: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+    let n_workloads: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let sim = SimConfig {
+        duration,
+        ..SimConfig::default()
+    };
+    let exp = Experiment::new(
+        TraceLibrary::new(TraceGenConfig::default()),
+        sim,
+        DtmConfig::default(),
+    );
+    let workloads: Vec<_> = standard_workloads().into_iter().take(n_workloads).collect();
+
+    println!("{:<44} {:>7} {:>7} {:>8} {:>7} {:>9}", "run", "BIPS", "duty%", "maxT", "stalls", "emerg_ms");
+    for policy in PolicySpec::all().into_iter().take(4) {
+        let mut bips = Vec::new();
+        let mut duty = Vec::new();
+        for w in &workloads {
+            let r = exp.run(w, policy).expect("run");
+            println!(
+                "{:<44} {:>7.2} {:>7.1} {:>8.1} {:>7} {:>9.2}",
+                format!("{} / {}", policy.name(), w.display_name()),
+                r.bips(),
+                100.0 * r.duty_cycle,
+                r.max_temp,
+                r.stalls,
+                1e3 * r.emergency_time,
+            );
+            bips.push(r.bips());
+            duty.push(r.duty_cycle);
+        }
+        println!(
+            "  => {:<40} mean BIPS {:.2}, mean duty {:.1}%\n",
+            policy.name(),
+            dtm_core::mean(&bips),
+            100.0 * dtm_core::mean(&duty)
+        );
+    }
+}

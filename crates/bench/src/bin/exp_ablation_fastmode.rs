@@ -1,0 +1,56 @@
+//! Ablation: the sub-block fast thermal mode.
+//!
+//! The block-level RC model carries a first-order "local constriction"
+//! mode approximating the within-block gradient a grid model resolves
+//! (see `exp_grid_validation`). This ablation removes it
+//! (`local_constriction = 0`) and shows its effect on the policy
+//! tradeoffs: without sub-block dynamics, stop-go looks artificially
+//! good because the sensed hotspot loses its fast power-following
+//! component and trips later.
+
+use dtm_bench::{duration_arg, mean_bips, mean_duty, run_all_workloads};
+use dtm_core::{DtmConfig, Experiment, MigrationKind, PolicySpec, Scope, SimConfig, ThrottleKind};
+use dtm_thermal::PackageConfig;
+use dtm_workloads::{TraceGenConfig, TraceLibrary};
+
+fn main() {
+    let duration = duration_arg();
+    let policies = [
+        PolicySpec::baseline(),
+        PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
+    ];
+
+    for (label, constriction) in [
+        ("with sub-block fast mode (default)", PackageConfig::default().local_constriction),
+        ("ablated (local_constriction = 0)", 0.0),
+    ] {
+        let package = PackageConfig {
+            local_constriction: constriction,
+            ..PackageConfig::default()
+        };
+        let exp = Experiment::new(
+            TraceLibrary::new(TraceGenConfig::default()),
+            SimConfig {
+                duration,
+                package,
+                ..SimConfig::default()
+            },
+            DtmConfig::default(),
+        );
+        println!("== {label} ==");
+        let mut bips = Vec::new();
+        for p in policies {
+            let runs = run_all_workloads(&exp, p).expect("run");
+            bips.push(mean_bips(&runs));
+            println!(
+                "  {:<16} {:>6.2} BIPS  duty {:>5.1}%",
+                p.name(),
+                mean_bips(&runs),
+                100.0 * mean_duty(&runs)
+            );
+        }
+        println!("  DVFS/stop-go ratio: {:.2}x\n", bips[1] / bips[0]);
+    }
+    println!("(the fast mode is load-bearing for the stop-go duty calibration: it");
+    println!(" restores the prompt post-resume reheat that a lumped block smooths away)");
+}

@@ -1,0 +1,47 @@
+//! Ablation: sensitivity of the migration benefit to the OS decision
+//! interval. The paper fixes migrations to at most one per 10 ms
+//! (the Linux timer-interrupt scale); this sweep shows the tradeoff the
+//! choice sits on: too fast thrashes (penalties, cold structures), too
+//! slow misses balancing opportunities.
+
+use dtm_bench::{duration_arg, mean_bips, mean_duty, run_all_workloads};
+use dtm_core::{DtmConfig, Experiment, MigrationKind, PolicySpec, Scope, SimConfig, ThrottleKind};
+use dtm_workloads::{TraceGenConfig, TraceLibrary};
+
+fn main() {
+    let duration = duration_arg();
+    let policy = PolicySpec::new(
+        ThrottleKind::StopGo,
+        Scope::Distributed,
+        MigrationKind::CounterBased,
+    );
+
+    println!(
+        "{:>14} {:>8} {:>9} {:>12}",
+        "interval (ms)", "BIPS", "duty", "migrations"
+    );
+    for interval_ms in [2.0, 5.0, 10.0, 20.0, 50.0] {
+        let dtm = DtmConfig {
+            migration_interval: interval_ms * 1e-3,
+            ..DtmConfig::default()
+        };
+        let exp = Experiment::new(
+            TraceLibrary::new(TraceGenConfig::default()),
+            SimConfig {
+                duration,
+                ..SimConfig::default()
+            },
+            dtm,
+        );
+        let runs = run_all_workloads(&exp, policy).expect("run");
+        let migs: u64 = runs.iter().map(|r| r.migrations).sum();
+        println!(
+            "{:>14} {:>8.2} {:>8.1}% {:>12}",
+            interval_ms,
+            mean_bips(&runs),
+            100.0 * mean_duty(&runs),
+            migs
+        );
+    }
+    println!("\n(the paper's 10 ms choice should sit near the top of this curve)");
+}

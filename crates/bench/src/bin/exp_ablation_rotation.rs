@@ -1,0 +1,69 @@
+//! Ablation: what does the paper's *informed* migration matching
+//! (Figure 4: imbalance-sorted cores × least-intense threads) add over a
+//! blind round-robin rotation ("heat-and-run"-style activity migration,
+//! the related work the paper builds on)?
+
+use dtm_bench::{duration_arg, experiment_with_duration, mean_bips, mean_duty};
+use dtm_core::{
+    MigrationKind, PolicySpec, RotationMigration, Scope, ThrottleKind,
+};
+use dtm_workloads::standard_workloads;
+
+fn main() {
+    let exp = experiment_with_duration(duration_arg());
+    let workloads = standard_workloads();
+
+    let mut rows: Vec<(String, Vec<dtm_core::RunResult>)> = Vec::new();
+
+    for (name, migration) in [
+        ("no migration", MigrationKind::None),
+        ("counter-based (Fig. 4)", MigrationKind::CounterBased),
+        ("sensor-based (Fig. 6)", MigrationKind::SensorBased),
+    ] {
+        let policy = PolicySpec::new(ThrottleKind::StopGo, Scope::Distributed, migration);
+        let runs: Vec<_> = workloads
+            .iter()
+            .map(|w| exp.run(w, policy).expect("run"))
+            .collect();
+        rows.push((name.to_string(), runs));
+    }
+
+    // Blind rotation: same stop-go substrate, custom policy.
+    let rotation_runs: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            let mut sim = exp
+                .build(
+                    w,
+                    PolicySpec::new(
+                        ThrottleKind::StopGo,
+                        Scope::Distributed,
+                        MigrationKind::CounterBased,
+                    ),
+                )
+                .expect("build");
+            sim.set_migration_policy(Box::new(RotationMigration::new()));
+            sim.run().expect("run")
+        })
+        .collect();
+    rows.insert(1, ("blind rotation".to_string(), rotation_runs));
+
+    let base = mean_bips(&rows[0].1);
+    println!(
+        "{:<26} {:>7} {:>9} {:>10} {:>12}",
+        "dist. stop-go +", "BIPS", "duty", "vs none", "migrations"
+    );
+    for (name, runs) in &rows {
+        let migs: u64 = runs.iter().map(|r| r.migrations).sum();
+        println!(
+            "{:<26} {:>7.2} {:>8.1}% {:>9.2}x {:>12}",
+            name,
+            mean_bips(runs),
+            100.0 * mean_duty(runs),
+            mean_bips(runs) / base,
+            migs
+        );
+    }
+    println!("\n(informed matching should beat blind rotation: rotation pays the same");
+    println!(" penalties but sometimes parks a hot thread on an already-hot core)");
+}

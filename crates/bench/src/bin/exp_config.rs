@@ -1,0 +1,95 @@
+//! Tables 2, 3, and 4: the policy taxonomy, the modeled-CPU design
+//! parameters, and the twelve workloads.
+
+use dtm_core::{DtmConfig, MigrationKind, PolicySpec, Scope, SimConfig, ThrottleKind};
+use dtm_microarch::CoreConfig;
+use dtm_workloads::standard_workloads;
+
+fn main() {
+    println!("== Table 2: thermal control taxonomy (12 schemes) ==\n");
+    for migration in [
+        MigrationKind::None,
+        MigrationKind::CounterBased,
+        MigrationKind::SensorBased,
+    ] {
+        for scope in [Scope::Global, Scope::Distributed] {
+            for throttle in [ThrottleKind::StopGo, ThrottleKind::Dvfs] {
+                println!("  {}", PolicySpec::new(throttle, scope, migration));
+            }
+        }
+    }
+
+    let core = CoreConfig::default();
+    let sim = SimConfig::default();
+    let dtm = DtmConfig::default();
+    println!("\n== Table 3: design parameters ==\n");
+    println!("  Process technology        90 nm");
+    println!("  Supply voltage            1.0 V (nominal)");
+    println!("  Clock rate                {:.1} GHz", core.clock_hz / 1e9);
+    println!("  Organization              {}-core + shared L2", sim.cores);
+    println!(
+        "  Reservation stations      mem/int queue (2x{}), FP queue (2x{})",
+        core.int_queue / 2,
+        core.fp_queue / 2
+    );
+    println!(
+        "  Functional units          {} FXU, {} FPU, {} LSU, {} BXU",
+        core.n_fxu, core.n_fpu, core.n_lsu, core.n_bxu
+    );
+    println!("  Physical registers        120 GPR, 108 FPR, 90 SPR (window {})", core.window);
+    println!(
+        "  Branch predictor          {}K-entry bimodal + gshare + selector",
+        core.bpred_entries / 1024
+    );
+    println!(
+        "  L1 D-cache                {} KB, {}-way, {} B blocks, {}-cycle",
+        core.l1d.size_bytes / 1024,
+        core.l1d.ways,
+        core.l1d.block_bytes,
+        core.l1_latency
+    );
+    println!(
+        "  L1 I-cache                {} KB, {}-way, {} B blocks, {}-cycle",
+        core.l1i.size_bytes / 1024,
+        core.l1i.ways,
+        core.l1i.block_bytes,
+        core.l1_latency
+    );
+    println!(
+        "  L2 cache                  {} MB, {}-way, {} B blocks, {}-cycle",
+        core.l2.size_bytes / (1024 * 1024),
+        core.l2.ways,
+        core.l2.block_bytes,
+        core.l2_latency
+    );
+    println!("  Main memory               {}-cycle latency", core.mem_latency);
+    println!(
+        "  DVFS transition penalty   {:.0} us",
+        dtm.dvfs_transition_penalty * 1e6
+    );
+    println!(
+        "  Minimum freq scale        {:.0}% ({:.0} MHz)",
+        dtm.dvfs_min_scale * 100.0,
+        dtm.dvfs_min_scale * core.clock_hz / 1e6
+    );
+    println!(
+        "  Minimum transition        {:.0}% of range",
+        dtm.dvfs_min_transition * 100.0
+    );
+    println!(
+        "  Migration penalty         {:.0} us",
+        dtm.migration_penalty * 1e6
+    );
+    println!("  Thermal threshold         {:.1} C", dtm.threshold);
+
+    println!("\n== Table 4: four-process workloads ==\n");
+    println!("  {:<12} {:<36} {:>5}", "id", "benchmarks", "mix");
+    for w in standard_workloads() {
+        println!(
+            "  {:<12} {:<36} {:>5}",
+            w.id,
+            w.display_name(),
+            w.mix_label()
+        );
+    }
+}

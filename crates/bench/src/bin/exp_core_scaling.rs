@@ -1,0 +1,47 @@
+//! Extension experiment (§2.4's argument): "The more cores on the chip,
+//! the more potential performance is lost due to the single hotspot" —
+//! the global-vs-distributed gap should widen with core count.
+
+use dtm_bench::duration_arg;
+use dtm_core::{
+    DtmConfig, MigrationKind, PolicySpec, Scope, SimConfig, ThermalTimingSim, ThrottleKind,
+};
+use dtm_workloads::{benchmark, TraceGenConfig, TraceLibrary};
+
+fn main() {
+    let duration = duration_arg();
+    let lib = TraceLibrary::new(TraceGenConfig::default());
+    // One hot integer thread plus cooler companions, replicated to the
+    // core count: the paper's single-hotspot asymmetry scenario.
+    let names = ["gzip", "ammp", "swim", "equake", "art", "mgrid", "applu", "lucas"];
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>18}",
+        "cores", "global DVFS", "dist DVFS", "dist/global gain"
+    );
+    for cores in [2usize, 4, 8] {
+        let traces: Vec<_> = (0..cores)
+            .map(|i| lib.trace(&benchmark(names[i % names.len()])))
+            .collect();
+        let mut results = Vec::new();
+        for scope in [Scope::Global, Scope::Distributed] {
+            let cfg = SimConfig {
+                cores,
+                duration,
+                ..SimConfig::default()
+            };
+            let policy = PolicySpec::new(ThrottleKind::Dvfs, scope, MigrationKind::None);
+            let mut sim = ThermalTimingSim::new(cfg, DtmConfig::default(), policy, traces.clone())
+                .expect("construct");
+            results.push(sim.run().expect("run"));
+        }
+        println!(
+            "{:>6} {:>9.2} BIPS {:>9.2} BIPS {:>17.2}x",
+            cores,
+            results[0].bips(),
+            results[1].bips(),
+            results[1].bips() / results[0].bips()
+        );
+    }
+    println!("\n(the distributed advantage should grow with the core count)");
+}

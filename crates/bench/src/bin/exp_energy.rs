@@ -1,0 +1,45 @@
+//! Extension: energy view of the taxonomy. The paper evaluates
+//! throughput under a temperature cap; this companion experiment reports
+//! the energy side — average chip power, total energy, and energy per
+//! instruction — showing that DVFS policies also win on efficiency
+//! (cubic power scaling buys quadratic energy-per-work savings).
+
+use dtm_bench::{duration_arg, experiment_with_duration, mean_bips, run_all_workloads};
+use dtm_core::{MigrationKind, PolicySpec, Scope, ThrottleKind};
+
+fn main() {
+    let exp = experiment_with_duration(duration_arg());
+    let policies = [
+        PolicySpec::new(ThrottleKind::StopGo, Scope::Global, MigrationKind::None),
+        PolicySpec::baseline(),
+        PolicySpec::new(ThrottleKind::Dvfs, Scope::Global, MigrationKind::None),
+        PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
+        PolicySpec::best(),
+    ];
+
+    println!(
+        "{:<46} {:>7} {:>10} {:>10} {:>10}",
+        "policy", "BIPS", "avg power", "energy", "EPI"
+    );
+    for p in policies {
+        let runs = run_all_workloads(&exp, p).expect("run");
+        let avg_power = dtm_core::mean(&runs.iter().map(|r| r.avg_power()).collect::<Vec<_>>());
+        let energy = dtm_core::mean(&runs.iter().map(|r| r.energy).collect::<Vec<_>>());
+        let epi = dtm_core::mean(
+            &runs
+                .iter()
+                .map(|r| r.energy_per_instruction_nj())
+                .collect::<Vec<_>>(),
+        );
+        println!(
+            "{:<46} {:>7.2} {:>8.1} W {:>8.2} J {:>7.2} nJ",
+            p.name(),
+            mean_bips(&runs),
+            avg_power,
+            energy,
+            epi
+        );
+    }
+    println!("\n(stop-go wastes leakage while stalled at high temperature; DVFS runs");
+    println!(" continuously at scaled voltage, doing more work per joule)");
+}

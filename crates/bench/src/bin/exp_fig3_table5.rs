@@ -1,0 +1,66 @@
+//! Figure 3 + Table 5: the four non-migration policies.
+//!
+//! Figure 3 plots each workload's instruction throughput under global
+//! stop-go, global ("synchronous") DVFS, and distributed DVFS, normalized
+//! to the distributed stop-go baseline. Table 5 reports the policy means
+//! (BIPS, effective duty cycle, relative throughput).
+
+use dtm_bench::{duration_arg, experiment_with_duration, figure_label, mean_bips, mean_duty};
+use dtm_core::{MigrationKind, PolicySpec, Scope, ThrottleKind};
+use dtm_workloads::standard_workloads;
+
+fn main() {
+    let exp = experiment_with_duration(duration_arg());
+    let workloads = standard_workloads();
+
+    let policies = [
+        PolicySpec::new(ThrottleKind::StopGo, Scope::Global, MigrationKind::None),
+        PolicySpec::new(ThrottleKind::StopGo, Scope::Distributed, MigrationKind::None),
+        PolicySpec::new(ThrottleKind::Dvfs, Scope::Global, MigrationKind::None),
+        PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
+    ];
+    let mut results = Vec::new();
+    for p in policies {
+        let runs: Vec<_> = workloads.iter().map(|w| exp.run(w, p).expect("run")).collect();
+        results.push((p, runs));
+    }
+    let baseline = &results[1].1; // distributed stop-go
+
+    println!("== Figure 3: per-workload throughput relative to dist. stop-go ==\n");
+    println!(
+        "{:<44} {:>9} {:>9} {:>9}",
+        "workload", "glob SG", "glob DVFS", "dist DVFS"
+    );
+    for (i, w) in workloads.iter().enumerate() {
+        let base = baseline[i].bips();
+        println!(
+            "{:<44} {:>9.2} {:>9.2} {:>9.2}",
+            figure_label(w),
+            results[0].1[i].bips() / base,
+            results[2].1[i].bips() / base,
+            results[3].1[i].bips() / base,
+        );
+    }
+
+    println!("\n== Table 5: policy averages ==\n");
+    println!(
+        "{:<16} {:>7} {:>11} {:>10} {:>12}",
+        "policy", "BIPS", "duty cycle", "relative", "emergencies"
+    );
+    let base_bips = mean_bips(baseline);
+    for (p, runs) in &results {
+        let emer: f64 = runs.iter().map(|r| r.emergency_time).sum();
+        println!(
+            "{:<16} {:>7.2} {:>10.2}% {:>9.2}x {:>10.2}ms",
+            p.name(),
+            mean_bips(runs),
+            100.0 * mean_duty(runs),
+            mean_bips(runs) / base_bips,
+            1e3 * emer
+        );
+    }
+    println!(
+        "\npaper reference: stop-go 2.79 BIPS 19.77% 0.62x | dist stop-go 4.53 32.57% 1.00x"
+    );
+    println!("                 global DVFS 9.36 66.49% 2.07x | dist DVFS 11.36 81.02% 2.51x");
+}

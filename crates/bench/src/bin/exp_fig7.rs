@@ -1,0 +1,37 @@
+//! Figure 7: per-workload gains/losses of either migration policy in
+//! conjunction with distributed DVFS (the best-performing practical
+//! policy of the original four).
+
+use dtm_bench::{duration_arg, experiment_with_duration, figure_label, run_all_workloads};
+use dtm_core::{MigrationKind, PolicySpec, Scope, ThrottleKind};
+use dtm_workloads::standard_workloads;
+
+fn main() {
+    let exp = experiment_with_duration(duration_arg());
+    let dvfs = |m| PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, m);
+    let plain = run_all_workloads(&exp, dvfs(MigrationKind::None)).expect("plain");
+    let counter = run_all_workloads(&exp, dvfs(MigrationKind::CounterBased)).expect("counter");
+    let sensor = run_all_workloads(&exp, dvfs(MigrationKind::SensorBased)).expect("sensor");
+
+    println!(
+        "{:<44} {:>14} {:>14}",
+        "workload", "counter Δ%", "sensor Δ%"
+    );
+    let mut counter_deltas = Vec::new();
+    let mut sensor_deltas = Vec::new();
+    for (i, w) in standard_workloads().iter().enumerate() {
+        let base = plain[i].bips();
+        let dc = 100.0 * (counter[i].bips() / base - 1.0);
+        let ds = 100.0 * (sensor[i].bips() / base - 1.0);
+        counter_deltas.push(dc);
+        sensor_deltas.push(ds);
+        println!("{:<44} {:>13.2}% {:>13.2}%", figure_label(w), dc, ds);
+    }
+    println!(
+        "\nmean: counter {:+.2}%, sensor {:+.2}%",
+        dtm_core::mean(&counter_deltas),
+        dtm_core::mean(&sensor_deltas)
+    );
+    println!("paper: deltas range from about -2% to +7% per workload; both policies");
+    println!("help on average (sensor slightly more) but not on every workload.");
+}

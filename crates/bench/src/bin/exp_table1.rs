@@ -1,0 +1,42 @@
+//! Table 1 reproduction: per-benchmark steady-state temperatures (or
+//! oscillation ranges) on an unconstrained single core.
+//!
+//! The paper measured a Pentium M notebook via ACPI; we run each
+//! benchmark alone on one core of the simulated chip with no thermal
+//! limit and report the hottest sensor over the second half of a run.
+//! Absolute values differ from the paper's notebook (different chip,
+//! package, and ambient); the *ordering* and the steady-vs-oscillating
+//! classification are the reproduction targets.
+
+use dtm_core::unconstrained_steady_temp;
+use dtm_workloads::{all_benchmarks, TraceGenConfig, TraceLibrary};
+
+fn main() {
+    let duration: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
+    let lib = TraceLibrary::new(TraceGenConfig::default());
+    println!("{:<10} {:>6} {:>14} {:>8}", "benchmark", "suite", "temp (°C)", "class");
+    let mut rows = Vec::new();
+    for b in all_benchmarks() {
+        let s = unconstrained_steady_temp(&b, &lib, duration).expect("run");
+        rows.push((b, s));
+    }
+    rows.sort_by(|a, b| b.1.mean.total_cmp(&a.1.mean));
+    for (b, s) in &rows {
+        let class = if s.is_steady(1.5) { "steady" } else { "oscillating" };
+        let temp = if s.is_steady(1.5) {
+            format!("{:.0}", s.mean)
+        } else {
+            format!("{:.0}-{:.0}", s.min, s.max)
+        };
+        println!(
+            "{:<10} {:>6} {:>14} {:>8}",
+            b.name,
+            format!("{:?}", b.suite),
+            temp,
+            class
+        );
+    }
+}

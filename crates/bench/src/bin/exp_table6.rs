@@ -1,0 +1,44 @@
+//! Table 6: counter-based migration layered on the four throttle
+//! policies — average BIPS, duty cycle, throughput relative to the
+//! distributed stop-go baseline, and speedup over the same policy
+//! without migration.
+
+use dtm_bench::{duration_arg, experiment_with_duration, mean_bips, mean_duty, run_all_workloads};
+use dtm_core::{MigrationKind, PolicySpec, Scope, ThrottleKind};
+
+fn main() {
+    let exp = experiment_with_duration(duration_arg());
+    let combos = [
+        (ThrottleKind::StopGo, Scope::Global),
+        (ThrottleKind::StopGo, Scope::Distributed),
+        (ThrottleKind::Dvfs, Scope::Global),
+        (ThrottleKind::Dvfs, Scope::Distributed),
+    ];
+
+    let baseline = run_all_workloads(&exp, PolicySpec::baseline()).expect("baseline");
+    let base_bips = mean_bips(&baseline);
+
+    println!(
+        "{:<46} {:>7} {:>10} {:>9} {:>14}",
+        "policy", "BIPS", "duty", "relative", "vs non-migr."
+    );
+    for (throttle, scope) in combos {
+        let plain = run_all_workloads(&exp, PolicySpec::new(throttle, scope, MigrationKind::None))
+            .expect("plain");
+        let policy = PolicySpec::new(throttle, scope, MigrationKind::CounterBased);
+        let runs = run_all_workloads(&exp, policy).expect("migrated");
+        println!(
+            "{:<46} {:>7.2} {:>9.2}% {:>8.2}x {:>13.2}x",
+            policy.name(),
+            mean_bips(&runs),
+            100.0 * mean_duty(&runs),
+            mean_bips(&runs) / base_bips,
+            mean_bips(&runs) / mean_bips(&plain),
+        );
+    }
+    println!("\npaper reference (BIPS, duty, rel, speedup):");
+    println!("  Stop-go + counter       5.34 37.93% 1.18x 1.91x");
+    println!("  Dist. stop-go + counter 9.15 65.12% 2.02x 2.02x");
+    println!("  Global DVFS + counter   9.88 70.05% 2.18x 1.06x");
+    println!("  Dist. DVFS + counter   11.62 82.42% 2.57x 1.02x");
+}

@@ -1,0 +1,49 @@
+//! Table 7: sensor-based migration on the four throttle policies,
+//! including the speedups over no migration and over counter-based
+//! migration.
+
+use dtm_bench::{duration_arg, experiment_with_duration, mean_bips, mean_duty, run_all_workloads};
+use dtm_core::{MigrationKind, PolicySpec, Scope, ThrottleKind};
+
+fn main() {
+    let exp = experiment_with_duration(duration_arg());
+    let combos = [
+        (ThrottleKind::StopGo, Scope::Global),
+        (ThrottleKind::StopGo, Scope::Distributed),
+        (ThrottleKind::Dvfs, Scope::Global),
+        (ThrottleKind::Dvfs, Scope::Distributed),
+    ];
+
+    let baseline = run_all_workloads(&exp, PolicySpec::baseline()).expect("baseline");
+    let base_bips = mean_bips(&baseline);
+
+    println!(
+        "{:<46} {:>7} {:>10} {:>9} {:>13} {:>12}",
+        "policy", "BIPS", "duty", "relative", "vs non-migr.", "vs counter"
+    );
+    for (throttle, scope) in combos {
+        let plain = run_all_workloads(&exp, PolicySpec::new(throttle, scope, MigrationKind::None))
+            .expect("plain");
+        let counter = run_all_workloads(
+            &exp,
+            PolicySpec::new(throttle, scope, MigrationKind::CounterBased),
+        )
+        .expect("counter");
+        let policy = PolicySpec::new(throttle, scope, MigrationKind::SensorBased);
+        let runs = run_all_workloads(&exp, policy).expect("sensor");
+        println!(
+            "{:<46} {:>7.2} {:>9.2}% {:>8.2}x {:>12.2}x {:>11.2}x",
+            policy.name(),
+            mean_bips(&runs),
+            100.0 * mean_duty(&runs),
+            mean_bips(&runs) / base_bips,
+            mean_bips(&runs) / mean_bips(&plain),
+            mean_bips(&runs) / mean_bips(&counter),
+        );
+    }
+    println!("\npaper reference (BIPS, duty, rel, vs none, vs counter):");
+    println!("  Stop-go + sensor       5.43 38.64% 1.20x 1.95x 1.02x");
+    println!("  Dist. stop-go + sensor 9.27 66.61% 2.05x 2.05x 1.01x");
+    println!("  Global DVFS + sensor   9.63 68.37% 2.13x 1.03x 0.97x");
+    println!("  Dist. DVFS + sensor   11.70 82.64% 2.59x 1.03x 1.01x");
+}

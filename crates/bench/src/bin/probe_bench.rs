@@ -1,0 +1,19 @@
+//! Per-benchmark trace statistics: IPC and register-file power.
+use dtm_floorplan::UnitKind;
+use dtm_workloads::{all_benchmarks, TraceGenConfig, TraceLibrary};
+
+fn main() {
+    let lib = TraceLibrary::new(TraceGenConfig::default());
+    println!("{:<10} {:>5} {:>7} {:>7} {:>7}", "bench", "IPC", "intRF", "fpRF", "core W");
+    for b in all_benchmarks() {
+        let t = lib.trace(&b);
+        println!(
+            "{:<10} {:>5.2} {:>7.2} {:>7.2} {:>7.1}",
+            b.name,
+            t.mean_ipc(),
+            t.mean_unit_power(UnitKind::IntRegFile),
+            t.mean_unit_power(UnitKind::FpRegFile),
+            t.mean_core_power()
+        );
+    }
+}

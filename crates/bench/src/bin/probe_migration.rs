@@ -1,0 +1,36 @@
+//! Calibration probe for the migration policies (Tables 6 and 7 shape).
+
+use dtm_core::{DtmConfig, Experiment, MigrationKind, PolicySpec, Scope, SimConfig, ThrottleKind};
+use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let duration: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+    let sim = SimConfig { duration, ..SimConfig::default() };
+    let exp = Experiment::new(TraceLibrary::new(TraceGenConfig::default()), sim, DtmConfig::default());
+    let workloads = standard_workloads();
+
+    for throttle in [ThrottleKind::StopGo, ThrottleKind::Dvfs] {
+        for scope in [Scope::Distributed, Scope::Global] {
+            for migration in [MigrationKind::None, MigrationKind::CounterBased, MigrationKind::SensorBased] {
+                let policy = PolicySpec::new(throttle, scope, migration);
+                let mut bips = Vec::new();
+                let mut duty = Vec::new();
+                let mut migs = 0u64;
+                for w in &workloads {
+                    let r = exp.run(w, policy).expect("run");
+                    bips.push(r.bips());
+                    duty.push(r.duty_cycle);
+                    migs += r.migrations;
+                }
+                println!(
+                    "{:<48} BIPS {:5.2}  duty {:5.1}%  migrations {}",
+                    policy.name(),
+                    dtm_core::mean(&bips),
+                    100.0 * dtm_core::mean(&duty),
+                    migs
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared experiment-driver utilities for the table/figure reproductions.
+
+use dtm_core::{Experiment, PolicySpec, RunResult, SimError};
+use dtm_workloads::{standard_workloads, Workload};
+
+/// Runs every standard workload under one policy, returning results in
+/// Table 4 order.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run_all_workloads(
+    exp: &Experiment,
+    policy: PolicySpec,
+) -> Result<Vec<RunResult>, SimError> {
+    standard_workloads()
+        .iter()
+        .map(|w| exp.run(w, policy))
+        .collect()
+}
+
+/// Formats a workload the way the paper's figures label them:
+/// `gzip-twolf-ammp-lucas (IIFF)`.
+pub fn figure_label(w: &Workload) -> String {
+    format!("{} ({})", w.display_name(), w.mix_label())
+}
+
+/// Mean BIPS over a set of runs.
+pub fn mean_bips(results: &[RunResult]) -> f64 {
+    dtm_core::mean(&results.iter().map(|r| r.bips()).collect::<Vec<_>>())
+}
+
+/// Mean duty cycle over a set of runs.
+pub fn mean_duty(results: &[RunResult]) -> f64 {
+    dtm_core::mean(&results.iter().map(|r| r.duty_cycle).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_label_format() {
+        let w = &standard_workloads()[6];
+        assert_eq!(figure_label(w), "gzip-twolf-ammp-lucas (IIFF)");
+    }
+}
+
+/// Parses the run duration (seconds of silicon time) from the first CLI
+/// argument, defaulting to the study's 0.5 s.
+pub fn duration_arg() -> f64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5)
+}
+
+/// Builds the standard experiment context with a chosen run duration.
+pub fn experiment_with_duration(duration: f64) -> Experiment {
+    use dtm_core::{DtmConfig, SimConfig};
+    use dtm_workloads::{TraceGenConfig, TraceLibrary};
+    let sim = SimConfig {
+        duration,
+        ..SimConfig::default()
+    };
+    Experiment::new(
+        TraceLibrary::new(TraceGenConfig::default()).with_disk_cache("target/trace-cache"),
+        sim,
+        DtmConfig::default(),
+    )
+}

@@ -1,0 +1,158 @@
+//! A small complex-number type for pole/zero analysis.
+//!
+//! Only the operations needed by the polynomial root finder and stability
+//! checks are provided; this is not a general-purpose complex library.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number `re + im·i`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The real number `re`.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Whether both parts are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(3.0, 4.0);
+        let b = Complex::new(-1.0, 2.0);
+        assert_eq!(a + b, Complex::new(2.0, 6.0));
+        assert_eq!(a - b, Complex::new(4.0, 2.0));
+        assert_eq!(a * b, Complex::new(-11.0, 2.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abs_of_3_4_is_5() {
+        assert_eq!(Complex::new(3.0, 4.0).abs(), 5.0);
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_norm() {
+        let z = Complex::new(2.0, -7.0);
+        let n = z * z.conj();
+        assert!((n.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(n.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_by_self_is_one() {
+        let z = Complex::new(0.3, -1.7);
+        let one = z / z;
+        assert!((one.re - 1.0).abs() < 1e-12);
+        assert!(one.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1.000000-2.000000i");
+        assert_eq!(format!("{}", Complex::new(1.0, 2.0)), "1.000000+2.000000i");
+    }
+}

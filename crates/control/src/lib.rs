@@ -1,0 +1,50 @@
+//! Formal control-theory toolkit for thermal DVFS.
+//!
+//! The ISCA'06 DTM study designs its DVFS throttle as a closed-loop PI
+//! controller: a continuous design `G(s) = Kp + Ki/s` is verified for
+//! stability (all poles in the left half plane), discretized at the
+//! 27.78 µs power-sample period, and implemented in hardware as a
+//! two-term difference equation with output clipping. This crate
+//! reproduces that entire flow in Rust:
+//!
+//! - [`TransferFunction`] — continuous-time rational transfer functions,
+//!   series/feedback composition, pole/zero analysis.
+//! - [`TransferFunction::c2d`] — continuous-to-discrete conversion
+//!   (Tustin, forward Euler, backward Euler), the MATLAB `c2d` step.
+//! - [`DiscreteTf`] — z-domain transfer functions, difference-equation
+//!   extraction, simulation, unit-circle stability.
+//! - [`ClippedPi`] — the paper's hardware controller
+//!   `u[n] = u[n−1] − 0.0107·e[n] + 0.003796·e[n−1]`, clipped to
+//!   `[0.2, 1.0]`, with clipping-as-anti-windup.
+//! - [`response`] — settling time, overshoot, and steady-state metrics.
+//!
+//! # Examples
+//!
+//! Reproduce the paper's published difference-equation coefficients from
+//! its continuous gains:
+//!
+//! ```
+//! use dtm_control::{C2dMethod, TransferFunction};
+//!
+//! let g = TransferFunction::pi(0.0107, 248.5);
+//! let d = g.c2d(1.0e5 / 3.6e9, C2dMethod::ForwardEuler);
+//! let (b, _a) = d.difference_coeffs();
+//! assert!((-b[0] - (-0.0107f64)).abs() < 1e-12);
+//! assert!((-b[1] - 0.003796).abs() < 2e-6);
+//! ```
+
+mod complex;
+mod pi;
+mod poly;
+pub mod response;
+pub mod stability;
+mod tf;
+
+pub use complex::Complex;
+pub use pi::{ClippedPi, PiGains};
+pub use poly::Polynomial;
+pub use stability::{
+    closed_loop_routh, frequency_response, margins, routh_hurwitz, FrequencyPoint, Margins,
+    RouthVerdict,
+};
+pub use tf::{C2dMethod, DiscreteTf, TransferFunction};

@@ -1,0 +1,258 @@
+//! The study's hardware-friendly clipped PI controller.
+//!
+//! The continuous design `G(s) = Kp + Ki/s` is discretized (forward
+//! Euler, see [`crate::TransferFunction::c2d`]) into the difference
+//! equation published in the paper:
+//!
+//! ```text
+//!   u[n] = u[n−1] − Kp·e[n] + (Kp − Ki·T)·e[n−1]
+//! ```
+//!
+//! with `e[n]` the sensor error (measured − target). The output is the
+//! frequency scaling factor, clipped to `[min, max]`; clipping the
+//! *stored* output doubles as anti-windup, exactly as argued in §4.2 of
+//! the paper ("the simple discrete implementation … combined with
+//! clipping prevents a hidden integral component from building up").
+
+use serde::{Deserialize, Serialize};
+
+/// Proportional–integral gains plus the control period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PiGains {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Control period (s).
+    pub dt: f64,
+}
+
+impl PiGains {
+    /// The constants used in all of the paper's experiments:
+    /// `Kp = 0.0107`, `Ki = 248.5`, `T = 100 000 cycles / 3.6 GHz`.
+    pub fn paper_defaults() -> Self {
+        PiGains {
+            kp: 0.0107,
+            ki: 248.5,
+            dt: 1.0e5 / 3.6e9,
+        }
+    }
+
+    /// The coefficient multiplying `e[n−1]` in the difference equation
+    /// (`0.003796` for the paper's constants).
+    pub fn trailing_coeff(&self) -> f64 {
+        self.kp - self.ki * self.dt
+    }
+}
+
+/// A clipped discrete PI controller driving a frequency-scaling actuator.
+///
+/// # Examples
+///
+/// ```
+/// use dtm_control::{ClippedPi, PiGains};
+///
+/// let mut pi = ClippedPi::new(PiGains::paper_defaults(), 0.2, 1.0);
+/// // Cool chip: error is negative, output saturates at full speed.
+/// assert_eq!(pi.update(-20.0), 1.0);
+/// // Suddenly 5 °C above target: controller backs off.
+/// let u = pi.update(5.0);
+/// assert!(u < 1.0 && u >= 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClippedPi {
+    gains: PiGains,
+    min: f64,
+    max: f64,
+    prev_u: f64,
+    prev_e: f64,
+    steps: u64,
+}
+
+impl ClippedPi {
+    /// Creates a controller with output limits `[min, max]`, starting at
+    /// full output (`max`, i.e. full clock speed on a cool chip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max` or the gains/period are non-finite.
+    pub fn new(gains: PiGains, min: f64, max: f64) -> Self {
+        assert!(min < max, "output range must be non-empty");
+        assert!(
+            gains.kp.is_finite() && gains.ki.is_finite() && gains.dt.is_finite() && gains.dt > 0.0,
+            "gains must be finite and period positive"
+        );
+        ClippedPi {
+            gains,
+            min,
+            max,
+            prev_u: max,
+            prev_e: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// The paper's thermal-DVFS controller: paper gains, output clipped
+    /// to the frequency-scale range `[0.2, 1.0]`.
+    pub fn paper_thermal_dvfs() -> Self {
+        ClippedPi::new(PiGains::paper_defaults(), 0.2, 1.0)
+    }
+
+    /// The configured gains.
+    pub fn gains(&self) -> PiGains {
+        self.gains
+    }
+
+    /// Current (most recently returned) output.
+    pub fn output(&self) -> f64 {
+        self.prev_u
+    }
+
+    /// Number of updates performed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Advances one control period with error `e = measured − target` and
+    /// returns the new clipped output.
+    pub fn update(&mut self, e: f64) -> f64 {
+        let raw = self.prev_u - self.gains.kp * e + self.gains.trailing_coeff() * self.prev_e;
+        let u = raw.clamp(self.min, self.max);
+        self.prev_u = u;
+        self.prev_e = e;
+        self.steps += 1;
+        u
+    }
+
+    /// Resets to the initial full-output state.
+    pub fn reset(&mut self) {
+        self.prev_u = self.max;
+        self.prev_e = 0.0;
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_trailing_coefficient_value() {
+        let g = PiGains::paper_defaults();
+        // The paper prints 0.003796; the exact value for its stated
+        // constants is 0.0107 − 248.5·(1e5/3.6e9) = 0.0037972…, so the
+        // printed figure is rounded. Match to that printing precision.
+        assert!((g.trailing_coeff() - 0.003796).abs() < 2e-6);
+    }
+
+    #[test]
+    fn cool_chip_runs_at_full_speed() {
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        for _ in 0..100 {
+            assert_eq!(pi.update(-10.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn sustained_overheat_drives_to_minimum() {
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        let mut u = 1.0;
+        for _ in 0..10_000 {
+            u = pi.update(8.0);
+        }
+        assert_eq!(u, 0.2);
+    }
+
+    #[test]
+    fn output_is_always_clipped() {
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        for i in 0..1000 {
+            let e = ((i as f64) * 0.37).sin() * 50.0;
+            let u = pi.update(e);
+            assert!((0.2..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn no_integral_windup_after_saturation() {
+        // Saturate low for a long time, then remove the error: the
+        // controller must recover to full speed quickly (clipping stores
+        // the clamped output, so there is no hidden integral to unwind).
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        for _ in 0..100_000 {
+            pi.update(10.0);
+        }
+        assert_eq!(pi.output(), 0.2);
+        let mut steps_to_recover = 0;
+        for _ in 0..10_000 {
+            let u = pi.update(-5.0);
+            steps_to_recover += 1;
+            if u >= 1.0 {
+                break;
+            }
+        }
+        // Recovery gain per step ≈ Kp·5 ≈ 0.0535 ⇒ ~15 steps; windup
+        // would have taken tens of thousands.
+        assert!(
+            steps_to_recover < 100,
+            "took {steps_to_recover} steps to recover"
+        );
+    }
+
+    #[test]
+    fn zero_error_holds_output() {
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        pi.update(5.0);
+        pi.update(0.0); // consumes prev_e
+        let held = pi.update(0.0);
+        assert_eq!(pi.update(0.0), held);
+        assert_eq!(pi.update(0.0), held);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        pi.update(7.0);
+        pi.update(7.0);
+        pi.reset();
+        assert_eq!(pi.output(), 1.0);
+        assert_eq!(pi.steps(), 0);
+    }
+
+    #[test]
+    fn controller_tracks_simple_thermal_plant() {
+        // Discrete first-order plant: T' = T + dt/τ·(K·u·ΔT_max − (T−amb)),
+        // controller holds T near the setpoint.
+        let gains = PiGains::paper_defaults();
+        let dt = gains.dt;
+        let mut pi = ClippedPi::new(gains, 0.2, 1.0);
+        let (amb, k_rise, tau) = (45.0, 55.0, 0.004);
+        let setpoint = 81.8;
+        let mut t = amb;
+        let mut u = 1.0;
+        let steps = (0.2 / dt) as usize; // 200 ms
+        for _ in 0..steps {
+            t += dt / tau * (amb + k_rise * u - t);
+            u = pi.update(t - setpoint);
+        }
+        assert!(
+            (t - setpoint).abs() < 0.5,
+            "settled at {t} °C (target {setpoint})"
+        );
+        // And the equilibrium output is interior, not saturated.
+        assert!(u > 0.2 && u < 1.0, "u = {u}");
+    }
+
+    #[test]
+    fn proportional_step_has_expected_magnitude() {
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        let u = pi.update(1.0); // 1 °C hot from full speed
+        assert!((u - (1.0 - 0.0107)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_rejected() {
+        ClippedPi::new(PiGains::paper_defaults(), 1.0, 0.2);
+    }
+}

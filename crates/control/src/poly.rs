@@ -1,0 +1,253 @@
+//! Real-coefficient polynomials and root finding.
+//!
+//! Roots are found with the Durand–Kerner (Weierstrass) simultaneous
+//! iteration, which is robust for the low-degree characteristic
+//! polynomials that arise in control analysis.
+
+use crate::Complex;
+use serde::{Deserialize, Serialize};
+
+/// A polynomial with real coefficients in **descending** powers:
+/// `coeffs[0]·x^(n-1) + … + coeffs[n-1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from descending-power coefficients, trimming
+    /// leading zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all coefficients are zero (the zero polynomial has no
+    /// meaningful degree for root finding).
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let first_nonzero = coeffs
+            .iter()
+            .position(|&c| c != 0.0)
+            .expect("the zero polynomial is not supported");
+        Polynomial {
+            coeffs: coeffs[first_nonzero..].to_vec(),
+        }
+    }
+
+    /// Degree of the polynomial.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Coefficients in descending powers.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluates at a complex point via Horner's rule.
+    pub fn eval(&self, x: Complex) -> Complex {
+        let mut acc = Complex::default();
+        for &c in &self.coeffs {
+            acc = acc * x + Complex::real(c);
+        }
+        acc
+    }
+
+    /// Evaluates at a real point.
+    pub fn eval_real(&self, x: f64) -> f64 {
+        self.coeffs.iter().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Multiplies two polynomials.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        let mut out = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Polynomial::new(out)
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0.0; n];
+        for (i, &a) in self.coeffs.iter().rev().enumerate() {
+            out[n - 1 - i] += a;
+        }
+        for (i, &b) in other.coeffs.iter().rev().enumerate() {
+            out[n - 1 - i] += b;
+        }
+        if out.iter().all(|&c| c == 0.0) {
+            // Sum cancelled to zero; represent as the constant 0 by
+            // convention (allowed here even though `new` rejects it).
+            return Polynomial { coeffs: vec![0.0] };
+        }
+        Polynomial::new(out)
+    }
+
+    /// Scales every coefficient.
+    pub fn scale(&self, k: f64) -> Polynomial {
+        if k == 0.0 {
+            return Polynomial { coeffs: vec![0.0] };
+        }
+        Polynomial {
+            coeffs: self.coeffs.iter().map(|c| c * k).collect(),
+        }
+    }
+
+    /// All complex roots via Durand–Kerner iteration.
+    ///
+    /// Returns an empty vector for constant polynomials. Results are
+    /// accurate to ~1e-10 for the well-conditioned low-degree polynomials
+    /// used in control analysis.
+    pub fn roots(&self) -> Vec<Complex> {
+        let n = self.degree();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Normalize to monic.
+        let lead = self.coeffs[0];
+        let monic: Vec<f64> = self.coeffs.iter().map(|c| c / lead).collect();
+        let poly = Polynomial { coeffs: monic };
+
+        // Initial guesses on a non-real circle (Durand–Kerner standard).
+        let radius = 1.0
+            + poly
+                .coeffs
+                .iter()
+                .skip(1)
+                .fold(0.0f64, |m, c| m.max(c.abs()));
+        let mut z: Vec<Complex> = (0..n)
+            .map(|k| {
+                let theta = 0.4 + 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Complex::new(radius * theta.cos(), radius * theta.sin())
+            })
+            .collect();
+
+        for _ in 0..500 {
+            let mut max_delta = 0.0f64;
+            for i in 0..n {
+                let mut denom = Complex::real(1.0);
+                for j in 0..n {
+                    if i != j {
+                        denom = denom * (z[i] - z[j]);
+                    }
+                }
+                let delta = poly.eval(z[i]) / denom;
+                z[i] = z[i] - delta;
+                max_delta = max_delta.max(delta.abs());
+            }
+            if max_delta < 1e-13 {
+                break;
+            }
+        }
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real_roots(p: &Polynomial) -> Vec<f64> {
+        let mut r: Vec<f64> = p
+            .roots()
+            .into_iter()
+            .filter(|z| z.im.abs() < 1e-8)
+            .map(|z| z.re)
+            .collect();
+        r.sort_by(f64::total_cmp);
+        r
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        // (x-2)(x+3) = x² + x − 6
+        let p = Polynomial::new(vec![1.0, 1.0, -6.0]);
+        let r = sorted_real_roots(&p);
+        assert_eq!(r.len(), 2);
+        assert!((r[0] + 3.0).abs() < 1e-9);
+        assert!((r[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_complex_roots() {
+        // x² + 1 → ±i
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]);
+        let mut roots = p.roots();
+        roots.sort_by(|a, b| a.im.total_cmp(&b.im));
+        assert!((roots[0] - Complex::new(0.0, -1.0)).abs() < 1e-9);
+        assert!((roots[1] - Complex::new(0.0, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_mixed_roots() {
+        // (x-1)(x²+4) = x³ − x² + 4x − 4
+        let p = Polynomial::new(vec![1.0, -1.0, 4.0, -4.0]);
+        let roots = p.roots();
+        assert_eq!(roots.len(), 3);
+        for z in &roots {
+            assert!(p.eval(*z).abs() < 1e-8, "residual at {z}");
+        }
+    }
+
+    #[test]
+    fn leading_zeros_are_trimmed() {
+        let p = Polynomial::new(vec![0.0, 0.0, 2.0, -4.0]);
+        assert_eq!(p.degree(), 1);
+        let r = sorted_real_roots(&p);
+        assert!((r[0] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eval_real_matches_eval() {
+        let p = Polynomial::new(vec![2.0, -3.0, 0.5]);
+        for x in [-2.0, 0.0, 1.5] {
+            let c = p.eval(Complex::real(x));
+            assert!((c.re - p.eval_real(x)).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn product_roots_union() {
+        let a = Polynomial::new(vec![1.0, -1.0]); // x − 1
+        let b = Polynomial::new(vec![1.0, 2.0]); // x + 2
+        let p = a.mul(&b);
+        let r = sorted_real_roots(&p);
+        assert!((r[0] + 2.0).abs() < 1e-9);
+        assert!((r[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_aligns_degrees() {
+        let a = Polynomial::new(vec![1.0, 0.0, 0.0]); // x²
+        let b = Polynomial::new(vec![1.0]); // 1
+        let s = a.add(&b);
+        assert_eq!(s.coeffs(), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_polynomial_has_no_roots() {
+        let p = Polynomial::new(vec![5.0]);
+        assert!(p.roots().is_empty());
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn high_multiplicity_root_converges_roughly() {
+        // (x−1)³: Durand–Kerner converges slowly near multiple roots;
+        // accept loose tolerance.
+        let lin = Polynomial::new(vec![1.0, -1.0]);
+        let p = lin.mul(&lin).mul(&lin);
+        for z in p.roots() {
+            assert!((z - Complex::real(1.0)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn zero_polynomial_rejected() {
+        Polynomial::new(vec![0.0, 0.0]);
+    }
+}

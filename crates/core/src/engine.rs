@@ -1,0 +1,1166 @@
+//! The thermal/timing simulator (§3.3): replays per-thread power traces
+//! under a DTM policy, closing the loop through the HotSpot-style
+//! thermal model with temperature-dependent leakage.
+//!
+//! Time advances in power-sample steps (27.78 µs). Because DVFS changes
+//! the length of a cycle — and each core may run at a different cycle
+//! time — progress through each thread's trace is tracked in *absolute
+//! time*: a core at frequency scale `s` consumes `s` samples of trace per
+//! wall-clock sample and dissipates `s³` of the trace's nominal dynamic
+//! power, while a stalled core dissipates only leakage.
+
+use crate::config::{DtmConfig, SimConfig};
+use crate::metrics::{RunResult, ThreadStats};
+use crate::migration::{
+    CounterMigration, MigrationPolicy, NoMigration, OsObservation, SensorMigration,
+    ThreadCounters,
+};
+use crate::policy::{MigrationKind, PolicySpec, Scope, ThrottleKind};
+use crate::telemetry::{Telemetry, TelemetryRecord};
+use dtm_control::{ClippedPi, PiGains};
+use dtm_floorplan::{Floorplan, UnitKind};
+use dtm_power::{leakage_reference, PowerTrace, N_CORE_UNITS};
+use dtm_thermal::{
+    LeakageModel, SensorBank, ThermalError, ThermalModel, TransientSolver,
+};
+use std::sync::Arc;
+
+/// Errors surfaced while building or running a simulation.
+#[derive(Debug)]
+pub enum SimError {
+    /// The thermal substrate failed.
+    Thermal(ThermalError),
+    /// Inputs were inconsistent (wrong trace count, empty workload…).
+    BadInput(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Thermal(e) => write!(f, "thermal model error: {e}"),
+            SimError::BadInput(msg) => write!(f, "invalid simulation input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ThermalError> for SimError {
+    fn from(e: ThermalError) -> Self {
+        SimError::Thermal(e)
+    }
+}
+
+/// The power-trace-driven thermal/timing simulator for one
+/// (workload, policy) run.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dtm_core::{DtmConfig, PolicySpec, SimConfig, ThermalTimingSim};
+/// use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lib = TraceLibrary::new(TraceGenConfig::default());
+/// let workload = &standard_workloads()[0];
+/// let traces = workload.resolve().map(|b| lib.trace(&b)).to_vec();
+/// let mut sim = ThermalTimingSim::new(
+///     SimConfig::default(),
+///     DtmConfig::default(),
+///     PolicySpec::best(),
+///     traces,
+/// )?;
+/// let result = sim.run()?;
+/// println!("{:.2} BIPS at duty {:.1}%", result.bips(), 100.0 * result.duty_cycle);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ThermalTimingSim {
+    cfg: SimConfig,
+    dtm: DtmConfig,
+    policy: PolicySpec,
+    floorplan: Floorplan,
+    thermal: TransientSolver,
+    leakage: LeakageModel,
+    traces: Vec<Arc<PowerTrace>>,
+    dt: f64,
+
+    // Layout lookups.
+    unit_blocks: Vec<[usize; N_CORE_UNITS]>,
+    sensor_blocks: Vec<[usize; 2]>,
+    l2_block: usize,
+    l2_idle: f64,
+
+    // Per-thread state.
+    cursor: Vec<f64>,
+    counters: Vec<ThreadCounters>,
+    thread_stats: Vec<ThreadStats>,
+
+    // Per-core state.
+    assignment: Vec<usize>,
+    scale: Vec<f64>,
+    stall_until: Vec<f64>,
+    /// Thread that caused each core's active stop-go stall.
+    trip_thread: Vec<Option<usize>>,
+    /// Per-core: tripped since the last migration decision.
+    tripped_since_decision: Vec<bool>,
+    /// Unit (0 = int RF, 1 = fp RF) that caused each core's last trip.
+    last_trip_unit: Vec<usize>,
+    penalty_until: Vec<f64>,
+    pi: Vec<ClippedPi>,
+    sensor_temps: Vec<[f64; 2]>,
+
+    migration: Box<dyn MigrationPolicy>,
+    sensors: SensorBank,
+
+    // Clocks and accumulators.
+    time: f64,
+    next_os_tick: f64,
+    last_migration: f64,
+    duty_acc: f64,
+    max_temp: f64,
+    emergency_time: f64,
+    migrations: u64,
+    dvfs_transitions: u64,
+    stalls: u64,
+    energy: f64,
+
+    telemetry: Option<Telemetry>,
+    power_buf: Vec<f64>,
+}
+
+impl std::fmt::Debug for ThermalTimingSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThermalTimingSim")
+            .field("policy", &self.policy)
+            .field("time", &self.time)
+            .field("assignment", &self.assignment)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThermalTimingSim {
+    /// Builds a simulator for `traces.len()` threads on a
+    /// `cfg.cores`-core chip under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread count does not match the core count (this
+    /// study pins one thread per core), if traces disagree on sample
+    /// period, or if the thermal model cannot be constructed.
+    pub fn new(
+        cfg: SimConfig,
+        dtm: DtmConfig,
+        policy: PolicySpec,
+        traces: Vec<Arc<PowerTrace>>,
+    ) -> Result<Self, SimError> {
+        dtm.validate();
+        if traces.len() != cfg.cores {
+            return Err(SimError::BadInput(format!(
+                "{} traces for {} cores (one thread per core required)",
+                traces.len(),
+                cfg.cores
+            )));
+        }
+        if !cfg.core_max_scale.is_empty() {
+            if cfg.core_max_scale.len() != cfg.cores {
+                return Err(SimError::BadInput(format!(
+                    "{} core_max_scale entries for {} cores",
+                    cfg.core_max_scale.len(),
+                    cfg.cores
+                )));
+            }
+            if cfg
+                .core_max_scale
+                .iter()
+                .any(|&s| !(s.is_finite() && s > 0.0 && s <= 1.0))
+            {
+                return Err(SimError::BadInput(
+                    "core_max_scale entries must be in (0, 1]".into(),
+                ));
+            }
+        }
+        let dt = traces[0].dt();
+        if traces.iter().any(|t| (t.dt() - dt).abs() > 1e-12) {
+            return Err(SimError::BadInput(
+                "all traces must share one sample period".into(),
+            ));
+        }
+
+        let floorplan = Floorplan::ppc_cmp(cfg.cores);
+        let model = ThermalModel::new(&floorplan, &cfg.package)?;
+        let thermal = TransientSolver::new(model, cfg.thermal_substep);
+
+        let leak_ref = leakage_reference(
+            &floorplan,
+            cfg.leakage.logic_density,
+            cfg.leakage.sram_density,
+        );
+        let leakage = LeakageModel::new(leak_ref, cfg.leakage.t_ref, cfg.leakage.beta);
+
+        let mut unit_blocks = Vec::with_capacity(cfg.cores);
+        let mut sensor_blocks = Vec::with_capacity(cfg.cores);
+        let mut sensor_flat = Vec::with_capacity(cfg.cores * 2);
+        for core in 0..cfg.cores {
+            let mut blocks = [0usize; N_CORE_UNITS];
+            for (i, &kind) in UnitKind::per_core().iter().enumerate() {
+                blocks[i] = floorplan
+                    .block_of(core, kind)
+                    .expect("validated floorplan has every per-core unit");
+            }
+            unit_blocks.push(blocks);
+            let int_rf = floorplan.block_of(core, UnitKind::IntRegFile).expect("int RF");
+            let fp_rf = floorplan.block_of(core, UnitKind::FpRegFile).expect("fp RF");
+            sensor_blocks.push([int_rf, fp_rf]);
+            sensor_flat.push(int_rf);
+            sensor_flat.push(fp_rf);
+        }
+        let l2_block = floorplan.blocks_of_kind(UnitKind::L2)[0];
+        let sensors = SensorBank::new(sensor_flat, cfg.sensor, cfg.seed);
+
+        let n_pi = match policy.scope {
+            Scope::Global => 1,
+            Scope::Distributed => cfg.cores,
+        };
+        let gains = PiGains {
+            dt,
+            ..PiGains::paper_defaults()
+        };
+        let pi = (0..n_pi)
+            .map(|_| ClippedPi::new(gains, dtm.dvfs_min_scale, 1.0))
+            .collect();
+
+        let migration: Box<dyn MigrationPolicy> = match policy.migration {
+            MigrationKind::None => Box::new(NoMigration),
+            MigrationKind::CounterBased => Box::new(CounterMigration::new()),
+            MigrationKind::SensorBased => Box::new(SensorMigration::new(3)),
+        };
+
+        // L2 idle power (clock/standby) charged once chip-wide, taken
+        // from the default calibration.
+        let l2_idle = dtm_power::PowerModel::default_90nm(cfg.core.clock_hz).l2_idle_power();
+
+        let cores = cfg.cores;
+        let n_threads = traces.len();
+        let mut sim = ThermalTimingSim {
+            cfg,
+            dtm,
+            policy,
+            floorplan,
+            thermal,
+            leakage,
+            traces,
+            dt,
+            unit_blocks,
+            sensor_blocks,
+            l2_block,
+            l2_idle,
+            cursor: vec![0.0; n_threads],
+            counters: vec![ThreadCounters::default(); n_threads],
+            thread_stats: vec![ThreadStats::default(); n_threads],
+            assignment: (0..cores).collect(),
+            scale: vec![1.0; cores],
+            stall_until: vec![f64::NEG_INFINITY; cores],
+            trip_thread: vec![None; cores],
+            tripped_since_decision: vec![false; cores],
+            last_trip_unit: vec![0; cores],
+            penalty_until: vec![f64::NEG_INFINITY; cores],
+            pi,
+            sensor_temps: vec![[0.0; 2]; cores],
+            migration,
+            sensors,
+            time: 0.0,
+            next_os_tick: 0.0,
+            last_migration: f64::NEG_INFINITY,
+            duty_acc: 0.0,
+            max_temp: f64::NEG_INFINITY,
+            emergency_time: 0.0,
+            migrations: 0,
+            dvfs_transitions: 0,
+            stalls: 0,
+            energy: 0.0,
+            telemetry: None,
+            power_buf: Vec::new(),
+        };
+        sim.initialize_temperatures()?;
+        sim.read_sensors();
+        Ok(sim)
+    }
+
+    /// Replaces the migration policy with a custom implementation
+    /// (e.g. [`crate::RotationMigration`] or a user-defined
+    /// [`MigrationPolicy`]). The policy axis of the constructor's
+    /// [`PolicySpec`] only selects the built-in policies; this hook lets
+    /// downstream users explore new points in the design space.
+    pub fn set_migration_policy(&mut self, policy: Box<dyn MigrationPolicy>) {
+        self.migration = policy;
+    }
+
+    /// Attaches a telemetry recorder (replacing any previous one).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Detaches and returns the telemetry recorder.
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take()
+    }
+
+    /// The policy being simulated.
+    pub fn policy(&self) -> PolicySpec {
+        self.policy
+    }
+
+    /// Current simulation time (s).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current core → thread assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The chip floorplan in use.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// Latest per-core hotspot sensor readings `[int_rf, fp_rf]` (°C).
+    pub fn sensor_temps(&self) -> &[[f64; 2]] {
+        &self.sensor_temps
+    }
+
+    /// Floorplan block indices of each core's `[int_rf, fp_rf]` sensors.
+    pub fn sensor_blocks(&self) -> &[[usize; 2]] {
+        &self.sensor_blocks
+    }
+
+    /// Package initialization: the heat sink's time constant (~1 min)
+    /// dwarfs the 0.5 s runs, so the package state is effectively an
+    /// initial condition. We start at the *throttled equilibrium*: the
+    /// steady state of the largest fraction of full-speed mean power
+    /// whose hottest sensor stays `init_hotspot_margin` °C below the
+    /// threshold (capped at full power for workloads that never
+    /// overheat).
+    fn initialize_temperatures(&mut self) -> Result<(), SimError> {
+        let nb = self.floorplan.len();
+        let mut p_full = vec![0.0; nb];
+        for core in 0..self.cfg.cores {
+            let trace = &self.traces[self.assignment[core]];
+            for (u, &kind) in UnitKind::per_core().iter().enumerate() {
+                p_full[self.unit_blocks[core][u]] += trace.mean_unit_power(kind);
+            }
+        }
+        p_full[self.l2_block] += self.l2_idle;
+
+        // Steady temperatures at a power fraction, with the leakage
+        // feedback converged by fixed-point iteration.
+        let steady = |alpha: f64| -> Result<(Vec<f64>, Vec<f64>), SimError> {
+            let mut temps = vec![self.cfg.leakage.t_ref; self.thermal.model().n_nodes()];
+            let mut p: Vec<f64> = Vec::new();
+            for _ in 0..20 {
+                p = p_full.iter().map(|w| w * alpha).collect();
+                self.leakage.add_power(&temps[..nb], &mut p);
+                let solved = self.thermal.model().steady_state(&p)?;
+                // Damped update, clamped: keeps the iteration finite even
+                // when the chip is past the thermal-runaway point (the
+                // binary search then backs the power fraction off).
+                for (t, s) in temps.iter_mut().zip(&solved) {
+                    *t = (0.5 * *t + 0.5 * s).min(250.0);
+                }
+            }
+            Ok((temps, p))
+        };
+        let fast_r = self.thermal.model().fast_resistance().to_vec();
+        let hottest_sensor = |temps: &[f64], power: &[f64]| -> f64 {
+            self.sensor_blocks
+                .iter()
+                .flat_map(|pair| pair.iter())
+                .map(|&b| temps[b] + fast_r[b] * power[b])
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+
+        let target = self.dtm.threshold - self.cfg.init_hotspot_margin;
+        let mut alpha = 1.0;
+        let full = steady(1.0)?;
+        if target.is_finite() && hottest_sensor(&full.0, &full.1) > target {
+            let (mut lo, mut hi) = (0.02, 1.0);
+            for _ in 0..20 {
+                let mid = 0.5 * (lo + hi);
+                let (temps, p) = steady(mid)?;
+                if hottest_sensor(&temps, &p) > target {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            alpha = lo;
+        }
+        let (_, p) = steady(alpha)?;
+        self.thermal.init_steady(&p)?;
+        Ok(())
+    }
+
+    /// A core's architectural frequency ceiling (1.0 unless the chip is
+    /// configured as an asymmetric CMP).
+    fn max_scale(&self, core: usize) -> f64 {
+        self.cfg.core_max_scale.get(core).copied().unwrap_or(1.0)
+    }
+
+    /// Effective frequency scale of a core right now: 0 while stalled or
+    /// paying a transition/migration penalty; the DVFS factor (or the
+    /// core's architectural ceiling under stop-go) otherwise.
+    pub fn effective_scale(&self, core: usize) -> f64 {
+        if self.time < self.stall_until[core] || self.time < self.penalty_until[core] {
+            return 0.0;
+        }
+        let ceiling = self.max_scale(core);
+        match self.policy.throttle {
+            ThrottleKind::StopGo => ceiling,
+            ThrottleKind::Dvfs => self.scale[core].min(ceiling),
+        }
+    }
+
+    fn read_sensors(&mut self) {
+        // Sensors sit at the within-block hotspots, so they see the
+        // lumped node temperature plus the sub-block fast-mode excess.
+        let temps = self.thermal.hot_block_temps();
+        let flat = self.sensors.read_all(&temps);
+        for core in 0..self.cfg.cores {
+            self.sensor_temps[core] = [flat[core * 2], flat[core * 2 + 1]];
+        }
+    }
+
+    /// Advances the simulation by one power sample (27.78 µs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solver failures.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let dt = self.dt;
+        let cores = self.cfg.cores;
+
+        // ---- Assemble block power and advance work ----
+        self.power_buf.clear();
+        self.power_buf.resize(self.floorplan.len(), 0.0);
+        let mut l2_power = self.l2_idle;
+        let mut scales_now = vec![0.0; cores];
+        for core in 0..cores {
+            let s = self.effective_scale(core);
+            scales_now[core] = s;
+            let thread = self.assignment[core];
+            let sample = self.traces[thread].sample(self.cursor[thread] as u64).clone();
+            if s > 0.0 {
+                let s3 = s * s * s;
+                for u in 0..N_CORE_UNITS {
+                    self.power_buf[self.unit_blocks[core][u]] += sample.units[u] * s3;
+                }
+                l2_power += sample.l2 * s;
+                self.cursor[thread] += s;
+                let stats = &mut self.thread_stats[thread];
+                stats.instructions += s * sample.instructions as f64;
+                stats.scaled_work += s * dt;
+                self.duty_acc += s * dt;
+                // Windowed counter state (≈1 ms horizon).
+                let k = (s * dt / 1e-3).min(1.0);
+                let c = &mut self.counters[thread];
+                c.int_rf_per_cycle += k * (sample.int_rf_per_cycle - c.int_rf_per_cycle);
+                c.fp_rf_per_cycle += k * (sample.fp_rf_per_cycle - c.fp_rf_per_cycle);
+            }
+        }
+        self.power_buf[self.l2_block] += l2_power;
+        let temps_now = self.thermal.block_temps().to_vec();
+        self.leakage.add_power(&temps_now, &mut self.power_buf);
+
+        // ---- Thermal integration ----
+        self.energy += self.power_buf.iter().sum::<f64>() * dt;
+        self.thermal.step(&self.power_buf, dt)?;
+        self.time += dt;
+        self.read_sensors();
+
+        // ---- Emergency accounting ----
+        let hottest = self
+            .sensor_temps
+            .iter()
+            .flat_map(|t| t.iter())
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.max_temp = self.max_temp.max(hottest);
+        if hottest > self.dtm.threshold {
+            self.emergency_time += dt;
+        }
+
+        // ---- Throttle control ----
+        match self.policy.throttle {
+            ThrottleKind::StopGo => self.control_stopgo(),
+            ThrottleKind::Dvfs => self.control_dvfs(),
+        }
+
+        // ---- OS tick: migration ----
+        if self.time >= self.next_os_tick {
+            self.next_os_tick += self.dtm.os_tick;
+            self.os_tick(&scales_now);
+        }
+
+        // ---- Telemetry ----
+        if let Some(tel) = &mut self.telemetry {
+            let time = self.time;
+            let sensor_temps = self.sensor_temps.clone();
+            let assignment = self.assignment.clone();
+            tel.offer(|| TelemetryRecord {
+                time,
+                sensor_temps,
+                scales: scales_now,
+                assignment,
+            });
+        }
+        Ok(())
+    }
+
+    fn control_stopgo(&mut self) {
+        let trip = self.dtm.stopgo_trip();
+        match self.policy.scope {
+            Scope::Distributed => {
+                for core in 0..self.cfg.cores {
+                    let hot = self.sensor_temps[core][0].max(self.sensor_temps[core][1]);
+                    if hot >= trip && self.time >= self.stall_until[core] {
+                        self.stall_until[core] = self.time + self.dtm.stopgo_stall;
+                        self.trip_thread[core] = Some(self.assignment[core]);
+                        self.tripped_since_decision[core] = true;
+                        self.last_trip_unit[core] =
+                            if self.sensor_temps[core][0] >= self.sensor_temps[core][1] {
+                                0
+                            } else {
+                                1
+                            };
+                        self.stalls += 1;
+                    } else if self.time < self.stall_until[core]
+                        && self.trip_thread[core] != Some(self.assignment[core])
+                        && hot < trip - 1.0
+                    {
+                        // The OS migrated a different process onto this
+                        // core and it has cooled safely below the trip
+                        // point: the thermal governor lets it resume
+                        // rather than serving out the offender's stall.
+                        self.stall_until[core] = self.time;
+                    }
+                }
+            }
+            Scope::Global => {
+                let chip_stalled = self.time < self.stall_until[0];
+                let hot = self
+                    .sensor_temps
+                    .iter()
+                    .flat_map(|t| t.iter())
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if hot >= trip && !chip_stalled {
+                    for core in 0..self.cfg.cores {
+                        self.stall_until[core] = self.time + self.dtm.stopgo_stall;
+                        let t = self.sensor_temps[core];
+                        if t[0].max(t[1]) >= trip {
+                            self.tripped_since_decision[core] = true;
+                            self.last_trip_unit[core] = if t[0] >= t[1] { 0 } else { 1 };
+                        }
+                    }
+                    self.stalls += 1;
+                }
+            }
+        }
+    }
+
+    fn control_dvfs(&mut self) {
+        let setpoint = self.dtm.dvfs_setpoint();
+        let range = 1.0 - self.dtm.dvfs_min_scale;
+        match self.policy.scope {
+            Scope::Distributed => {
+                for core in 0..self.cfg.cores {
+                    let hot = self.sensor_temps[core][0].max(self.sensor_temps[core][1]);
+                    let u = self.pi[core].update(hot - setpoint);
+                    if (u - self.scale[core]).abs() >= self.dtm.dvfs_min_transition * range {
+                        self.scale[core] = u;
+                        self.penalty_until[core] = self.time + self.dtm.dvfs_transition_penalty;
+                        self.dvfs_transitions += 1;
+                    }
+                }
+            }
+            Scope::Global => {
+                let hot = self
+                    .sensor_temps
+                    .iter()
+                    .flat_map(|t| t.iter())
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let u = self.pi[0].update(hot - setpoint);
+                if (u - self.scale[0]).abs() >= self.dtm.dvfs_min_transition * range {
+                    for core in 0..self.cfg.cores {
+                        self.scale[core] = u;
+                        self.penalty_until[core] = self.time + self.dtm.dvfs_transition_penalty;
+                    }
+                    self.dvfs_transitions += 1;
+                }
+            }
+        }
+    }
+
+    fn os_tick(&mut self, scales_now: &[f64]) {
+        let obs = OsObservation {
+            time: self.time,
+            assignment: &self.assignment,
+            scale: scales_now,
+            sensor_temps: &self.sensor_temps,
+            counters: &self.counters,
+            tripped: &self.tripped_since_decision,
+            trip_unit: &self.last_trip_unit,
+        };
+        self.migration.observe(&obs);
+        if self.time - self.last_migration < self.dtm.migration_interval {
+            return;
+        }
+        // Migration exists to balance *thermal* load; when no sensor is
+        // anywhere near the limit there is nothing to balance and a
+        // migration would only cost its penalty.
+        let hottest = self
+            .sensor_temps
+            .iter()
+            .flat_map(|t| t.iter())
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if hottest < self.dtm.threshold - 4.0 {
+            return;
+        }
+        let plan = self.migration.decide(&obs);
+        self.tripped_since_decision.fill(false);
+        if let Some(plan) = plan {
+            debug_assert_eq!(plan.len(), self.cfg.cores);
+            let mut moved = 0;
+            let trip = self.dtm.stopgo_trip();
+            for core in 0..self.cfg.cores {
+                if plan[core] != self.assignment[core] {
+                    moved += 1;
+                    self.penalty_until[core] =
+                        self.penalty_until[core].max(self.time + self.dtm.migration_penalty);
+                    self.thread_stats[plan[core]].migrations += 1;
+                    // A stop-go stall exists to cool the core below its
+                    // trip point; when the OS installs a different
+                    // process on a core that has already cooled, the
+                    // stall is released (it re-trips immediately if the
+                    // core is still too hot).
+                    let hot = self.sensor_temps[core][0].max(self.sensor_temps[core][1]);
+                    if self.time < self.stall_until[core] && hot < trip {
+                        self.stall_until[core] = self.time;
+                    }
+                }
+            }
+            if moved > 0 {
+                self.assignment = plan;
+                self.migrations += moved as u64;
+                self.last_migration = self.time;
+            }
+        }
+    }
+
+    /// Runs until `cfg.duration` and returns the metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solver failures.
+    pub fn run(&mut self) -> Result<RunResult, SimError> {
+        while self.time < self.cfg.duration {
+            self.step()?;
+        }
+        Ok(self.result())
+    }
+
+    /// Metrics for the simulation so far.
+    pub fn result(&self) -> RunResult {
+        let instructions: f64 = self.thread_stats.iter().map(|t| t.instructions).sum();
+        let duration = self.time.max(f64::MIN_POSITIVE);
+        RunResult {
+            duration,
+            cores: self.cfg.cores,
+            instructions,
+            duty_cycle: self.duty_acc / (self.cfg.cores as f64 * duration),
+            max_temp: self.max_temp,
+            emergency_time: self.emergency_time,
+            migrations: self.migrations,
+            dvfs_transitions: self.dvfs_transitions,
+            stalls: self.stalls,
+            energy: self.energy,
+            threads: self.thread_stats.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MigrationKind;
+    use dtm_power::CorePowerSample;
+
+    /// A constant synthetic trace with the register files as the main
+    /// heat sources. Powers are at nominal V/f.
+    fn const_trace(name: &str, int_rf: f64, fp_rf: f64, base: f64) -> Arc<PowerTrace> {
+        let mut s = CorePowerSample::zero();
+        // per_core order: Fetch, BPred, I$, D$, Rename, IssInt, IssFp,
+        // IntRF, FpRF, Fxu, Fpu, Lsu, Bxu
+        s.units = [
+            base, base, base, base, base, base, base * 0.5, int_rf, fp_rf, base, base * 0.8,
+            base, base * 0.4,
+        ];
+        s.l2 = 0.2;
+        s.instructions = 200_000; // IPC 2
+        s.int_rf_per_cycle = 10.0 * int_rf;
+        s.fp_rf_per_cycle = 10.0 * fp_rf;
+        Arc::new(PowerTrace::new(name, 1.0e5 / 3.6e9, vec![s]))
+    }
+
+    fn hot_int() -> Arc<PowerTrace> {
+        const_trace("hot_int", 2.6, 0.2, 0.6)
+    }
+
+    fn hot_fp() -> Arc<PowerTrace> {
+        const_trace("hot_fp", 0.9, 2.4, 0.6)
+    }
+
+    fn cool() -> Arc<PowerTrace> {
+        const_trace("cool", 0.3, 0.05, 0.12)
+    }
+
+    /// Active but individually below the thermal limit; three of these
+    /// plus one hot core heat the package enough that the hot core is
+    /// thermally limited (the paper's "performance asymmetry" case).
+    fn warm() -> Arc<PowerTrace> {
+        const_trace("warm", 1.7, 0.3, 0.55)
+    }
+
+    fn spec(throttle: ThrottleKind, scope: Scope, migration: MigrationKind) -> PolicySpec {
+        PolicySpec::new(throttle, scope, migration)
+    }
+
+    fn run_policy(policy: PolicySpec, traces: Vec<Arc<PowerTrace>>) -> RunResult {
+        let mut sim = ThermalTimingSim::new(
+            SimConfig::fast_test(),
+            DtmConfig::default(),
+            policy,
+            traces,
+        )
+        .expect("construction");
+        sim.run().expect("run")
+    }
+
+    #[test]
+    fn wrong_trace_count_is_rejected() {
+        let err = ThermalTimingSim::new(
+            SimConfig::fast_test(),
+            DtmConfig::default(),
+            PolicySpec::baseline(),
+            vec![hot_int()],
+        );
+        assert!(matches!(err, Err(SimError::BadInput(_))));
+    }
+
+    #[test]
+    fn cool_workload_runs_at_full_speed() {
+        let r = run_policy(
+            spec(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
+            vec![cool(), cool(), cool(), cool()],
+        );
+        assert!(r.duty_cycle > 0.99, "duty = {}", r.duty_cycle);
+        assert!(r.emergency_free());
+        assert_eq!(r.stalls, 0);
+    }
+
+    #[test]
+    fn hot_workload_under_dvfs_is_throttled_but_emergency_free() {
+        let r = run_policy(
+            spec(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
+            vec![hot_int(), hot_int(), hot_int(), hot_int()],
+        );
+        assert!(r.duty_cycle < 0.99, "should throttle, duty = {}", r.duty_cycle);
+        assert!(r.duty_cycle > 0.2, "duty collapsed: {}", r.duty_cycle);
+        assert!(
+            r.emergency_time < 0.002,
+            "emergency time = {}",
+            r.emergency_time
+        );
+        assert!(r.dvfs_transitions > 0);
+    }
+
+    #[test]
+    fn hot_workload_under_stop_go_stalls() {
+        let r = run_policy(
+            spec(ThrottleKind::StopGo, Scope::Distributed, MigrationKind::None),
+            vec![hot_int(), hot_int(), hot_int(), hot_int()],
+        );
+        assert!(r.stalls > 0);
+        assert!(r.duty_cycle < 0.95);
+    }
+
+    #[test]
+    fn global_stop_go_is_worse_with_asymmetric_load() {
+        let asym = vec![hot_int(), warm(), warm(), warm()];
+        let dist = run_policy(
+            spec(ThrottleKind::StopGo, Scope::Distributed, MigrationKind::None),
+            asym.clone(),
+        );
+        let global = run_policy(
+            spec(ThrottleKind::StopGo, Scope::Global, MigrationKind::None),
+            asym,
+        );
+        assert!(
+            global.duty_cycle < dist.duty_cycle,
+            "global {} vs dist {}",
+            global.duty_cycle,
+            dist.duty_cycle
+        );
+    }
+
+    #[test]
+    fn global_dvfs_slows_cool_cores_too() {
+        let asym = vec![hot_int(), warm(), warm(), warm()];
+        let dist = run_policy(
+            spec(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
+            asym.clone(),
+        );
+        let global = run_policy(spec(ThrottleKind::Dvfs, Scope::Global, MigrationKind::None), asym);
+        assert!(
+            global.duty_cycle < dist.duty_cycle,
+            "global {} vs dist {}",
+            global.duty_cycle,
+            dist.duty_cycle
+        );
+    }
+
+    #[test]
+    fn dvfs_beats_stop_go_on_hot_workloads() {
+        let hot = vec![hot_int(), hot_fp(), hot_int(), hot_fp()];
+        let sg = run_policy(
+            spec(ThrottleKind::StopGo, Scope::Distributed, MigrationKind::None),
+            hot.clone(),
+        );
+        let dvfs = run_policy(spec(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None), hot);
+        assert!(
+            dvfs.bips() > sg.bips(),
+            "dvfs {} vs stop-go {}",
+            dvfs.bips(),
+            sg.bips()
+        );
+    }
+
+    #[test]
+    fn counter_migration_fires_on_mixed_workloads() {
+        let mixed = vec![hot_int(), hot_int(), hot_fp(), hot_fp()];
+        let r = run_policy(
+            spec(
+                ThrottleKind::Dvfs,
+                Scope::Distributed,
+                MigrationKind::CounterBased,
+            ),
+            mixed,
+        );
+        assert!(r.migrations > 0, "no migrations happened");
+    }
+
+    #[test]
+    fn sensor_migration_profiles_and_migrates() {
+        let mixed = vec![hot_int(), hot_int(), hot_fp(), hot_fp()];
+        let r = run_policy(
+            spec(
+                ThrottleKind::Dvfs,
+                Scope::Distributed,
+                MigrationKind::SensorBased,
+            ),
+            mixed,
+        );
+        assert!(r.migrations > 0, "no migrations happened");
+    }
+
+    #[test]
+    fn duty_cycle_counts_penalties_as_lost_work() {
+        // A workload migrating often must lose some duty to penalties:
+        // compare no-migration vs counter-based on identical traces and
+        // check duty stays in a sane band.
+        let mixed = vec![hot_int(), hot_int(), hot_fp(), hot_fp()];
+        let r = run_policy(
+            spec(
+                ThrottleKind::Dvfs,
+                Scope::Distributed,
+                MigrationKind::CounterBased,
+            ),
+            mixed,
+        );
+        assert!(r.duty_cycle > 0.0 && r.duty_cycle <= 1.0);
+    }
+
+    #[test]
+    fn unconstrained_threshold_never_throttles() {
+        let r = {
+            let mut sim = ThermalTimingSim::new(
+                SimConfig::fast_test(),
+                DtmConfig::unconstrained(),
+                PolicySpec::baseline(),
+                vec![hot_int(), hot_int(), hot_int(), hot_int()],
+            )
+            .unwrap();
+            sim.run().unwrap()
+        };
+        assert_eq!(r.stalls, 0);
+        assert!((r.duty_cycle - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_records_run() {
+        let mut sim = ThermalTimingSim::new(
+            SimConfig::fast_test(),
+            DtmConfig::default(),
+            PolicySpec::best(),
+            vec![hot_int(), hot_int(), hot_fp(), hot_fp()],
+        )
+        .unwrap();
+        sim.attach_telemetry(Telemetry::every(36));
+        sim.run().unwrap();
+        let tel = sim.take_telemetry().unwrap();
+        assert!(tel.records().len() > 10);
+        let r = &tel.records()[0];
+        assert_eq!(r.sensor_temps.len(), 4);
+        assert_eq!(r.scales.len(), 4);
+    }
+
+    #[test]
+    fn result_is_consistent_mid_run() {
+        let mut sim = ThermalTimingSim::new(
+            SimConfig::fast_test(),
+            DtmConfig::default(),
+            PolicySpec::baseline(),
+            vec![cool(), cool(), cool(), cool()],
+        )
+        .unwrap();
+        for _ in 0..100 {
+            sim.step().unwrap();
+        }
+        let r = sim.result();
+        assert_eq!(r.cores, 4);
+        assert!(r.instructions > 0.0);
+        assert!(r.duration > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod energy_and_policy_tests {
+    use super::*;
+    use crate::migration::RotationMigration;
+    use crate::policy::MigrationKind;
+    use dtm_power::CorePowerSample;
+    use dtm_thermal::SensorSpec;
+
+    fn trace(int_rf: f64, fp_rf: f64, base: f64) -> Arc<PowerTrace> {
+        let mut s = CorePowerSample::zero();
+        s.units = [
+            base, base, base, base, base, base, base * 0.5, int_rf, fp_rf, base, base * 0.8,
+            base, base * 0.4,
+        ];
+        s.l2 = 0.2;
+        s.instructions = 150_000;
+        s.int_rf_per_cycle = 10.0 * int_rf;
+        s.fp_rf_per_cycle = 10.0 * fp_rf;
+        Arc::new(PowerTrace::new("t", 1.0e5 / 3.6e9, vec![s]))
+    }
+
+    fn quad(int_rf: f64, fp_rf: f64, base: f64) -> Vec<Arc<PowerTrace>> {
+        (0..4).map(|_| trace(int_rf, fp_rf, base)).collect()
+    }
+
+    #[test]
+    fn energy_accumulates_and_scales_with_duration() {
+        let mut short = ThermalTimingSim::new(
+            SimConfig {
+                duration: 0.01,
+                ..SimConfig::default()
+            },
+            DtmConfig::unconstrained(),
+            PolicySpec::baseline(),
+            quad(1.0, 0.2, 0.4),
+        )
+        .unwrap();
+        let rs = short.run().unwrap();
+        let mut long = ThermalTimingSim::new(
+            SimConfig {
+                duration: 0.02,
+                ..SimConfig::default()
+            },
+            DtmConfig::unconstrained(),
+            PolicySpec::baseline(),
+            quad(1.0, 0.2, 0.4),
+        )
+        .unwrap();
+        let rl = long.run().unwrap();
+        assert!(rs.energy > 0.0);
+        // Unthrottled constant workload: energy is close to linear in
+        // duration (leakage drifts slightly with temperature).
+        let ratio = rl.energy / rs.energy;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+        assert!(rs.avg_power() > 5.0 && rs.avg_power() < 200.0);
+    }
+
+    #[test]
+    fn throttled_run_uses_less_energy_than_unthrottled() {
+        let make = |dtm: DtmConfig| {
+            let mut sim = ThermalTimingSim::new(
+                SimConfig::fast_test(),
+                dtm,
+                PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
+                quad(2.6, 0.2, 0.6),
+            )
+            .unwrap();
+            sim.run().unwrap()
+        };
+        let throttled = make(DtmConfig::default());
+        let free = make(DtmConfig::unconstrained());
+        assert!(throttled.energy < free.energy);
+        // And the throttled run is more efficient per instruction (cubic
+        // power at sub-nominal voltage).
+        assert!(
+            throttled.energy_per_instruction_nj() < free.energy_per_instruction_nj(),
+            "throttled EPI {} vs free {}",
+            throttled.energy_per_instruction_nj(),
+            free.energy_per_instruction_nj()
+        );
+    }
+
+    #[test]
+    fn custom_rotation_policy_can_be_injected() {
+        let mut sim = ThermalTimingSim::new(
+            SimConfig::fast_test(),
+            DtmConfig::default(),
+            PolicySpec::new(
+                ThrottleKind::StopGo,
+                Scope::Distributed,
+                MigrationKind::CounterBased,
+            ),
+            quad(2.6, 0.3, 0.6),
+        )
+        .unwrap();
+        sim.set_migration_policy(Box::new(RotationMigration::new()));
+        let r = sim.run().unwrap();
+        assert!(r.migrations > 0, "rotation never fired");
+    }
+
+    #[test]
+    fn noisy_sensors_still_regulate() {
+        let mut sim = ThermalTimingSim::new(
+            SimConfig {
+                sensor: SensorSpec {
+                    noise_std: 1.0,
+                    quantization: 0.5,
+                    offset: 0.0,
+                },
+                ..SimConfig::fast_test()
+            },
+            DtmConfig::default(),
+            PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
+            quad(2.6, 0.2, 0.6),
+        )
+        .unwrap();
+        let r = sim.run().unwrap();
+        // Regulation holds within the noise amplitude.
+        assert!(r.emergency_time < 0.1 * r.duration, "emergency {}", r.emergency_time);
+        assert!(r.duty_cycle > 0.2);
+    }
+
+    #[test]
+    fn global_dvfs_keeps_cores_in_lockstep() {
+        let mut sim = ThermalTimingSim::new(
+            SimConfig::fast_test(),
+            DtmConfig::default(),
+            PolicySpec::new(ThrottleKind::Dvfs, Scope::Global, MigrationKind::None),
+            vec![
+                trace(2.6, 0.2, 0.6),
+                trace(0.4, 0.1, 0.2),
+                trace(0.4, 0.1, 0.2),
+                trace(0.4, 0.1, 0.2),
+            ],
+        )
+        .unwrap();
+        sim.attach_telemetry(Telemetry::every(100));
+        sim.run().unwrap();
+        let tel = sim.take_telemetry().unwrap();
+        for rec in tel.records() {
+            let s0 = rec.scales[0];
+            for &s in &rec.scales[1..] {
+                // All cores share the single PI controller's output
+                // (individual cores may be 0 when paying a penalty).
+                if s > 0.0 && s0 > 0.0 {
+                    assert!((s - s0).abs() < 1e-12, "scales diverged: {s} vs {s0}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod asymmetric_tests {
+    use super::*;
+    use crate::policy::MigrationKind;
+    use dtm_power::CorePowerSample;
+
+    fn trace() -> Arc<PowerTrace> {
+        let mut s = CorePowerSample::zero();
+        s.units = [0.3; dtm_power::N_CORE_UNITS];
+        s.instructions = 150_000;
+        Arc::new(PowerTrace::new("t", 1.0e5 / 3.6e9, vec![s]))
+    }
+
+    #[test]
+    fn asymmetric_ceilings_cap_throughput() {
+        let cfg = SimConfig {
+            duration: 0.01,
+            core_max_scale: vec![1.0, 1.0, 0.5, 0.5],
+            ..SimConfig::default()
+        };
+        let mut sim = ThermalTimingSim::new(
+            cfg,
+            DtmConfig::unconstrained(),
+            PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
+            (0..4).map(|_| trace()).collect(),
+        )
+        .unwrap();
+        let r = sim.run().unwrap();
+        // Two full cores + two half-speed cores, unthrottled: duty = 75%.
+        assert!((r.duty_cycle - 0.75).abs() < 0.01, "duty {}", r.duty_cycle);
+        let full = r.threads[0].scaled_work;
+        let slow = r.threads[2].scaled_work;
+        assert!((slow / full - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn mismatched_ceiling_vector_is_rejected() {
+        let cfg = SimConfig {
+            core_max_scale: vec![1.0, 0.5],
+            ..SimConfig::fast_test()
+        };
+        let err = ThermalTimingSim::new(
+            cfg,
+            DtmConfig::default(),
+            PolicySpec::baseline(),
+            (0..4).map(|_| trace()).collect(),
+        );
+        assert!(matches!(err, Err(SimError::BadInput(_))));
+    }
+
+    #[test]
+    fn out_of_range_ceiling_is_rejected() {
+        let cfg = SimConfig {
+            core_max_scale: vec![1.0, 1.5, 1.0, 1.0],
+            ..SimConfig::fast_test()
+        };
+        let err = ThermalTimingSim::new(
+            cfg,
+            DtmConfig::default(),
+            PolicySpec::baseline(),
+            (0..4).map(|_| trace()).collect(),
+        );
+        assert!(matches!(err, Err(SimError::BadInput(_))));
+    }
+}

@@ -1,0 +1,171 @@
+//! Run metrics: instruction throughput (BIPS) and the adjusted duty
+//! cycle (§3.5 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-thread accounting for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Instructions retired.
+    pub instructions: f64,
+    /// Work time weighted by frequency scale (s of full-speed-equivalent
+    /// execution).
+    pub scaled_work: f64,
+    /// Number of times the thread migrated.
+    pub migrations: u64,
+}
+
+/// The result of one (workload, policy) simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Simulated duration (s).
+    pub duration: f64,
+    /// Number of cores.
+    pub cores: usize,
+    /// Total instructions retired across all threads.
+    pub instructions: f64,
+    /// Adjusted duty cycle: scaled work over total possible work.
+    pub duty_cycle: f64,
+    /// Hottest sensor reading observed (°C).
+    pub max_temp: f64,
+    /// Total time any sensor spent above the emergency threshold (s).
+    pub emergency_time: f64,
+    /// Migrations performed.
+    pub migrations: u64,
+    /// DVFS transitions applied.
+    pub dvfs_transitions: u64,
+    /// Stop-go stalls issued.
+    pub stalls: u64,
+    /// Total energy dissipated by the chip over the run (J), including
+    /// leakage.
+    pub energy: f64,
+    /// Per-thread statistics.
+    pub threads: Vec<ThreadStats>,
+}
+
+impl RunResult {
+    /// Instruction throughput in billions of instructions per second.
+    pub fn bips(&self) -> f64 {
+        self.instructions / self.duration / 1e9
+    }
+
+    /// Throughput relative to a baseline run.
+    pub fn relative_throughput(&self, baseline: &RunResult) -> f64 {
+        self.bips() / baseline.bips()
+    }
+
+    /// Whether the run avoided all thermal emergencies.
+    pub fn emergency_free(&self) -> bool {
+        self.emergency_time == 0.0
+    }
+
+    /// Average chip power over the run (W).
+    pub fn avg_power(&self) -> f64 {
+        self.energy / self.duration
+    }
+
+    /// Energy per instruction (nJ) — an efficiency view of the policy.
+    pub fn energy_per_instruction_nj(&self) -> f64 {
+        if self.instructions == 0.0 {
+            0.0
+        } else {
+            1e9 * self.energy / self.instructions
+        }
+    }
+}
+
+/// Mean of a slice of values.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(instructions: f64, duration: f64) -> RunResult {
+        RunResult {
+            duration,
+            cores: 4,
+            instructions,
+            duty_cycle: 0.5,
+            max_temp: 80.0,
+            emergency_time: 0.0,
+            migrations: 0,
+            dvfs_transitions: 0,
+            stalls: 0,
+            energy: 5.0,
+            threads: vec![],
+        }
+    }
+
+    #[test]
+    fn bips_computes() {
+        let r = result(2.5e9, 0.5);
+        assert!((r.bips() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_throughput_ratios() {
+        let a = result(10e9, 0.5);
+        let b = result(4e9, 0.5);
+        assert!((a.relative_throughput(&b) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emergency_free_flag() {
+        let mut r = result(1e9, 0.5);
+        assert!(r.emergency_free());
+        r.emergency_time = 1e-3;
+        assert!(!r.emergency_free());
+    }
+
+    #[test]
+    fn energy_metrics() {
+        let r = result(1e9, 0.5);
+        assert!((r.avg_power() - 10.0).abs() < 1e-12);
+        assert!((r.energy_per_instruction_nj() - 5.0).abs() < 1e-12);
+        let idle = RunResult {
+            instructions: 0.0,
+            ..result(1.0, 0.5)
+        };
+        assert_eq!(idle.energy_per_instruction_nj(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_geomean() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+}

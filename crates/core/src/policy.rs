@@ -1,0 +1,177 @@
+//! The DTM policy taxonomy (Table 2): three orthogonal axes forming
+//! twelve thermal-management schemes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Low-level throttling mechanism (first axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThrottleKind {
+    /// Stop-go / global clock gating: freeze the core for a fixed stall
+    /// interval when a sensor trips.
+    StopGo,
+    /// Control-theoretic DVFS: a clipped PI controller continuously
+    /// selects a voltage/frequency scaling factor.
+    Dvfs,
+}
+
+/// Scope at which the throttle acts (second axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// One decision for the whole chip (all cores stall/scale together).
+    Global,
+    /// Independent per-core decisions.
+    Distributed,
+}
+
+/// OS-level process migration policy (third axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MigrationKind {
+    /// Threads never move.
+    None,
+    /// Performance-counter proxies estimate per-thread resource
+    /// intensities (Figure 4's algorithm).
+    CounterBased,
+    /// An OS-maintained thread×core thermal-trend table fed by the PI
+    /// controllers' telemetry (Figure 6's flow).
+    SensorBased,
+}
+
+/// One cell of Table 2: a complete thermal-management scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// Throttle mechanism.
+    pub throttle: ThrottleKind,
+    /// Global or distributed application.
+    pub scope: Scope,
+    /// Migration policy layered on top.
+    pub migration: MigrationKind,
+}
+
+impl PolicySpec {
+    /// Builds a policy from its three axes.
+    pub fn new(throttle: ThrottleKind, scope: Scope, migration: MigrationKind) -> Self {
+        PolicySpec {
+            throttle,
+            scope,
+            migration,
+        }
+    }
+
+    /// The paper's baseline: distributed stop-go, no migration.
+    pub fn baseline() -> Self {
+        PolicySpec::new(ThrottleKind::StopGo, Scope::Distributed, MigrationKind::None)
+    }
+
+    /// The paper's best performer: distributed DVFS + sensor-based
+    /// migration (the two-loop design).
+    pub fn best() -> Self {
+        PolicySpec::new(
+            ThrottleKind::Dvfs,
+            Scope::Distributed,
+            MigrationKind::SensorBased,
+        )
+    }
+
+    /// All twelve policy combinations, in Table 2's reading order
+    /// (migration axis outermost, then scope, then throttle).
+    pub fn all() -> Vec<PolicySpec> {
+        let mut v = Vec::with_capacity(12);
+        for migration in [
+            MigrationKind::None,
+            MigrationKind::CounterBased,
+            MigrationKind::SensorBased,
+        ] {
+            for scope in [Scope::Global, Scope::Distributed] {
+                for throttle in [ThrottleKind::StopGo, ThrottleKind::Dvfs] {
+                    v.push(PolicySpec::new(throttle, scope, migration));
+                }
+            }
+        }
+        v
+    }
+
+    /// Short name in the paper's style, e.g. `Dist. DVFS + sensor-based
+    /// migration`.
+    pub fn name(&self) -> String {
+        let scope = match self.scope {
+            Scope::Global => "Global",
+            Scope::Distributed => "Dist.",
+        };
+        let throttle = match self.throttle {
+            ThrottleKind::StopGo => "stop-go",
+            ThrottleKind::Dvfs => "DVFS",
+        };
+        let migration = match self.migration {
+            MigrationKind::None => "",
+            MigrationKind::CounterBased => " + counter-based migration",
+            MigrationKind::SensorBased => " + sensor-based migration",
+        };
+        format!("{scope} {throttle}{migration}")
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_twelve_policies() {
+        let all = PolicySpec::all();
+        assert_eq!(all.len(), 12);
+        // All distinct.
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_is_distributed_stop_go() {
+        let b = PolicySpec::baseline();
+        assert_eq!(b.throttle, ThrottleKind::StopGo);
+        assert_eq!(b.scope, Scope::Distributed);
+        assert_eq!(b.migration, MigrationKind::None);
+        assert!(PolicySpec::all().contains(&b));
+    }
+
+    #[test]
+    fn best_policy_is_two_loop_design() {
+        let b = PolicySpec::best();
+        assert_eq!(b.name(), "Dist. DVFS + sensor-based migration");
+    }
+
+    #[test]
+    fn names_match_paper_style() {
+        assert_eq!(
+            PolicySpec::new(ThrottleKind::StopGo, Scope::Global, MigrationKind::None).name(),
+            "Global stop-go"
+        );
+        assert_eq!(
+            PolicySpec::new(
+                ThrottleKind::Dvfs,
+                Scope::Global,
+                MigrationKind::CounterBased
+            )
+            .name(),
+            "Global DVFS + counter-based migration"
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = PolicySpec::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! High-level experiment driver: workloads × policies → metrics.
+
+use crate::config::{DtmConfig, SimConfig};
+use crate::engine::{SimError, ThermalTimingSim};
+use crate::metrics::RunResult;
+use crate::policy::PolicySpec;
+use crate::telemetry::Telemetry;
+use dtm_workloads::{Benchmark, TraceLibrary, Workload};
+use std::sync::Arc;
+
+/// A reusable experiment context: one trace library plus the simulation
+/// and DTM configurations shared by all runs.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dtm_core::{Experiment, PolicySpec};
+/// use dtm_workloads::standard_workloads;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let exp = Experiment::paper_defaults();
+/// let w = &standard_workloads()[0];
+/// let baseline = exp.run(w, PolicySpec::baseline())?;
+/// let best = exp.run(w, PolicySpec::best())?;
+/// println!("speedup: {:.2}×", best.relative_throughput(&baseline));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Experiment {
+    lib: TraceLibrary,
+    sim: SimConfig,
+    dtm: DtmConfig,
+}
+
+impl Experiment {
+    /// Creates a context with explicit configurations.
+    pub fn new(lib: TraceLibrary, sim: SimConfig, dtm: DtmConfig) -> Self {
+        Experiment { lib, sim, dtm }
+    }
+
+    /// The study's configuration: 4 cores, 0.5 s runs, 84.2 °C limit.
+    /// Traces are cached on disk under `target/trace-cache` so repeated
+    /// experiment processes skip regeneration.
+    pub fn paper_defaults() -> Self {
+        Experiment::new(
+            TraceLibrary::default().with_disk_cache("target/trace-cache"),
+            SimConfig::default(),
+            DtmConfig::default(),
+        )
+    }
+
+    /// A fast configuration for tests: short traces and runs.
+    pub fn fast_test() -> Self {
+        Experiment::new(
+            TraceLibrary::new(dtm_workloads::TraceGenConfig::fast_test()),
+            SimConfig::fast_test(),
+            DtmConfig::default(),
+        )
+    }
+
+    /// The trace library (exposed for cache pre-warming).
+    pub fn library(&self) -> &TraceLibrary {
+        &self.lib
+    }
+
+    /// The simulation configuration.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// The DTM configuration.
+    pub fn dtm_config(&self) -> &DtmConfig {
+        &self.dtm
+    }
+
+    /// Replaces the DTM configuration (e.g. for threshold sweeps).
+    pub fn with_dtm(mut self, dtm: DtmConfig) -> Self {
+        self.dtm = dtm;
+        self
+    }
+
+    /// Builds a simulator for one workload and policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThermalTimingSim::new`].
+    pub fn build(
+        &self,
+        workload: &Workload,
+        policy: PolicySpec,
+    ) -> Result<ThermalTimingSim, SimError> {
+        let traces = workload
+            .resolve()
+            .iter()
+            .map(|b| self.lib.trace(b))
+            .collect();
+        ThermalTimingSim::new(self.sim.clone(), self.dtm, policy, traces)
+    }
+
+    /// Runs one workload under one policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThermalTimingSim::new`] and [`ThermalTimingSim::run`].
+    pub fn run(&self, workload: &Workload, policy: PolicySpec) -> Result<RunResult, SimError> {
+        self.build(workload, policy)?.run()
+    }
+
+    /// Runs one workload under one policy while recording telemetry
+    /// every `stride` steps.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThermalTimingSim::run`].
+    pub fn run_with_telemetry(
+        &self,
+        workload: &Workload,
+        policy: PolicySpec,
+        stride: usize,
+    ) -> Result<(RunResult, Telemetry), SimError> {
+        let mut sim = self.build(workload, policy)?;
+        sim.attach_telemetry(Telemetry::every(stride));
+        let result = sim.run()?;
+        let telemetry = sim.take_telemetry().expect("telemetry was attached");
+        Ok((result, telemetry))
+    }
+}
+
+/// Steady-state temperature summary of one benchmark on a single core
+/// with no thermal constraint — the Table 1 reproduction primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyTempSummary {
+    /// Mean hottest-sensor temperature over the analysis window (°C).
+    pub mean: f64,
+    /// Minimum over the window (°C).
+    pub min: f64,
+    /// Maximum over the window (°C).
+    pub max: f64,
+}
+
+impl SteadyTempSummary {
+    /// Whether the benchmark holds a steady temperature (the paper's
+    /// Table 1a vs 1b distinction), given an oscillation tolerance (°C).
+    pub fn is_steady(&self, tolerance: f64) -> bool {
+        self.max - self.min <= tolerance
+    }
+}
+
+/// Runs `bench` alone on a single-core chip with no thermal limit and
+/// summarizes the hottest sensor over the second half of the run.
+///
+/// # Errors
+///
+/// Propagates simulator construction/run failures.
+pub fn unconstrained_steady_temp(
+    bench: &Benchmark,
+    lib: &TraceLibrary,
+    duration: f64,
+) -> Result<SteadyTempSummary, SimError> {
+    let sim_cfg = SimConfig {
+        cores: 1,
+        duration,
+        ..SimConfig::default()
+    };
+    let dtm = DtmConfig::unconstrained();
+    let trace = lib.trace(bench);
+    let mut sim = ThermalTimingSim::new(sim_cfg, dtm, PolicySpec::baseline(), vec![Arc::clone(&trace)])?;
+    sim.attach_telemetry(Telemetry::every(36)); // ~1 ms resolution
+    sim.run()?;
+    let telemetry = sim.take_telemetry().expect("attached above");
+    let records = telemetry.records();
+    let half = records.len() / 2;
+    let window = &records[half..];
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for r in window {
+        let hot = r.sensor_temps[0][0].max(r.sensor_temps[0][1]);
+        min = min.min(hot);
+        max = max.max(hot);
+        sum += hot;
+    }
+    Ok(SteadyTempSummary {
+        mean: sum / window.len() as f64,
+        min,
+        max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_summary_classification() {
+        let s = SteadyTempSummary {
+            mean: 70.0,
+            min: 69.4,
+            max: 70.4,
+        };
+        assert!(s.is_steady(1.5));
+        let o = SteadyTempSummary {
+            mean: 69.0,
+            min: 66.0,
+            max: 72.0,
+        };
+        assert!(!o.is_steady(1.5));
+    }
+}

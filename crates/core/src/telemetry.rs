@@ -1,0 +1,98 @@
+//! Time-series recording for trace plots (Figure 5 reproduction).
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded instant of a simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryRecord {
+    /// Simulation time (s).
+    pub time: f64,
+    /// Per-core hotspot sensor readings `[int_rf, fp_rf]` (°C).
+    pub sensor_temps: Vec<[f64; 2]>,
+    /// Per-core effective frequency scale factors.
+    pub scales: Vec<f64>,
+    /// Core → thread assignment.
+    pub assignment: Vec<usize>,
+}
+
+/// A sampling recorder attached to a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    every: usize,
+    counter: usize,
+    records: Vec<TelemetryRecord>,
+}
+
+impl Telemetry {
+    /// Records every `every`-th simulation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn every(every: usize) -> Self {
+        assert!(every > 0, "sampling stride must be positive");
+        Telemetry {
+            every,
+            counter: 0,
+            records: Vec::new(),
+        }
+    }
+
+    /// Offers a record; keeps it if the stride matches.
+    pub fn offer(&mut self, record: impl FnOnce() -> TelemetryRecord) {
+        if self.counter % self.every == 0 {
+            self.records.push(record());
+        }
+        self.counter += 1;
+    }
+
+    /// The recorded series.
+    pub fn records(&self) -> &[TelemetryRecord] {
+        &self.records
+    }
+
+    /// Consumes the recorder, returning its records.
+    pub fn into_records(self) -> Vec<TelemetryRecord> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64) -> TelemetryRecord {
+        TelemetryRecord {
+            time: t,
+            sensor_temps: vec![[50.0, 51.0]],
+            scales: vec![1.0],
+            assignment: vec![0],
+        }
+    }
+
+    #[test]
+    fn records_every_nth() {
+        let mut t = Telemetry::every(3);
+        for i in 0..10 {
+            t.offer(|| rec(i as f64));
+        }
+        let times: Vec<f64> = t.records().iter().map(|r| r.time).collect();
+        assert_eq!(times, vec![0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn every_one_records_all() {
+        let mut t = Telemetry::every(1);
+        for i in 0..5 {
+            t.offer(|| rec(i as f64));
+        }
+        assert_eq!(t.records().len(), 5);
+        assert_eq!(t.into_records().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        Telemetry::every(0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Rectangular floorplan blocks and microarchitectural unit kinds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The microarchitectural unit a floorplan block implements.
+///
+/// The per-core set matches the out-of-order PowerPC-class core of the
+/// ISCA'06 study (Table 3): two fixed-point units, two floating-point
+/// units, two load/store units, one branch unit, separate integer and
+/// floating-point register files (the study's canonical hotspots), rename
+/// logic, split issue queues, a combined branch predictor, fetch logic,
+/// and split L1 caches. `L2` is the shared cache bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UnitKind {
+    /// Instruction fetch and decode logic.
+    Fetch,
+    /// Combined bimodal + gshare + selector branch predictor arrays.
+    BranchPred,
+    /// L1 instruction cache (64 KB, 2-way).
+    Icache,
+    /// L1 data cache (32 KB, 2-way).
+    Dcache,
+    /// Register rename and dispatch logic.
+    Rename,
+    /// Memory/integer issue queues (2×20 entries).
+    IssueInt,
+    /// Floating-point issue queues (2×5 entries).
+    IssueFp,
+    /// Integer register file and its access logic (120 GPR + 90 SPR).
+    IntRegFile,
+    /// Floating-point register file and its access logic (108 FPR).
+    FpRegFile,
+    /// Fixed-point execution units (×2).
+    Fxu,
+    /// Floating-point execution units (×2).
+    Fpu,
+    /// Load/store units (×2).
+    Lsu,
+    /// Branch execution unit.
+    Bxu,
+    /// Shared L2 cache (4 MB, 4-way).
+    L2,
+}
+
+impl UnitKind {
+    /// The units instantiated once per core, in canonical order.
+    pub fn per_core() -> &'static [UnitKind] {
+        use UnitKind::*;
+        &[
+            Fetch, BranchPred, Icache, Dcache, Rename, IssueInt, IssueFp, IntRegFile, FpRegFile,
+            Fxu, Fpu, Lsu, Bxu,
+        ]
+    }
+
+    /// All unit kinds including shared ones.
+    pub fn all() -> &'static [UnitKind] {
+        use UnitKind::*;
+        &[
+            Fetch, BranchPred, Icache, Dcache, Rename, IssueInt, IssueFp, IntRegFile, FpRegFile,
+            Fxu, Fpu, Lsu, Bxu, L2,
+        ]
+    }
+
+    /// Short lowercase mnemonic used in block names (`core0_intrf` etc.).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnitKind::Fetch => "fetch",
+            UnitKind::BranchPred => "bpred",
+            UnitKind::Icache => "icache",
+            UnitKind::Dcache => "dcache",
+            UnitKind::Rename => "rename",
+            UnitKind::IssueInt => "issint",
+            UnitKind::IssueFp => "issfp",
+            UnitKind::IntRegFile => "intrf",
+            UnitKind::FpRegFile => "fprf",
+            UnitKind::Fxu => "fxu",
+            UnitKind::Fpu => "fpu",
+            UnitKind::Lsu => "lsu",
+            UnitKind::Bxu => "bxu",
+            UnitKind::L2 => "l2",
+        }
+    }
+
+    /// Whether this kind hosts a thermal sensor in the study (the two
+    /// register files are the sensed hotspots).
+    pub fn is_sensed_hotspot(self) -> bool {
+        matches!(self, UnitKind::IntRegFile | UnitKind::FpRegFile)
+    }
+}
+
+impl fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// An axis-aligned rectangular block on the die.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    name: String,
+    kind: UnitKind,
+    core: Option<usize>,
+    x: f64,
+    y: f64,
+    width: f64,
+    height: f64,
+}
+
+impl Block {
+    /// Creates a block with lower-left corner `(x, y)` and the given
+    /// dimensions, all in meters. `core` is `None` for shared blocks.
+    pub fn new(
+        name: impl Into<String>,
+        kind: UnitKind,
+        core: Option<usize>,
+        x: f64,
+        y: f64,
+        width: f64,
+        height: f64,
+    ) -> Self {
+        Block {
+            name: name.into(),
+            kind,
+            core,
+            x,
+            y,
+            width,
+            height,
+        }
+    }
+
+    /// Unique block name, e.g. `core2_fprf`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The microarchitectural unit this block implements.
+    pub fn kind(&self) -> UnitKind {
+        self.kind
+    }
+
+    /// Owning core index, or `None` for shared blocks (L2).
+    pub fn core(&self) -> Option<usize> {
+        self.core
+    }
+
+    /// Left edge x-coordinate (m).
+    pub fn left(&self) -> f64 {
+        self.x
+    }
+
+    /// Right edge x-coordinate (m).
+    pub fn right(&self) -> f64 {
+        self.x + self.width
+    }
+
+    /// Bottom edge y-coordinate (m).
+    pub fn bottom(&self) -> f64 {
+        self.y
+    }
+
+    /// Top edge y-coordinate (m).
+    pub fn top(&self) -> f64 {
+        self.y + self.height
+    }
+
+    /// Width (m).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Height (m).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Area (m²).
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Center point `(x, y)` (m).
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// Returns a copy translated by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Block {
+        let mut b = self.clone();
+        b.x += dx;
+        b.y += dy;
+        b
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] @({:.3e},{:.3e}) {:.3e}×{:.3e} m",
+            self.name, self.kind, self.x, self.y, self.width, self.height
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_core_units_are_distinct() {
+        let units = UnitKind::per_core();
+        for (i, a) in units.iter().enumerate() {
+            for b in &units[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(units.len(), 13);
+    }
+
+    #[test]
+    fn all_includes_l2() {
+        assert!(UnitKind::all().contains(&UnitKind::L2));
+        assert_eq!(UnitKind::all().len(), 14);
+    }
+
+    #[test]
+    fn only_register_files_are_sensed() {
+        for k in UnitKind::all() {
+            let sensed = k.is_sensed_hotspot();
+            let is_rf = matches!(k, UnitKind::IntRegFile | UnitKind::FpRegFile);
+            assert_eq!(sensed, is_rf, "{k}");
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let all = UnitKind::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.mnemonic(), b.mnemonic());
+            }
+        }
+    }
+
+    #[test]
+    fn block_geometry_accessors() {
+        let b = Block::new("t", UnitKind::Fxu, Some(1), 1.0, 2.0, 3.0, 4.0);
+        assert_eq!(b.left(), 1.0);
+        assert_eq!(b.right(), 4.0);
+        assert_eq!(b.bottom(), 2.0);
+        assert_eq!(b.top(), 6.0);
+        assert_eq!(b.area(), 12.0);
+        assert_eq!(b.center(), (2.5, 4.0));
+        assert_eq!(b.core(), Some(1));
+    }
+
+    #[test]
+    fn translated_moves_block() {
+        let b = Block::new("t", UnitKind::Fxu, None, 0.0, 0.0, 1.0, 1.0);
+        let t = b.translated(5.0, -2.0);
+        assert_eq!(t.left(), 5.0);
+        assert_eq!(t.bottom(), -2.0);
+        assert_eq!(t.width(), 1.0);
+        assert_eq!(t.name(), "t");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let b = Block::new("t", UnitKind::L2, None, 0.0, 0.0, 1.0, 1.0);
+        assert!(!format!("{b}").is_empty());
+        assert!(!format!("{:?}", b).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for floorplan geometry.
+
+use dtm_floorplan::{Block, CoreTemplate, Floorplan, UnitKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any scaled instantiation of the stock core template produces a
+    /// valid floorplan for any supported core count.
+    #[test]
+    fn scaled_templates_validate(
+        scale in 0.5f64..3.0,
+        cores in 1usize..7,
+    ) {
+        let stock = CoreTemplate::ppc_core();
+        let template = CoreTemplate::new(
+            stock.units().to_vec(),
+            stock.core_width * scale,
+            stock.core_height * scale,
+        );
+        // Instantiate manually into a row of cores; geometry must hold.
+        let mut blocks = Vec::new();
+        for c in 0..cores {
+            blocks.extend(template.instantiate(c, c as f64 * template.core_width, 0.0));
+        }
+        let fp = Floorplan::from_blocks(
+            blocks,
+            cores as f64 * template.core_width,
+            template.core_height,
+        );
+        prop_assert!(fp.validate().is_ok());
+    }
+
+    /// Shared-edge computation is symmetric and bounded by the smaller
+    /// block's perimeter for arbitrary abutting rectangles.
+    #[test]
+    fn shared_edges_are_symmetric_and_bounded(
+        w1 in 0.1f64..2.0,
+        h1 in 0.1f64..2.0,
+        w2 in 0.1f64..2.0,
+        h2 in 0.1f64..2.0,
+        dy in -1.5f64..1.5,
+    ) {
+        // Block B abuts block A's right edge at vertical offset dy.
+        let a = Block::new("a", UnitKind::Fxu, None, 0.0, 0.0, w1, h1);
+        let b = Block::new("b", UnitKind::Fpu, None, w1, dy, w2, h2);
+        let fp = Floorplan::from_blocks(vec![a, b], w1 + w2, 4.0);
+        let e01 = fp.shared_edge(0, 1);
+        let e10 = fp.shared_edge(1, 0);
+        prop_assert!((e01 - e10).abs() < 1e-12);
+        prop_assert!(e01 <= h1.min(h2) + 1e-12);
+        prop_assert!(e01 >= 0.0);
+    }
+
+    /// Adjacency lists never pair a block with itself, and every listed
+    /// pair genuinely shares an edge.
+    #[test]
+    fn adjacency_pairs_are_real(cores in 1usize..5) {
+        let fp = Floorplan::ppc_cmp(cores);
+        for (i, j, e) in fp.adjacency() {
+            prop_assert!(i != j);
+            prop_assert!(e > 0.0);
+            prop_assert!((fp.shared_edge(i, j) - e).abs() < 1e-12);
+        }
+    }
+
+    /// Translation preserves area and dimensions.
+    #[test]
+    fn translation_is_rigid(
+        x in -5.0f64..5.0,
+        y in -5.0f64..5.0,
+        w in 0.1f64..2.0,
+        h in 0.1f64..2.0,
+        dx in -3.0f64..3.0,
+        dy in -3.0f64..3.0,
+    ) {
+        let b = Block::new("b", UnitKind::Lsu, Some(0), x, y, w, h);
+        let t = b.translated(dx, dy);
+        prop_assert!((t.area() - b.area()).abs() < 1e-12);
+        prop_assert!((t.left() - (x + dx)).abs() < 1e-12);
+        prop_assert!((t.top() - (y + h + dy)).abs() < 1e-12);
+    }
+}

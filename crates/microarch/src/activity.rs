@@ -1,0 +1,194 @@
+//! Per-interval activity counters — the interface between the
+//! performance model and the power model, and the source of the
+//! counter-based migration policy's thermal proxies.
+
+use serde::{Deserialize, Serialize};
+
+/// Event counts accumulated over one simulation interval.
+///
+/// Each field corresponds to a floorplan unit's activity; the power model
+/// multiplies them by per-access energies. `int_rf_accesses` and
+/// `fp_rf_accesses` are also the performance counters consumed by the
+/// counter-based migration policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityCounters {
+    /// Cycles covered by this interval.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Fetch-stage operations.
+    pub fetches: u64,
+    /// Branch-predictor lookups.
+    pub bpred_lookups: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// L1 I-cache accesses.
+    pub icache_accesses: u64,
+    /// L1 D-cache accesses.
+    pub dcache_accesses: u64,
+    /// Rename/dispatch operations.
+    pub rename_ops: u64,
+    /// Instructions issued from the mem/int queues.
+    pub issue_int: u64,
+    /// Instructions issued from the FP queues.
+    pub issue_fp: u64,
+    /// Integer register-file accesses (reads + writes).
+    pub int_rf_accesses: u64,
+    /// FP register-file accesses (reads + writes).
+    pub fp_rf_accesses: u64,
+    /// Fixed-point unit operations.
+    pub fxu_ops: u64,
+    /// Floating-point unit operations.
+    pub fpu_ops: u64,
+    /// Load/store unit operations.
+    pub lsu_ops: u64,
+    /// Branch unit operations.
+    pub bxu_ops: u64,
+    /// L2 accesses (L1 misses).
+    pub l2_accesses: u64,
+    /// Main-memory accesses (L2 misses).
+    pub mem_accesses: u64,
+}
+
+impl ActivityCounters {
+    /// Instructions per cycle over the interval (0 for empty intervals).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Integer register-file accesses per cycle — the counter-based
+    /// migration policy's proxy for integer-RF thermal intensity.
+    pub fn int_rf_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.int_rf_accesses as f64 / self.cycles as f64
+        }
+    }
+
+    /// FP register-file accesses per cycle.
+    pub fn fp_rf_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fp_rf_accesses as f64 / self.cycles as f64
+        }
+    }
+
+    /// Element-wise sum of two intervals.
+    pub fn merged(&self, other: &ActivityCounters) -> ActivityCounters {
+        ActivityCounters {
+            cycles: self.cycles + other.cycles,
+            instructions: self.instructions + other.instructions,
+            fetches: self.fetches + other.fetches,
+            bpred_lookups: self.bpred_lookups + other.bpred_lookups,
+            mispredicts: self.mispredicts + other.mispredicts,
+            icache_accesses: self.icache_accesses + other.icache_accesses,
+            dcache_accesses: self.dcache_accesses + other.dcache_accesses,
+            rename_ops: self.rename_ops + other.rename_ops,
+            issue_int: self.issue_int + other.issue_int,
+            issue_fp: self.issue_fp + other.issue_fp,
+            int_rf_accesses: self.int_rf_accesses + other.int_rf_accesses,
+            fp_rf_accesses: self.fp_rf_accesses + other.fp_rf_accesses,
+            fxu_ops: self.fxu_ops + other.fxu_ops,
+            fpu_ops: self.fpu_ops + other.fpu_ops,
+            lsu_ops: self.lsu_ops + other.lsu_ops,
+            bxu_ops: self.bxu_ops + other.bxu_ops,
+            l2_accesses: self.l2_accesses + other.l2_accesses,
+            mem_accesses: self.mem_accesses + other.mem_accesses,
+        }
+    }
+
+    /// Scales event counts (not `cycles`) by an integer factor —
+    /// used when a short simulated burst stands in for a longer interval
+    /// (statistical sampling), so rates per cycle stay constant after the
+    /// cycle count is scaled by the caller.
+    pub fn scaled(&self, factor: u64) -> ActivityCounters {
+        ActivityCounters {
+            cycles: self.cycles * factor,
+            instructions: self.instructions * factor,
+            fetches: self.fetches * factor,
+            bpred_lookups: self.bpred_lookups * factor,
+            mispredicts: self.mispredicts * factor,
+            icache_accesses: self.icache_accesses * factor,
+            dcache_accesses: self.dcache_accesses * factor,
+            rename_ops: self.rename_ops * factor,
+            issue_int: self.issue_int * factor,
+            issue_fp: self.issue_fp * factor,
+            int_rf_accesses: self.int_rf_accesses * factor,
+            fp_rf_accesses: self.fp_rf_accesses * factor,
+            fxu_ops: self.fxu_ops * factor,
+            fpu_ops: self.fpu_ops * factor,
+            lsu_ops: self.lsu_ops * factor,
+            bxu_ops: self.bxu_ops * factor,
+            l2_accesses: self.l2_accesses * factor,
+            mem_accesses: self.mem_accesses * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(ActivityCounters::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_computes_ratio() {
+        let c = ActivityCounters {
+            cycles: 100,
+            instructions: 250,
+            ..Default::default()
+        };
+        assert_eq!(c.ipc(), 2.5);
+    }
+
+    #[test]
+    fn merged_adds_fields() {
+        let a = ActivityCounters {
+            cycles: 10,
+            fxu_ops: 5,
+            int_rf_accesses: 20,
+            ..Default::default()
+        };
+        let b = ActivityCounters {
+            cycles: 15,
+            fxu_ops: 3,
+            fp_rf_accesses: 7,
+            ..Default::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.cycles, 25);
+        assert_eq!(m.fxu_ops, 8);
+        assert_eq!(m.int_rf_accesses, 20);
+        assert_eq!(m.fp_rf_accesses, 7);
+    }
+
+    #[test]
+    fn scaled_preserves_rates() {
+        let a = ActivityCounters {
+            cycles: 10,
+            instructions: 20,
+            int_rf_accesses: 30,
+            ..Default::default()
+        };
+        let s = a.scaled(5);
+        assert_eq!(s.cycles, 50);
+        assert_eq!(s.ipc(), a.ipc());
+        assert_eq!(s.int_rf_per_cycle(), a.int_rf_per_cycle());
+    }
+
+    #[test]
+    fn rf_rates_handle_zero() {
+        let c = ActivityCounters::default();
+        assert_eq!(c.int_rf_per_cycle(), 0.0);
+        assert_eq!(c.fp_rf_per_cycle(), 0.0);
+    }
+}

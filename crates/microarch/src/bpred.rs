@@ -1,0 +1,190 @@
+//! Combining branch predictor: 16K-entry bimodal + 16K-entry gshare with
+//! a 16K-entry selector (Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Two-bit saturating counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Counter2(u8);
+
+impl Counter2 {
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// The combining predictor: a selector table chooses between a bimodal
+/// table (PC-indexed) and a gshare table (PC ⊕ global history).
+///
+/// # Examples
+///
+/// ```
+/// use dtm_microarch::BranchPredictor;
+///
+/// let mut bp = BranchPredictor::new(16 * 1024);
+/// // A perfectly biased branch becomes predictable after warm-up.
+/// for _ in 0..16 {
+///     bp.predict_and_update(0x400_0000, true);
+/// }
+/// assert!(bp.predict_and_update(0x400_0000, true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    bimodal: Vec<Counter2>,
+    gshare: Vec<Counter2>,
+    selector: Vec<Counter2>,
+    history: u64,
+    mask: u64,
+    lookups: u64,
+    correct: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with `entries` slots per table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        BranchPredictor {
+            bimodal: vec![Counter2(1); entries],
+            gshare: vec![Counter2(1); entries],
+            selector: vec![Counter2(2); entries],
+            history: 0,
+            mask: entries as u64 - 1,
+            lookups: 0,
+            correct: 0,
+        }
+    }
+
+    /// Predicts the branch at `pc`, updates all tables with the actual
+    /// `taken` outcome, and returns whether the prediction was correct.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let bi_idx = ((pc >> 2) & self.mask) as usize;
+        let gs_idx = (((pc >> 2) ^ self.history) & self.mask) as usize;
+
+        let bi_pred = self.bimodal[bi_idx].predict();
+        let gs_pred = self.gshare[gs_idx].predict();
+        let use_gshare = self.selector[bi_idx].predict();
+        let pred = if use_gshare { gs_pred } else { bi_pred };
+
+        // Selector trains toward whichever component was right.
+        if bi_pred != gs_pred {
+            self.selector[bi_idx].update(gs_pred == taken);
+        }
+        self.bimodal[bi_idx].update(taken);
+        self.gshare[gs_idx].update(taken);
+        self.history = ((self.history << 1) | taken as u64) & self.mask;
+
+        self.lookups += 1;
+        let correct = pred == taken;
+        if correct {
+            self.correct += 1;
+        }
+        correct
+    }
+
+    /// Total predictions made.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Fraction of correct predictions so far (1.0 before any lookup).
+    pub fn accuracy(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.lookups as f64
+        }
+    }
+
+    /// Clears the accuracy counters (tables keep their training).
+    pub fn reset_stats(&mut self) {
+        self.lookups = 0;
+        self.correct = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_taken_branch_learns() {
+        let mut bp = BranchPredictor::new(1024);
+        for _ in 0..50 {
+            bp.predict_and_update(0x1000, true);
+        }
+        bp.reset_stats();
+        for _ in 0..100 {
+            bp.predict_and_update(0x1000, true);
+        }
+        assert!(bp.accuracy() > 0.99);
+    }
+
+    #[test]
+    fn alternating_pattern_learned_by_gshare() {
+        let mut bp = BranchPredictor::new(4096);
+        let mut t = false;
+        for _ in 0..2000 {
+            bp.predict_and_update(0x2000, t);
+            t = !t;
+        }
+        bp.reset_stats();
+        for _ in 0..1000 {
+            bp.predict_and_update(0x2000, t);
+            t = !t;
+        }
+        assert!(bp.accuracy() > 0.95, "accuracy = {}", bp.accuracy());
+    }
+
+    #[test]
+    fn random_branches_are_near_chance() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut bp = BranchPredictor::new(4096);
+        for _ in 0..20_000 {
+            let pc = 0x3000 + (rng.random_range(0..64u64) << 2);
+            bp.predict_and_update(pc, rng.random());
+        }
+        let acc = bp.accuracy();
+        assert!(acc > 0.4 && acc < 0.6, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere_in_bimodal() {
+        let mut bp = BranchPredictor::new(4096);
+        for _ in 0..200 {
+            bp.predict_and_update(0x1000, true);
+            bp.predict_and_update(0x2000, false);
+        }
+        bp.reset_stats();
+        for _ in 0..100 {
+            bp.predict_and_update(0x1000, true);
+            bp.predict_and_update(0x2000, false);
+        }
+        assert!(bp.accuracy() > 0.9);
+    }
+
+    #[test]
+    fn accuracy_is_one_before_lookups() {
+        let bp = BranchPredictor::new(64);
+        assert_eq!(bp.accuracy(), 1.0);
+        assert_eq!(bp.lookups(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        BranchPredictor::new(1000);
+    }
+}

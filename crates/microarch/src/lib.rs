@@ -1,0 +1,42 @@
+//! Turandot-style out-of-order core performance model, driven by
+//! synthetic SPEC-like instruction streams.
+//!
+//! The original study used IBM's Turandot simulator replaying SimPoint
+//! traces of SPEC 2000; neither is redistributable, so this crate
+//! provides a from-scratch equivalent with the same role in the
+//! toolflow: turn a program's characteristics into per-interval
+//! microarchitectural **activity counts** ([`ActivityCounters`]) that a
+//! power model converts into power traces.
+//!
+//! - [`StreamProfile`] / [`StreamGenerator`] — statistically-shaped
+//!   synthetic instruction streams (mix, ILP, branch behaviour, working
+//!   sets).
+//! - [`BranchPredictor`] — 16K-entry bimodal + gshare + selector.
+//! - [`SetAssocCache`] — LRU caches for the split L1s and shared L2
+//!   (with the paper's quarter-capacity quota for single-threaded runs).
+//! - [`CoreSim`] — the timestamp-propagation OOO pipeline model
+//!   (Table 3 resources) producing [`ActivityCounters`] per interval.
+//!
+//! # Examples
+//!
+//! ```
+//! use dtm_microarch::{CoreConfig, CoreSim, StreamProfile};
+//!
+//! let mut core = CoreSim::new(CoreConfig::default(), StreamProfile::generic_fp(), 7);
+//! let sample = core.run_sample(5); // one 100k-cycle sample, 5× sampled
+//! assert!(sample.fpu_ops > 0);
+//! ```
+
+mod activity;
+mod bpred;
+mod cache;
+mod config;
+mod core;
+mod instr;
+
+pub use activity::ActivityCounters;
+pub use bpred::BranchPredictor;
+pub use cache::SetAssocCache;
+pub use config::{CacheGeometry, CoreConfig};
+pub use core::CoreSim;
+pub use instr::{Instr, InstrKind, StreamGenerator, StreamProfile};

@@ -1,0 +1,91 @@
+//! Property-based tests for the performance model.
+
+use dtm_microarch::{BranchPredictor, CacheGeometry, CoreConfig, CoreSim, SetAssocCache, StreamProfile};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_profile()(base in 0..2usize,
+                     fp in 0.0f64..0.5,
+                     load in 0.05f64..0.3,
+                     branch in 0.02f64..0.2,
+                     dep in 2.0f64..14.0,
+                     loc in 0.3f64..0.95) -> StreamProfile {
+    let mut p = if base == 0 { StreamProfile::generic_int() } else { StreamProfile::generic_fp() };
+    p.frac_fp = fp;
+    p.frac_load = load;
+    p.frac_branch = branch;
+    p.mean_dep_distance = dep;
+    p.data_locality = loc;
+    // Keep the mix a valid distribution.
+    let sum = p.frac_int_mul + p.frac_fp + p.frac_fp_div + p.frac_load + p.frac_store + p.frac_branch;
+        if sum > 1.0 {
+            p.frac_fp /= sum;
+            p.frac_load /= sum;
+            p.frac_store /= sum;
+            p.frac_branch /= sum;
+            p.frac_int_mul /= sum;
+            p.frac_fp_div /= sum;
+        }
+        p
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// IPC stays within the machine's physical envelope for arbitrary
+    /// valid stream profiles.
+    #[test]
+    fn ipc_is_bounded(profile in arb_profile(), seed in 0u64..100) {
+        let mut sim = CoreSim::new(CoreConfig::default(), profile, seed);
+        let c = sim.run_cycles(60_000);
+        let ipc = c.ipc();
+        prop_assert!(ipc > 0.0);
+        prop_assert!(ipc <= CoreConfig::default().fetch_width as f64);
+    }
+
+    /// Counter identities hold for any profile: issued = retired, memory
+    /// accesses never exceed L2 accesses, mispredicts never exceed
+    /// lookups.
+    #[test]
+    fn counter_identities(profile in arb_profile(), seed in 0u64..100) {
+        let mut sim = CoreSim::new(CoreConfig::default(), profile, seed);
+        let c = sim.run_cycles(60_000);
+        prop_assert_eq!(c.issue_int + c.issue_fp, c.instructions);
+        prop_assert!(c.mem_accesses <= c.l2_accesses);
+        prop_assert!(c.mispredicts <= c.bpred_lookups);
+        prop_assert!(c.int_rf_accesses + c.fp_rf_accesses >= c.instructions);
+    }
+
+    /// Cache accesses and misses are consistent for arbitrary address
+    /// streams; a repeated address always hits after insertion.
+    #[test]
+    fn cache_consistency(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+        let geo = CacheGeometry { size_bytes: 8 * 1024, ways: 2, block_bytes: 64 };
+        let mut cache = SetAssocCache::new(geo, 1.0);
+        for &a in &addrs {
+            cache.access(a);
+            // Immediately re-touching the same address must hit (it was
+            // just installed or refreshed).
+            prop_assert!(cache.access(a));
+        }
+        prop_assert!(cache.misses() <= cache.accesses());
+    }
+
+    /// Branch predictor accuracy is a valid probability and improves for
+    /// strongly biased branches.
+    #[test]
+    fn predictor_accuracy_bounds(bias in 0.8f64..1.0, n in 200usize..2000) {
+        let mut bp = BranchPredictor::new(1024);
+        let mut x = 0.37f64;
+        for _ in 0..n {
+            // Deterministic pseudo-random outcomes with the given bias.
+            x = (x * 997.13).fract();
+            bp.predict_and_update(0x1000, x < bias);
+        }
+        let acc = bp.accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        // With >=80% bias the table predictor must beat coin flipping.
+        prop_assert!(acc > 0.55, "accuracy {}", acc);
+    }
+}

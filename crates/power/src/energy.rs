@@ -1,0 +1,231 @@
+//! Per-unit energy calibration.
+//!
+//! PowerTimer derives unit power from empirical circuit-level models; we
+//! use the same structure — an energy per access plus an idle
+//! (conditional-clock) power per unit — with constants calibrated so that
+//! a fully-active core at nominal voltage and frequency dissipates a
+//! realistic budget, with the register files as the dominant power
+//! densities (the study's hotspots).
+
+use dtm_floorplan::UnitKind;
+use serde::{Deserialize, Serialize};
+
+/// Access energy and idle power for one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitEnergy {
+    /// Energy per access at nominal voltage/frequency (J).
+    pub energy_per_access: f64,
+    /// Clock/idle power at nominal voltage/frequency while the core is
+    /// running (W); gated to (almost) zero when the core is stopped.
+    pub idle_power: f64,
+}
+
+/// Calibration table mapping each per-core unit (and the L2) to its
+/// energy model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTable {
+    entries: Vec<(UnitKind, UnitEnergy)>,
+}
+
+const NJ: f64 = 1e-9;
+
+impl EnergyTable {
+    /// The default 90 nm calibration.
+    ///
+    /// At a typical hot integer workload (IPC ≈ 2) this yields ≈ 9–10 W
+    /// of per-core dynamic power with ≈ 2.3 W in the integer register
+    /// file — the highest power density on the die given the compact RF
+    /// blocks of the floorplan.
+    pub fn default_90nm() -> Self {
+        use UnitKind::*;
+        EnergyTable {
+            entries: vec![
+                (
+                    Fetch,
+                    UnitEnergy {
+                        energy_per_access: 0.05792 * NJ,
+                        idle_power: 0.259,
+                    },
+                ),
+                (
+                    BranchPred,
+                    UnitEnergy {
+                        energy_per_access: 0.4739 * NJ,
+                        idle_power: 0.216,
+                    },
+                ),
+                (
+                    Icache,
+                    UnitEnergy {
+                        energy_per_access: 1.685 * NJ,
+                        idle_power: 0.538,
+                    },
+                ),
+                (
+                    Dcache,
+                    UnitEnergy {
+                        energy_per_access: 0.4423 * NJ,
+                        idle_power: 0.538,
+                    },
+                ),
+                (
+                    Rename,
+                    UnitEnergy {
+                        energy_per_access: 0.07901 * NJ,
+                        idle_power: 0.259,
+                    },
+                ),
+                (
+                    IssueInt,
+                    UnitEnergy {
+                        energy_per_access: 0.1158 * NJ,
+                        idle_power: 0.324,
+                    },
+                ),
+                (
+                    IssueFp,
+                    UnitEnergy {
+                        energy_per_access: 0.1474 * NJ,
+                        idle_power: 0.173,
+                    },
+                ),
+                (
+                    IntRegFile,
+                    UnitEnergy {
+                        energy_per_access: 0.29 * NJ,
+                        idle_power: 0.25,
+                    },
+                ),
+                (
+                    FpRegFile,
+                    UnitEnergy {
+                        energy_per_access: 0.63 * NJ,
+                        idle_power: 0.096,
+                    },
+                ),
+                (
+                    Fxu,
+                    UnitEnergy {
+                        energy_per_access: 0.1685 * NJ,
+                        idle_power: 0.324,
+                    },
+                ),
+                (
+                    Fpu,
+                    UnitEnergy {
+                        energy_per_access: 0.4423 * NJ,
+                        idle_power: 0.389,
+                    },
+                ),
+                (
+                    Lsu,
+                    UnitEnergy {
+                        energy_per_access: 0.1895 * NJ,
+                        idle_power: 0.302,
+                    },
+                ),
+                (
+                    Bxu,
+                    UnitEnergy {
+                        energy_per_access: 0.09477 * NJ,
+                        idle_power: 0.13,
+                    },
+                ),
+                (
+                    L2,
+                    UnitEnergy {
+                        energy_per_access: 3.58 * NJ,
+                        idle_power: 1.3,
+                    },
+                ),
+            ],
+        }
+    }
+
+    /// The energy model for a unit kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is missing from the table.
+    pub fn get(&self, kind: UnitKind) -> UnitEnergy {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, e)| *e)
+            .unwrap_or_else(|| panic!("no energy entry for unit `{kind}`"))
+    }
+
+    /// Overrides one unit's energy model (for ablations).
+    pub fn set(&mut self, kind: UnitKind, energy: UnitEnergy) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == kind) {
+            slot.1 = energy;
+        } else {
+            self.entries.push((kind, energy));
+        }
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        EnergyTable::default_90nm()
+    }
+}
+
+/// DVFS scaling laws for the nominal-voltage power numbers.
+///
+/// With supply voltage scaled linearly with frequency (`V ∝ f`), dynamic
+/// power at frequency-scale `s` over one *wall-clock* interval is
+/// `P ∝ f·V² = s³·P_nominal` for the same per-cycle activity rates; this
+/// is the cubic relation the paper's migration policies use to normalize
+/// counter and sensor data collected at scaled frequencies.
+pub mod scaling {
+    /// Dynamic-power multiplier at frequency scale `s`.
+    pub fn dynamic(s: f64) -> f64 {
+        s * s * s
+    }
+
+    /// Activity-rate multiplier at frequency scale `s` (events per
+    /// wall-clock second scale linearly).
+    pub fn rate(s: f64) -> f64 {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_units() {
+        let t = EnergyTable::default_90nm();
+        for &k in UnitKind::all() {
+            let e = t.get(k);
+            assert!(e.energy_per_access > 0.0);
+            assert!(e.idle_power >= 0.0);
+        }
+    }
+
+    #[test]
+    fn set_overrides_entry() {
+        let mut t = EnergyTable::default_90nm();
+        let new = UnitEnergy {
+            energy_per_access: 1.0,
+            idle_power: 4.32,
+        };
+        t.set(UnitKind::Fxu, new);
+        assert_eq!(t.get(UnitKind::Fxu), new);
+    }
+
+    #[test]
+    fn cubic_scaling_endpoints() {
+        assert_eq!(scaling::dynamic(1.0), 1.0);
+        assert!((scaling::dynamic(0.5) - 0.125).abs() < 1e-15);
+        assert_eq!(scaling::dynamic(0.0), 0.0);
+    }
+
+    #[test]
+    fn rate_scaling_is_linear() {
+        assert_eq!(scaling::rate(0.2), 0.2);
+        assert_eq!(scaling::rate(1.0), 1.0);
+    }
+}

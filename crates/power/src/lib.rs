@@ -1,0 +1,34 @@
+//! PowerTimer-style activity-based power modeling.
+//!
+//! Converts the microarchitectural activity counters produced by
+//! `dtm-microarch` into per-unit dynamic power at nominal voltage and
+//! frequency, packages them into looping [`PowerTrace`]s (one 27.78 µs
+//! sample per 100 000 cycles, exactly the study's trace format), and
+//! provides the DVFS [`scaling`] laws (`P ∝ s³` with `V ∝ f`) and
+//! floorplan-proportional leakage references used by the thermal loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use dtm_microarch::{CoreConfig, CoreSim, StreamProfile};
+//! use dtm_power::{PowerModel, PowerTrace};
+//!
+//! let model = PowerModel::default_90nm(3.6e9);
+//! let mut core = CoreSim::new(CoreConfig::default(), StreamProfile::generic_fp(), 1);
+//! let dt = CoreConfig::default().sample_period();
+//! let samples: Vec<_> = (0..16).map(|_| model.convert(&core.run_sample(5))).collect();
+//! let trace = PowerTrace::new("demo", dt, samples);
+//! assert!(trace.mean_core_power() > 0.0);
+//! ```
+
+mod energy;
+mod model;
+mod serialize;
+mod trace;
+
+pub use energy::{scaling, EnergyTable, UnitEnergy};
+pub use serialize::TraceCodecError;
+pub use model::{
+    leakage_reference, PowerModel, DEFAULT_LOGIC_LEAKAGE, DEFAULT_SRAM_LEAKAGE,
+};
+pub use trace::{CorePowerSample, PowerTrace, N_CORE_UNITS};

@@ -1,0 +1,236 @@
+//! Activity → power conversion and leakage reference construction.
+
+use crate::energy::EnergyTable;
+use crate::trace::{CorePowerSample, N_CORE_UNITS};
+use dtm_floorplan::{Floorplan, UnitKind};
+use dtm_microarch::ActivityCounters;
+use serde::{Deserialize, Serialize};
+
+/// Converts per-interval activity counters into per-unit dynamic power at
+/// nominal voltage and frequency.
+///
+/// # Examples
+///
+/// ```
+/// use dtm_microarch::{CoreConfig, CoreSim, StreamProfile};
+/// use dtm_power::PowerModel;
+///
+/// let model = PowerModel::default_90nm(3.6e9);
+/// let mut core = CoreSim::new(CoreConfig::default(), StreamProfile::generic_int(), 1);
+/// let sample = model.convert(&core.run_sample(5));
+/// assert!(sample.core_power() > 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    table: EnergyTable,
+    clock_hz: f64,
+}
+
+impl PowerModel {
+    /// Creates a model from an energy table and the nominal clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not positive.
+    pub fn new(table: EnergyTable, clock_hz: f64) -> Self {
+        assert!(clock_hz.is_finite() && clock_hz > 0.0, "clock must be positive");
+        PowerModel { table, clock_hz }
+    }
+
+    /// The default 90 nm calibration at the given clock.
+    pub fn default_90nm(clock_hz: f64) -> Self {
+        PowerModel::new(EnergyTable::default_90nm(), clock_hz)
+    }
+
+    /// The energy table.
+    pub fn table(&self) -> &EnergyTable {
+        &self.table
+    }
+
+    /// Nominal clock (Hz).
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Converts one interval of activity into a power sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval covers zero cycles.
+    pub fn convert(&self, c: &ActivityCounters) -> CorePowerSample {
+        assert!(c.cycles > 0, "cannot convert an empty interval");
+        let dt = c.cycles as f64 / self.clock_hz;
+        let counts: [(UnitKind, u64); N_CORE_UNITS] = [
+            (UnitKind::Fetch, c.fetches),
+            (UnitKind::BranchPred, c.bpred_lookups),
+            (UnitKind::Icache, c.icache_accesses),
+            (UnitKind::Dcache, c.dcache_accesses),
+            (UnitKind::Rename, c.rename_ops),
+            (UnitKind::IssueInt, c.issue_int),
+            (UnitKind::IssueFp, c.issue_fp),
+            (UnitKind::IntRegFile, c.int_rf_accesses),
+            (UnitKind::FpRegFile, c.fp_rf_accesses),
+            (UnitKind::Fxu, c.fxu_ops),
+            (UnitKind::Fpu, c.fpu_ops),
+            (UnitKind::Lsu, c.lsu_ops),
+            (UnitKind::Bxu, c.bxu_ops),
+        ];
+        debug_assert_eq!(
+            counts.map(|(k, _)| k).as_slice(),
+            UnitKind::per_core(),
+            "count table must follow per-core unit order"
+        );
+        let mut units = [0.0; N_CORE_UNITS];
+        for (i, (kind, count)) in counts.iter().enumerate() {
+            let e = self.table.get(*kind);
+            units[i] = *count as f64 * e.energy_per_access / dt + e.idle_power;
+        }
+        let l2e = self.table.get(UnitKind::L2);
+        // Idle L2 power is accounted once chip-wide by the simulator;
+        // a thread's trace carries only its access-driven share.
+        let l2 = c.l2_accesses as f64 * l2e.energy_per_access / dt;
+
+        CorePowerSample {
+            units,
+            l2,
+            instructions: c.instructions,
+            int_rf_per_cycle: c.int_rf_per_cycle(),
+            fp_rf_per_cycle: c.fp_rf_per_cycle(),
+        }
+    }
+
+    /// The L2 idle (clock + array standby, non-leakage) power (W),
+    /// charged once chip-wide.
+    pub fn l2_idle_power(&self) -> f64 {
+        self.table.get(UnitKind::L2).idle_power
+    }
+}
+
+/// Reference (45 °C) leakage power for every floorplan block,
+/// proportional to area with separate densities for logic and SRAM
+/// blocks.
+///
+/// Returns a vector indexed like `floorplan.blocks()`, suitable for
+/// `dtm_thermal::LeakageModel` (the thermal crate's leakage model).
+pub fn leakage_reference(
+    floorplan: &Floorplan,
+    logic_density_w_per_m2: f64,
+    sram_density_w_per_m2: f64,
+) -> Vec<f64> {
+    floorplan
+        .blocks()
+        .iter()
+        .map(|b| {
+            let density = match b.kind() {
+                UnitKind::Icache | UnitKind::Dcache | UnitKind::L2 => sram_density_w_per_m2,
+                _ => logic_density_w_per_m2,
+            };
+            b.area() * density
+        })
+        .collect()
+}
+
+/// Default logic leakage density at 45 °C (W/m²) for the 90 nm node.
+pub const DEFAULT_LOGIC_LEAKAGE: f64 = 6.0e4;
+/// Default SRAM leakage density at 45 °C (W/m²).
+pub const DEFAULT_SRAM_LEAKAGE: f64 = 2.5e4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_microarch::{CoreConfig, CoreSim, StreamProfile};
+
+    fn warm_sample(profile: StreamProfile, seed: u64) -> CorePowerSample {
+        let model = PowerModel::default_90nm(3.6e9);
+        let mut core = CoreSim::new(CoreConfig::default(), profile, seed);
+        core.run_cycles(400_000);
+        model.convert(&core.run_sample(1))
+    }
+
+    #[test]
+    fn int_workload_core_power_is_realistic() {
+        let s = warm_sample(StreamProfile::generic_int(), 1);
+        let p = s.core_power();
+        assert!(p > 4.0 && p < 16.0, "core power = {p} W");
+    }
+
+    #[test]
+    fn int_workload_hotspot_is_int_register_file() {
+        let s = warm_sample(StreamProfile::generic_int(), 2);
+        let int_rf = s.unit_power(UnitKind::IntRegFile);
+        let fp_rf = s.unit_power(UnitKind::FpRegFile);
+        assert!(int_rf > 1.5 * fp_rf, "int {int_rf} vs fp {fp_rf}");
+        // And the int RF should be among the top power units.
+        let max = s.units.iter().cloned().fold(0.0f64, f64::max);
+        assert!(int_rf > 0.6 * max);
+    }
+
+    #[test]
+    fn fp_workload_heats_fp_register_file() {
+        let s = warm_sample(StreamProfile::generic_fp(), 3);
+        let int_rf = s.unit_power(UnitKind::IntRegFile);
+        let fp_rf = s.unit_power(UnitKind::FpRegFile);
+        assert!(fp_rf > int_rf, "fp {fp_rf} vs int {int_rf}");
+    }
+
+    #[test]
+    fn idle_counters_give_idle_power_only() {
+        let model = PowerModel::default_90nm(3.6e9);
+        let c = ActivityCounters {
+            cycles: 100_000,
+            ..Default::default()
+        };
+        let s = model.convert(&c);
+        let expected: f64 = UnitKind::per_core()
+            .iter()
+            .map(|&k| model.table().get(k).idle_power)
+            .sum();
+        assert!((s.core_power() - expected).abs() < 1e-9);
+        assert_eq!(s.l2, 0.0);
+    }
+
+    #[test]
+    fn power_scales_with_activity() {
+        let model = PowerModel::default_90nm(3.6e9);
+        let lo = ActivityCounters {
+            cycles: 100_000,
+            int_rf_accesses: 100_000,
+            ..Default::default()
+        };
+        let hi = ActivityCounters {
+            cycles: 100_000,
+            int_rf_accesses: 400_000,
+            ..Default::default()
+        };
+        let pl = model.convert(&lo).unit_power(UnitKind::IntRegFile);
+        let ph = model.convert(&hi).unit_power(UnitKind::IntRegFile);
+        let idle = model.table().get(UnitKind::IntRegFile).idle_power;
+        assert!(((ph - idle) / (pl - idle) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_reference_covers_blocks_and_scales_with_area() {
+        let fp = Floorplan::ppc_cmp(4);
+        let leak = leakage_reference(&fp, DEFAULT_LOGIC_LEAKAGE, DEFAULT_SRAM_LEAKAGE);
+        assert_eq!(leak.len(), fp.len());
+        let total: f64 = leak.iter().sum();
+        assert!(total > 2.0 && total < 20.0, "total leakage {total} W");
+        // The L2 (largest block) must not dominate despite its area,
+        // thanks to the lower SRAM density.
+        let l2 = fp.blocks_of_kind(UnitKind::L2)[0];
+        assert!(leak[l2] < total / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn empty_interval_rejected() {
+        PowerModel::default_90nm(3.6e9).convert(&ActivityCounters::default());
+    }
+
+    #[test]
+    fn counters_carry_migration_proxies() {
+        let s = warm_sample(StreamProfile::generic_fp(), 4);
+        assert!(s.fp_rf_per_cycle > 0.0);
+        assert!(s.int_rf_per_cycle > 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Compact binary serialization for power traces.
+//!
+//! Trace generation is deterministic but costs seconds per benchmark;
+//! experiment drivers cache generated traces on disk. The format is a
+//! small self-describing little-endian layout (no external codec
+//! dependency):
+//!
+//! ```text
+//!   magic "DTMTRC01" | name_len u32 | name bytes | dt f64 | n u32 |
+//!   n × { 13×f64 units | f64 l2 | u64 instructions |
+//!         f64 int_rf_per_cycle | f64 fp_rf_per_cycle }
+//! ```
+
+use crate::trace::{CorePowerSample, PowerTrace, N_CORE_UNITS};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"DTMTRC01";
+
+/// Errors from trace (de)serialization.
+#[derive(Debug)]
+pub enum TraceCodecError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a trace file (bad magic) or is structurally
+    /// corrupt.
+    Format(String),
+}
+
+impl std::fmt::Display for TraceCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceCodecError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceCodecError::Format(msg) => write!(f, "malformed trace file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceCodecError {}
+
+impl From<io::Error> for TraceCodecError {
+    fn from(e: io::Error) -> Self {
+        TraceCodecError::Io(e)
+    }
+}
+
+fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+impl PowerTrace {
+    /// Writes the trace in the compact binary format. A `&mut` reference
+    /// may be passed for any `Write` implementor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), TraceCodecError> {
+        w.write_all(MAGIC)?;
+        let name = self.name().as_bytes();
+        write_u32(&mut w, name.len() as u32)?;
+        w.write_all(name)?;
+        write_f64(&mut w, self.dt())?;
+        write_u32(&mut w, self.len() as u32)?;
+        for i in 0..self.len() {
+            let s = self.sample(i as u64);
+            for &u in &s.units {
+                write_f64(&mut w, u)?;
+            }
+            write_f64(&mut w, s.l2)?;
+            write_u64(&mut w, s.instructions)?;
+            write_f64(&mut w, s.int_rf_per_cycle)?;
+            write_f64(&mut w, s.fp_rf_per_cycle)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace previously written by [`PowerTrace::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a malformed/truncated file.
+    pub fn read_from<R: Read>(mut r: R) -> Result<PowerTrace, TraceCodecError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceCodecError::Format("bad magic".into()));
+        }
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(TraceCodecError::Format(format!(
+                "implausible name length {name_len}"
+            )));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| TraceCodecError::Format("name is not UTF-8".into()))?;
+        let dt = read_f64(&mut r)?;
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(TraceCodecError::Format(format!("bad dt {dt}")));
+        }
+        let n = read_u32(&mut r)? as usize;
+        if n == 0 || n > 100_000_000 {
+            return Err(TraceCodecError::Format(format!("implausible length {n}")));
+        }
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut s = CorePowerSample::zero();
+            for u in 0..N_CORE_UNITS {
+                s.units[u] = read_f64(&mut r)?;
+            }
+            s.l2 = read_f64(&mut r)?;
+            s.instructions = read_u64(&mut r)?;
+            s.int_rf_per_cycle = read_f64(&mut r)?;
+            s.fp_rf_per_cycle = read_f64(&mut r)?;
+            samples.push(s);
+        }
+        Ok(PowerTrace::new(name, dt, samples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> PowerTrace {
+        let mut samples = Vec::new();
+        for i in 0..5 {
+            let mut s = CorePowerSample::zero();
+            for (u, slot) in s.units.iter_mut().enumerate() {
+                *slot = 0.1 * (i * 13 + u) as f64;
+            }
+            s.l2 = 0.05 * i as f64;
+            s.instructions = 1000 + i as u64;
+            s.int_rf_per_cycle = 2.0 + i as f64;
+            s.fp_rf_per_cycle = 1.0 + i as f64;
+            samples.push(s);
+        }
+        PowerTrace::new("demo", 27.78e-6, samples)
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let t = demo_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = PowerTrace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = PowerTrace::read_from(&b"NOTATRACE-----"[..]);
+        assert!(matches!(err, Err(TraceCodecError::Format(_))));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let t = demo_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 7);
+        assert!(PowerTrace::read_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(PowerTrace::read_from(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn format_size_is_as_specified() {
+        let t = demo_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let expected = 8 + 4 + 4 + 8 + 4 + 5 * (13 * 8 + 8 + 8 + 8 + 8);
+        assert_eq!(buf.len(), expected);
+    }
+}

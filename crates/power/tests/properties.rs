@@ -1,0 +1,98 @@
+//! Property-based tests for the power model.
+
+use dtm_floorplan::{Floorplan, UnitKind};
+use dtm_microarch::ActivityCounters;
+use dtm_power::{leakage_reference, scaling, CorePowerSample, PowerModel, PowerTrace};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_counters()(ipc in 0.1f64..4.0, seed in 1u64..1000) -> ActivityCounters {
+        let cycles = 100_000u64;
+        let instr = (ipc * cycles as f64) as u64;
+        let mix = |f: f64| ((instr as f64) * f * ((seed % 7 + 1) as f64 / 4.0)) as u64;
+        ActivityCounters {
+            cycles,
+            instructions: instr,
+            fetches: instr,
+            rename_ops: instr,
+            bpred_lookups: mix(0.15),
+            mispredicts: mix(0.01),
+            icache_accesses: instr / 32,
+            dcache_accesses: mix(0.3),
+            issue_int: instr / 2,
+            issue_fp: instr - instr / 2,
+            int_rf_accesses: mix(2.0),
+            fp_rf_accesses: mix(1.0),
+            fxu_ops: mix(0.5),
+            fpu_ops: mix(0.3),
+            lsu_ops: mix(0.3),
+            bxu_ops: mix(0.1),
+            l2_accesses: mix(0.01),
+            mem_accesses: mix(0.001),
+        }
+    }
+}
+
+proptest! {
+    /// Converted power is finite and at least the idle floor for any
+    /// activity pattern.
+    #[test]
+    fn power_has_idle_floor(c in arb_counters()) {
+        let model = PowerModel::default_90nm(3.6e9);
+        let s = model.convert(&c);
+        let idle: f64 = UnitKind::per_core()
+            .iter()
+            .map(|&k| model.table().get(k).idle_power)
+            .sum();
+        prop_assert!(s.core_power().is_finite());
+        prop_assert!(s.core_power() >= idle - 1e-9);
+        prop_assert!(s.l2 >= 0.0);
+    }
+
+    /// Power is monotone in activity: doubling every counter (same
+    /// cycles) cannot reduce any unit's power.
+    #[test]
+    fn power_monotone_in_activity(c in arb_counters()) {
+        let model = PowerModel::default_90nm(3.6e9);
+        let lo = model.convert(&c);
+        // scaled(2) doubles cycles too; keep the original cycle count so
+        // the activity *rate* doubles.
+        let mut doubled = c.scaled(2);
+        doubled.cycles = c.cycles;
+        let hi = model.convert(&doubled);
+        for (a, b) in lo.units.iter().zip(&hi.units) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    /// The cubic DVFS law is monotone and bounded on [0, 1].
+    #[test]
+    fn dvfs_scaling_laws(s1 in 0.0f64..1.0, s2 in 0.0f64..1.0) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(scaling::dynamic(lo) <= scaling::dynamic(hi));
+        prop_assert!(scaling::dynamic(hi) <= 1.0);
+        prop_assert!(scaling::rate(lo) <= scaling::rate(hi));
+    }
+
+    /// Trace wrap-around indexing is total: any index maps to a stored
+    /// sample, and means are finite.
+    #[test]
+    fn trace_indexing_total(len in 1usize..50, idx in 0u64..10_000) {
+        let samples = vec![CorePowerSample::zero(); len];
+        let t = PowerTrace::new("p", 28e-6, samples);
+        let _ = t.sample(idx); // must not panic
+        prop_assert!(t.mean_core_power().is_finite());
+        prop_assert!((t.duration() - 28e-6 * len as f64).abs() < 1e-12);
+    }
+
+    /// Leakage references scale linearly with density.
+    #[test]
+    fn leakage_reference_linear(d1 in 1e3f64..1e5, k in 1.1f64..5.0) {
+        let fp = Floorplan::ppc_cmp(2);
+        let a = leakage_reference(&fp, d1, d1 / 2.0);
+        let b = leakage_reference(&fp, d1 * k, d1 * k / 2.0);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((y - x * k).abs() < 1e-9 * y.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Minimal dense linear algebra for the thermal solver.
+//!
+//! Thermal RC networks in this study are small (tens of nodes), so a dense
+//! LU factorization with partial pivoting is simpler and faster than
+//! pulling in a sparse solver. The factorization is cached by the
+//! transient solver, which re-solves with a new right-hand side every
+//! substep.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced when a linear system cannot be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinalgError {
+    /// The matrix is singular (a pivot underflowed).
+    Singular,
+    /// Dimensions of operands do not agree.
+    DimensionMismatch,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::DimensionMismatch => write!(f, "operand dimensions do not agree"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense row-major square-or-rectangular matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if a pivot underflows, and
+    /// [`LinalgError::DimensionMismatch`] if the matrix is not square.
+    pub fn lu(&self) -> Result<LuFactors, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Find pivot.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, piv })
+    }
+
+    /// Solves `self * x = b` via a fresh LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// See [`Matrix::lu`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        Ok(self.lu()?.solve(b))
+    }
+
+    /// Maximum absolute asymmetry `max |a_ij - a_ji|`.
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols.min(self.rows) {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Cached LU factorization with partial pivoting, reusable across many
+/// right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the cached factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.n()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Solves in place into `x`, avoiding allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` differ from `self.n()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) {
+        assert_eq!(b.len(), self.n);
+        x.clear();
+        x.extend(self.piv.iter().map(|&p| b[p]));
+        let n = self.n;
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solve_identity() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solve_small_system() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let b = vec![5.0, 10.0];
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn non_square_lu_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(LinalgError::DimensionMismatch)));
+    }
+
+    #[test]
+    fn lu_factors_reusable_across_rhs() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.0, 1.0, 5.0, 2.0, 0.0, 2.0, 6.0]);
+        let lu = a.lu().unwrap();
+        for b in [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [3.0, -2.0, 8.0]] {
+            let x = lu.solve(&b);
+            assert!(residual(&a, &x, &b) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 5.0, 2.0, 0.5, 2.0, 6.0]);
+        let lu = a.lu().unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x1 = lu.solve(&b);
+        let mut x2 = Vec::new();
+        lu.solve_into(&b, &mut x2);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn larger_diagonally_dominant_system() {
+        // Build a 20×20 diagonally dominant (thermal-like) system and
+        // verify the residual.
+        let n = 20;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    a[(i, j)] = 10.0 + i as f64;
+                } else {
+                    a[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+                }
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 5.0).collect();
+        let x = a.solve(&b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn mul_vec_basic() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn asymmetry_of_symmetric_matrix_is_zero() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(a.asymmetry(), 0.0);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.5, 3.0]);
+        assert!((b.asymmetry() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major data length mismatch")]
+    fn from_vec_checks_length() {
+        Matrix::from_vec(2, 2, vec![1.0]);
+    }
+}

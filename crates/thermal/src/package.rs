@@ -1,0 +1,133 @@
+//! Thermal package description: material properties and cooling-solution
+//! geometry used to build the RC network.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of the die and its cooling package.
+///
+/// Defaults correspond to a conventional desktop package in the HotSpot
+/// tradition: 0.5 mm silicon die, thin thermal-interface material, a 3 cm
+/// copper heat spreader, a 6 cm finned heat sink, and a lumped convection
+/// resistance to the 45 °C ambient inside the case.
+///
+/// # Examples
+///
+/// ```
+/// let pkg = dtm_thermal::PackageConfig::default();
+/// assert!(pkg.r_convection > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackageConfig {
+    /// Die thickness (m).
+    pub t_silicon: f64,
+    /// Silicon thermal conductivity (W/(m·K)); ~100 at hot-die temps.
+    pub k_silicon: f64,
+    /// Silicon volumetric heat capacity (J/(m³·K)). The default carries
+    /// a 3× lumped-model correction (HotSpot-style fudge) so the
+    /// single-node-per-block model reproduces the multi-node RC ladder's
+    /// slower effective block time constants (calibrated against the
+    /// study's stop-go duty cycles, which imply tens-of-ms hotspot
+    /// heating times).
+    pub c_silicon: f64,
+    /// Thermal-interface-material thickness (m).
+    pub t_interface: f64,
+    /// Thermal-interface-material conductivity (W/(m·K)).
+    pub k_interface: f64,
+    /// Heat-spreader side length (m).
+    pub spreader_side: f64,
+    /// Heat-spreader thickness (m).
+    pub spreader_thickness: f64,
+    /// Heat-sink base side length (m).
+    pub sink_side: f64,
+    /// Heat-sink base thickness (m).
+    pub sink_thickness: f64,
+    /// Copper conductivity for spreader and sink (W/(m·K)).
+    pub k_copper: f64,
+    /// Copper volumetric heat capacity (J/(m³·K)).
+    pub c_copper: f64,
+    /// Total convection resistance, sink to ambient (K/W).
+    pub r_convection: f64,
+    /// Sub-block thermal-constriction coefficient (K·m²/W): the fast
+    /// within-block gradient between the block's hottest point and its
+    /// lumped node (the detail a HotSpot grid model resolves and a
+    /// block model loses). The hotspot excess is
+    /// `ΔT = local_constriction × power_density`.
+    pub local_constriction: f64,
+    /// Time constant of the sub-block mode (s); of order a millisecond.
+    pub local_tau: f64,
+    /// Ambient temperature inside the case (°C).
+    pub ambient: f64,
+}
+
+impl Default for PackageConfig {
+    fn default() -> Self {
+        PackageConfig {
+            t_silicon: 0.5e-3,
+            k_silicon: 100.0,
+            c_silicon: 7.0e6,
+            t_interface: 50e-6,
+            k_interface: 4.0,
+            spreader_side: 30e-3,
+            spreader_thickness: 1.0e-3,
+            sink_side: 60e-3,
+            sink_thickness: 6.9e-3,
+            k_copper: 400.0,
+            c_copper: 3.55e6,
+            r_convection: 0.70,
+            local_constriction: 1.0e-6,
+            local_tau: 1.5e-3,
+            ambient: 45.0,
+        }
+    }
+}
+
+impl PackageConfig {
+    /// A deliberately weaker cooling solution (higher convection
+    /// resistance), useful for stress-testing DTM policies.
+    pub fn constrained() -> Self {
+        PackageConfig {
+            r_convection: 1.3,
+            ..PackageConfig::default()
+        }
+    }
+
+    /// Junction-to-ambient resistance of the vertical path for a uniform
+    /// heat flux over `chip_area` (m²): a quick sanity-check estimate, not
+    /// used by the solver itself.
+    pub fn vertical_resistance_estimate(&self, chip_area: f64) -> f64 {
+        let r_si = self.t_silicon / (self.k_silicon * chip_area);
+        let r_tim = self.t_interface / (self.k_interface * chip_area);
+        let r_sp = self.spreader_thickness / (self.k_copper * chip_area);
+        let r_sink = self.sink_thickness / (self.k_copper * chip_area);
+        r_si + r_tim + r_sp + r_sink + self.r_convection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_package_is_physical() {
+        let p = PackageConfig::default();
+        assert!(p.t_silicon > 0.0 && p.t_silicon < 1e-2);
+        assert!(p.k_silicon > 10.0);
+        assert!(p.spreader_side > p.t_silicon);
+        assert!(p.sink_side >= p.spreader_side);
+        assert!(p.ambient > 0.0 && p.ambient < 84.2);
+    }
+
+    #[test]
+    fn constrained_package_has_higher_resistance() {
+        assert!(PackageConfig::constrained().r_convection > PackageConfig::default().r_convection);
+    }
+
+    #[test]
+    fn vertical_resistance_dominated_by_convection() {
+        let p = PackageConfig::default();
+        let chip_area = 1.2e-4; // ~9×13.5 mm die
+        let r = p.vertical_resistance_estimate(chip_area);
+        assert!(r > p.r_convection);
+        assert!(r < p.r_convection + 1.0, "conduction path unreasonably resistive: {r}");
+    }
+}

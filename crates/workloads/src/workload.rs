@@ -1,0 +1,125 @@
+//! The study's 12 four-process workloads (Table 4).
+
+use crate::profiles::{benchmark, Benchmark, Suite};
+use serde::{Deserialize, Serialize};
+
+/// A four-process multiprogrammed workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Identifier, e.g. `workload7`.
+    pub id: String,
+    /// The four benchmark names, in initial core order.
+    pub benchmarks: [String; 4],
+}
+
+impl Workload {
+    /// Creates a workload from four benchmark names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is not in the catalog.
+    pub fn new(id: impl Into<String>, names: [&str; 4]) -> Self {
+        for n in names {
+            let _ = benchmark(n); // validate
+        }
+        Workload {
+            id: id.into(),
+            benchmarks: names.map(|s| s.to_string()),
+        }
+    }
+
+    /// The resolved benchmark descriptions.
+    pub fn resolve(&self) -> [Benchmark; 4] {
+        [
+            benchmark(&self.benchmarks[0]),
+            benchmark(&self.benchmarks[1]),
+            benchmark(&self.benchmarks[2]),
+            benchmark(&self.benchmarks[3]),
+        ]
+    }
+
+    /// Mix label in the paper's style, e.g. `IIFF`.
+    pub fn mix_label(&self) -> String {
+        self.resolve().iter().map(|b| b.suite.tag()).collect()
+    }
+
+    /// Hyphenated display name, e.g. `gzip-twolf-ammp-lucas`.
+    pub fn display_name(&self) -> String {
+        self.benchmarks.join("-")
+    }
+
+    /// Number of integer benchmarks in the mix.
+    pub fn int_count(&self) -> usize {
+        self.resolve()
+            .iter()
+            .filter(|b| b.suite == Suite::Int)
+            .count()
+    }
+}
+
+/// The 12 workloads of Table 4, in order.
+pub fn standard_workloads() -> Vec<Workload> {
+    vec![
+        Workload::new("workload1", ["gcc", "gzip", "mcf", "vpr"]),
+        Workload::new("workload2", ["crafty", "eon", "parser", "perlbmk"]),
+        Workload::new("workload3", ["bzip2", "gzip", "twolf", "swim"]),
+        Workload::new("workload4", ["crafty", "perlbmk", "vpr", "mgrid"]),
+        Workload::new("workload5", ["gcc", "parser", "applu", "mesa"]),
+        Workload::new("workload6", ["bzip2", "eon", "art", "facerec"]),
+        Workload::new("workload7", ["gzip", "twolf", "ammp", "lucas"]),
+        Workload::new("workload8", ["parser", "vpr", "fma3d", "sixtrack"]),
+        Workload::new("workload9", ["gcc", "applu", "mgrid", "swim"]),
+        Workload::new("workload10", ["mcf", "ammp", "art", "mesa"]),
+        Workload::new("workload11", ["ammp", "facerec", "fma3d", "swim"]),
+        Workload::new("workload12", ["art", "lucas", "mgrid", "sixtrack"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_twelve_workloads() {
+        assert_eq!(standard_workloads().len(), 12);
+    }
+
+    #[test]
+    fn mix_labels_match_table4() {
+        let expected = [
+            "IIII", "IIII", "IIIF", "IIIF", "IIFF", "IIFF", "IIFF", "IIFF", "IFFF", "IFFF",
+            "FFFF", "FFFF",
+        ];
+        for (w, e) in standard_workloads().iter().zip(expected) {
+            assert_eq!(w.mix_label(), e, "{}", w.id);
+        }
+    }
+
+    #[test]
+    fn workload7_is_the_migration_case_study() {
+        let w = &standard_workloads()[6];
+        assert_eq!(w.display_name(), "gzip-twolf-ammp-lucas");
+    }
+
+    #[test]
+    fn int_count_decreases_down_the_table() {
+        let counts: Vec<usize> = standard_workloads().iter().map(|w| w.int_count()).collect();
+        assert_eq!(counts, vec![4, 4, 3, 3, 2, 2, 2, 2, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let ws = standard_workloads();
+        for (i, a) in ws.iter().enumerate() {
+            for b in &ws[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn bad_name_rejected() {
+        Workload::new("x", ["gzip", "gzip", "gzip", "quake3"]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Custom floorplan study: move the two register files to opposite
+//! corners of the core and compare steady-state hotspots against the
+//! stock layout — a miniature temperature-aware-floorplanning experiment
+//! built from the library's public API.
+//!
+//! ```sh
+//! cargo run --release -p dtm-examples --bin custom_floorplan
+//! ```
+
+use dtm_floorplan::{CoreTemplate, Floorplan, UnitKind};
+use dtm_power::{leakage_reference, DEFAULT_LOGIC_LEAKAGE, DEFAULT_SRAM_LEAKAGE};
+use dtm_thermal::{LeakageModel, PackageConfig, ThermalModel};
+
+/// A variant core layout with the register files separated: the integer
+/// RF stays in the integer cluster but the FP RF moves to the far corner
+/// next to the I-cache, away from the integer cluster's heat.
+fn separated_rf_core() -> CoreTemplate {
+    use UnitKind::*;
+    CoreTemplate::new(
+        vec![
+            (Icache, 0.00, 0.00, 0.35, 0.30),
+            (FpRegFile, 0.35, 0.00, 0.20, 0.30), // moved into the cool strip
+            (Dcache, 0.55, 0.00, 0.45, 0.30),
+            (Fetch, 0.00, 0.30, 0.30, 0.20),
+            (BranchPred, 0.30, 0.30, 0.25, 0.20),
+            (Rename, 0.55, 0.30, 0.25, 0.20),
+            (Bxu, 0.80, 0.30, 0.20, 0.20),
+            (IssueInt, 0.00, 0.50, 0.22, 0.25),
+            (IntRegFile, 0.22, 0.50, 0.18, 0.25),
+            (Fxu, 0.40, 0.50, 0.30, 0.25),
+            (Lsu, 0.70, 0.50, 0.30, 0.25),
+            (IssueFp, 0.00, 0.75, 0.30, 0.25),
+            (Fpu, 0.30, 0.75, 0.70, 0.25),
+        ],
+        4.5e-3,
+        4.5e-3,
+    )
+}
+
+fn hotspots(fp: &Floorplan, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let pkg = PackageConfig::default();
+    let model = ThermalModel::new(fp, &pkg)?;
+    let leak = LeakageModel::new(
+        leakage_reference(fp, DEFAULT_LOGIC_LEAKAGE, DEFAULT_SRAM_LEAKAGE),
+        45.0,
+        (2.0f64).ln() / 40.0,
+    );
+
+    // A mixed int+fp power pattern: both register files active.
+    let mut power = vec![0.0; fp.len()];
+    for core in 0..fp.cores() {
+        for (kind, watts) in [
+            (UnitKind::IntRegFile, 2.8),
+            (UnitKind::FpRegFile, 2.4),
+            (UnitKind::Fxu, 1.1),
+            (UnitKind::Fpu, 1.2),
+            (UnitKind::Lsu, 0.9),
+            (UnitKind::Dcache, 0.9),
+            (UnitKind::Icache, 0.7),
+            (UnitKind::IssueInt, 0.6),
+            (UnitKind::IssueFp, 0.4),
+            (UnitKind::Rename, 0.4),
+            (UnitKind::Fetch, 0.3),
+            (UnitKind::BranchPred, 0.4),
+            (UnitKind::Bxu, 0.2),
+        ] {
+            let idx = fp.block_of(core, kind).expect("unit exists");
+            power[idx] += watts;
+        }
+    }
+    leak.add_power(&vec![70.0; fp.len()], &mut power);
+    let temps = model.steady_state(&power)?;
+
+    let mut hottest: Vec<(usize, f64)> = (0..fp.len()).map(|i| (i, temps[i])).collect();
+    hottest.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\n{label}: five hottest blocks");
+    for (i, t) in hottest.iter().take(5) {
+        println!("  {:<16} {:6.1} C", fp.blocks()[*i].name(), t);
+    }
+    let int_rf = fp.block_of(0, UnitKind::IntRegFile).expect("int RF");
+    let fp_rf = fp.block_of(0, UnitKind::FpRegFile).expect("fp RF");
+    println!(
+        "  core0 register files: int {:.1} C, fp {:.1} C",
+        temps[int_rf], temps[fp_rf]
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stock = Floorplan::ppc_cmp(4);
+    stock.validate()?;
+    hotspots(&stock, "stock layout (register files adjacent to clusters)")?;
+
+    let template = separated_rf_core();
+    // Assemble a 4-core chip from the custom template by instantiating
+    // cores manually around a shared L2 (mirrors Floorplan::ppc_cmp).
+    let mut blocks = Vec::new();
+    let l2_h = 0.5 * 2.0 * template.core_height;
+    let chip_w = 2.0 * template.core_width;
+    blocks.push(dtm_floorplan::Block::new(
+        "l2",
+        UnitKind::L2,
+        None,
+        0.0,
+        0.0,
+        chip_w,
+        l2_h,
+    ));
+    for core in 0..4 {
+        let ox = (core % 2) as f64 * template.core_width;
+        let oy = l2_h + (core / 2) as f64 * template.core_height;
+        blocks.extend(template.instantiate(core, ox, oy));
+    }
+    let custom = Floorplan::from_blocks(blocks, chip_w, l2_h + 2.0 * template.core_height);
+    custom.validate()?;
+    hotspots(&custom, "separated layout (FP register file moved to the cache strip)")?;
+
+    println!("\nseparating the register files lowers the FP hotspot by conduction into");
+    println!("the cooler cache strip — the floorplanning lever the DTM paper cites as");
+    println!("related work (Han et al., temperature-aware floorplanning).");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Migration trace: watch the two-loop policy (distributed PI-DVFS inner
+//! loop + sensor-based migration outer loop) steer gzip-twolf-ammp-lucas
+//! in real time, printing every migration with the thermal state that
+//! motivated it.
+//!
+//! ```sh
+//! cargo run --release -p dtm-examples --bin migration_trace
+//! ```
+
+use dtm_core::{DtmConfig, PolicySpec, SimConfig, Telemetry, ThermalTimingSim};
+use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = TraceLibrary::new(TraceGenConfig::default());
+    let workload = &standard_workloads()[6]; // gzip-twolf-ammp-lucas
+    let traces = workload.resolve().iter().map(|b| lib.trace(b)).collect();
+
+    let mut sim = ThermalTimingSim::new(
+        SimConfig {
+            duration: 0.1,
+            ..SimConfig::default()
+        },
+        DtmConfig::default(),
+        PolicySpec::best(),
+        traces,
+    )?;
+    sim.attach_telemetry(Telemetry::every(4));
+
+    println!(
+        "two-loop policy ({}) on {}\n",
+        sim.policy().name(),
+        workload.display_name()
+    );
+
+    // Drive the simulation step by step, reporting each migration.
+    let names = &workload.benchmarks;
+    let mut last = sim.assignment().to_vec();
+    while sim.time() < 0.1 {
+        sim.step()?;
+        if sim.assignment() != last.as_slice() {
+            let temps: Vec<String> = sim
+                .sensor_temps()
+                .iter()
+                .map(|t| format!("{:.0}/{:.0}", t[0], t[1]))
+                .collect();
+            let placement: Vec<String> = sim
+                .assignment()
+                .iter()
+                .enumerate()
+                .map(|(c, &t)| format!("core{}={}", c, names[t]))
+                .collect();
+            println!(
+                "t={:6.2} ms  MIGRATION  {}  [int/fp °C: {}]",
+                sim.time() * 1e3,
+                placement.join(" "),
+                temps.join(" ")
+            );
+            last = sim.assignment().to_vec();
+        }
+    }
+
+    let result = sim.result();
+    println!(
+        "\nfinished: {:.2} BIPS, duty {:.1}%, {} migrations, max temp {:.1} C, \
+         emergencies {:.2} ms",
+        result.bips(),
+        100.0 * result.duty_cycle,
+        result.migrations,
+        result.max_temp,
+        1e3 * result.emergency_time
+    );
+    for (i, t) in result.threads.iter().enumerate() {
+        println!(
+            "  {:<8} work {:.1} ms, migrated {} times",
+            names[i],
+            1e3 * t.scaled_work,
+            t.migrations
+        );
+    }
+    Ok(())
+}

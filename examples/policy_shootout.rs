@@ -1,0 +1,59 @@
+//! Policy shootout: run all 12 taxonomy cells on one workload and rank
+//! them by throughput.
+//!
+//! ```sh
+//! cargo run --release -p dtm-examples --bin policy_shootout -- workload8
+//! ```
+
+use dtm_core::{DtmConfig, Experiment, PolicySpec, SimConfig};
+use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "workload7".into());
+    let workload = standard_workloads()
+        .into_iter()
+        .find(|w| w.id == wanted)
+        .ok_or_else(|| format!("unknown workload `{wanted}` (try workload1..workload12)"))?;
+
+    let exp = Experiment::new(
+        TraceLibrary::new(TraceGenConfig::default()),
+        SimConfig {
+            duration: 0.1,
+            ..SimConfig::default()
+        },
+        DtmConfig::default(),
+    );
+
+    println!(
+        "ranking all 12 policies on {} ({})\n",
+        workload.display_name(),
+        workload.mix_label()
+    );
+    let mut rows = Vec::new();
+    for policy in PolicySpec::all() {
+        let r = exp.run(&workload, policy)?;
+        rows.push((policy, r));
+    }
+    rows.sort_by(|a, b| b.1.bips().total_cmp(&a.1.bips()));
+    let base = rows
+        .iter()
+        .find(|(p, _)| *p == PolicySpec::baseline())
+        .map(|(_, r)| r.bips())
+        .expect("baseline is one of the 12");
+
+    println!(
+        "{:<4} {:<46} {:>7} {:>8} {:>9}",
+        "#", "policy", "BIPS", "duty", "vs base"
+    );
+    for (i, (policy, r)) in rows.iter().enumerate() {
+        println!(
+            "{:<4} {:<46} {:>7.2} {:>7.1}% {:>8.2}x",
+            i + 1,
+            policy.name(),
+            r.bips(),
+            100.0 * r.duty_cycle,
+            r.bips() / base
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: simulate one multiprogrammed workload under the paper's
+//! baseline policy and its best two-loop policy, and compare.
+//!
+//! ```sh
+//! cargo run --release -p dtm-examples --bin quickstart
+//! ```
+
+use dtm_core::{DtmConfig, Experiment, PolicySpec, SimConfig};
+use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A shortened run so the example finishes in seconds; drop the
+    // `duration` override (default 0.5 s) for study-scale results.
+    let exp = Experiment::new(
+        TraceLibrary::new(TraceGenConfig::default()),
+        SimConfig {
+            duration: 0.1,
+            ..SimConfig::default()
+        },
+        DtmConfig::default(),
+    );
+
+    // gzip-twolf-ammp-lucas: the paper's running example of a workload
+    // whose integer-bound and FP-bound threads heat different hotspots.
+    let workload = &standard_workloads()[6];
+    println!("workload: {} ({})", workload.display_name(), workload.mix_label());
+
+    let baseline = exp.run(workload, PolicySpec::baseline())?;
+    let best = exp.run(workload, PolicySpec::best())?;
+
+    for (policy, r) in [
+        (PolicySpec::baseline(), &baseline),
+        (PolicySpec::best(), &best),
+    ] {
+        println!(
+            "\n{}:\n  {:.2} BIPS | duty {:.1}% | hottest sensor {:.1} C | \
+             {} stalls | {} migrations | emergencies {:.2} ms",
+            policy.name(),
+            r.bips(),
+            100.0 * r.duty_cycle,
+            r.max_temp,
+            r.stalls,
+            r.migrations,
+            1e3 * r.emergency_time,
+        );
+    }
+    println!(
+        "\nspeedup of the two-loop policy over the baseline: {:.2}x",
+        best.relative_throughput(&baseline)
+    );
+    Ok(())
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure reproduction and extension experiment
+# into results/. Takes ~25 minutes at the default 0.5 s run duration;
+# pass a shorter duration (e.g. 0.1) as $1 for a quick pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+duration="${1:-0.5}"
+mkdir -p results
+experiments=(
+  exp_config exp_table1 exp_fig3_table5 exp_table6 exp_table7 exp_fig7
+  exp_table8 exp_threshold exp_control exp_duty_validation
+  exp_sensor_noise exp_core_scaling exp_fig5 exp_energy
+  exp_ablation_rotation exp_ablation_interval exp_ablation_fastmode
+  exp_grid_validation exp_asymmetric
+)
+for exp in "${experiments[@]}"; do
+  echo ">>> $exp"
+  cargo run --release -p dtm-bench --bin "$exp" -- "$duration" > "results/$exp.txt"
+done
+echo "all experiments written to results/"

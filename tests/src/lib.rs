@@ -1,0 +1,50 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use dtm_core::{DtmConfig, Experiment, PolicySpec, RunResult, SimConfig};
+use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary, Workload};
+use std::sync::OnceLock;
+
+/// A process-wide experiment context with short traces and short runs,
+/// shared so the trace cache is built once per test binary.
+pub fn fast_experiment() -> &'static Experiment {
+    static EXP: OnceLock<Experiment> = OnceLock::new();
+    EXP.get_or_init(|| {
+        Experiment::new(
+            TraceLibrary::new(TraceGenConfig::fast_test()),
+            SimConfig {
+                duration: 0.04,
+                ..SimConfig::default()
+            },
+            DtmConfig::default(),
+        )
+    })
+}
+
+/// The paper's running-example workload (gzip-twolf-ammp-lucas, IIFF).
+pub fn mixed_workload() -> Workload {
+    standard_workloads().into_iter().nth(6).expect("workload7")
+}
+
+/// An all-integer workload (workload2).
+pub fn int_workload() -> Workload {
+    standard_workloads().into_iter().nth(1).expect("workload2")
+}
+
+/// Runs a policy on a workload with the fast context.
+pub fn run(workload: &Workload, policy: PolicySpec) -> RunResult {
+    fast_experiment().run(workload, policy).expect("simulation")
+}
+
+/// Sanity checks every run result must satisfy.
+pub fn assert_sane(r: &RunResult) {
+    assert!(r.duration > 0.0);
+    assert!(r.instructions >= 0.0);
+    assert!(
+        (0.0..=1.0 + 1e-9).contains(&r.duty_cycle),
+        "duty cycle {} out of range",
+        r.duty_cycle
+    );
+    assert!(r.max_temp > 40.0 && r.max_temp < 200.0, "temp {}", r.max_temp);
+    assert!(r.emergency_time >= 0.0);
+    assert!(r.bips() >= 0.0);
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over cross-crate invariants.
+
+use dtm_control::{C2dMethod, ClippedPi, PiGains, TransferFunction};
+use dtm_floorplan::Floorplan;
+use dtm_thermal::{LeakageModel, PackageConfig, ThermalModel, TransientSolver};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Steady-state block temperatures never drop below ambient and rise
+    /// monotonically when every block's power is scaled up.
+    #[test]
+    fn steady_state_monotone_in_power(
+        base in 0.05f64..1.5,
+        scale in 1.05f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        let fp = Floorplan::ppc_cmp(2);
+        let model = ThermalModel::new(&fp, &PackageConfig::default()).unwrap();
+        // Deterministic pseudo-random per-block power pattern.
+        let power: Vec<f64> = (0..model.n_blocks())
+            .map(|i| {
+                let x = ((i as u64 + 1) * (seed + 7)) % 97;
+                base * (0.2 + x as f64 / 97.0)
+            })
+            .collect();
+        let hot: Vec<f64> = power.iter().map(|p| p * scale).collect();
+        let t1 = model.steady_state(&power).unwrap();
+        let t2 = model.steady_state(&hot).unwrap();
+        for (a, b) in t1.iter().zip(&t2) {
+            prop_assert!(*a >= model.ambient() - 1e-9);
+            prop_assert!(b >= a);
+        }
+    }
+
+    /// Transient integration never produces non-finite temperatures and
+    /// respects the ambient floor, for any step size.
+    #[test]
+    fn transient_is_robust_to_step_size(
+        dt_us in 1.0f64..200.0,
+        power in 0.0f64..2.0,
+        steps in 1usize..50,
+    ) {
+        let fp = Floorplan::ppc_cmp(1);
+        let model = ThermalModel::new(&fp, &PackageConfig::default()).unwrap();
+        let mut sim = TransientSolver::new(model, 7e-6);
+        let p = vec![power; fp.len()];
+        for _ in 0..steps {
+            sim.step(&p, dt_us * 1e-6).unwrap();
+        }
+        for &t in sim.node_temps() {
+            prop_assert!(t.is_finite());
+            prop_assert!(t >= 45.0 - 1e-9);
+        }
+    }
+
+    /// The clipped PI controller's output is always within limits and
+    /// reacts in the correct direction.
+    #[test]
+    fn clipped_pi_respects_limits(errors in proptest::collection::vec(-30.0f64..30.0, 1..300)) {
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        for e in errors {
+            let u = pi.update(e);
+            prop_assert!((0.2..=1.0).contains(&u));
+        }
+    }
+
+    /// Forward-Euler discretization of any stable PI keeps the
+    /// integrator pole exactly at z = 1 (trapezoidal/backward too).
+    #[test]
+    fn pi_discretizations_keep_integrator_pole(
+        kp in 0.001f64..1.0,
+        ki in 1.0f64..1000.0,
+        dt_us in 5.0f64..100.0,
+    ) {
+        for method in [C2dMethod::ForwardEuler, C2dMethod::Tustin, C2dMethod::BackwardEuler] {
+            let d = TransferFunction::pi(kp, ki).c2d(dt_us * 1e-6, method);
+            let has_unit_pole = d
+                .poles()
+                .iter()
+                .any(|p| (p.re - 1.0).abs() < 1e-6 && p.im.abs() < 1e-6);
+            prop_assert!(has_unit_pole, "{method:?} lost the integrator pole");
+        }
+    }
+
+    /// Leakage power is non-negative and monotone in temperature for any
+    /// non-negative calibration.
+    #[test]
+    fn leakage_monotone(
+        p_ref in 0.0f64..5.0,
+        beta in 0.0f64..0.1,
+        t1 in 30.0f64..80.0,
+        dt in 0.1f64..60.0,
+    ) {
+        let m = LeakageModel::new(vec![p_ref], 45.0, beta);
+        let a = m.power(&[t1])[0];
+        let b = m.power(&[t1 + dt])[0];
+        prop_assert!(a >= 0.0);
+        prop_assert!(b >= a);
+    }
+
+    /// Any floorplan the generator produces validates, and its blocks
+    /// stay within the chip outline.
+    #[test]
+    fn generated_floorplans_validate(cores in 1usize..9) {
+        let fp = Floorplan::ppc_cmp(cores);
+        prop_assert!(fp.validate().is_ok());
+        let area: f64 = fp.blocks().iter().map(|b| b.area()).sum();
+        prop_assert!(area <= fp.chip_area() * (1.0 + 1e-9));
+    }
+
+    /// The PI gains' trailing coefficient formula matches the difference
+    /// equation produced by the generic c2d machinery.
+    #[test]
+    fn pi_gains_match_c2d(
+        kp in 0.001f64..0.5,
+        ki in 10.0f64..500.0,
+    ) {
+        let gains = PiGains { kp, ki, dt: 27.78e-6 };
+        let d = TransferFunction::pi(kp, ki).c2d(gains.dt, C2dMethod::ForwardEuler);
+        let (b, _a) = d.difference_coeffs();
+        // b[1] is the e[n−1] coefficient of +G; the clipped controller
+        // uses −G, so compare against the negated trailing coefficient.
+        prop_assert!((b[1] + gains.trailing_coeff()).abs() < 1e-12);
+    }
+}

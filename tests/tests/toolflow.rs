@@ -1,0 +1,130 @@
+//! Toolflow integration: the Figure-2 pipeline (streams → activity →
+//! power → traces → thermal/timing simulation) is deterministic and
+//! internally consistent across crate boundaries.
+
+use dtm_core::{DtmConfig, PolicySpec, SimConfig, Telemetry, ThermalTimingSim};
+use dtm_floorplan::UnitKind;
+use dtm_tests::{fast_experiment, mixed_workload};
+use dtm_workloads::{benchmark, generate_trace, standard_workloads, TraceGenConfig};
+
+#[test]
+fn trace_generation_is_reproducible_across_library_instances() {
+    let cfg = TraceGenConfig::fast_test();
+    let b = benchmark("twolf");
+    let t1 = generate_trace(&b, &cfg);
+    let t2 = generate_trace(&b, &cfg);
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn full_simulation_is_deterministic() {
+    let w = mixed_workload();
+    let p = PolicySpec::best();
+    let r1 = fast_experiment().run(&w, p).unwrap();
+    let r2 = fast_experiment().run(&w, p).unwrap();
+    assert_eq!(r1.instructions, r2.instructions);
+    assert_eq!(r1.migrations, r2.migrations);
+    assert_eq!(r1.duty_cycle, r2.duty_cycle);
+}
+
+#[test]
+fn int_and_fp_workloads_heat_their_own_register_files() {
+    let exp = fast_experiment();
+    let lib = exp.library();
+    let gzip = lib.trace(&benchmark("gzip"));
+    let lucas = lib.trace(&benchmark("lucas"));
+    assert!(
+        gzip.mean_unit_power(UnitKind::IntRegFile) > 2.0 * gzip.mean_unit_power(UnitKind::FpRegFile)
+    );
+    assert!(
+        lucas.mean_unit_power(UnitKind::FpRegFile)
+            > 2.0 * lucas.mean_unit_power(UnitKind::IntRegFile)
+    );
+}
+
+#[test]
+fn mcf_remains_by_far_the_coolest_benchmark() {
+    let exp = fast_experiment();
+    let lib = exp.library();
+    let mcf = lib.trace(&benchmark("mcf")).mean_core_power();
+    for name in ["gzip", "crafty", "sixtrack", "mesa", "swim"] {
+        let p = lib.trace(&benchmark(name)).mean_core_power();
+        assert!(mcf < 0.8 * p, "mcf {mcf} vs {name} {p}");
+    }
+}
+
+#[test]
+fn telemetry_matches_run_metrics() {
+    let w = mixed_workload();
+    let exp = fast_experiment();
+    let (result, telemetry) = exp
+        .run_with_telemetry(&w, PolicySpec::baseline(), 10)
+        .unwrap();
+    let records = telemetry.records();
+    assert!(!records.is_empty());
+    // Times are monotone and bounded by the run duration.
+    for pair in records.windows(2) {
+        assert!(pair[1].time > pair[0].time);
+    }
+    assert!(records.last().unwrap().time <= result.duration + 1e-9);
+    // Recorded temperatures never exceed the observed maximum.
+    for r in records {
+        for t in &r.sensor_temps {
+            assert!(t[0] <= result.max_temp + 1e-9);
+            assert!(t[1] <= result.max_temp + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn engine_rejects_mismatched_inputs() {
+    let exp = fast_experiment();
+    let lib = exp.library();
+    let one_trace = vec![lib.trace(&benchmark("gzip"))];
+    let err = ThermalTimingSim::new(
+        SimConfig::default(),
+        DtmConfig::default(),
+        PolicySpec::baseline(),
+        one_trace,
+    );
+    assert!(err.is_err(), "4-core chip must reject 1 trace");
+}
+
+#[test]
+fn stepping_manually_equals_run() {
+    let exp = fast_experiment();
+    let w = mixed_workload();
+    let mut a = exp.build(&w, PolicySpec::baseline()).unwrap();
+    let mut b = exp.build(&w, PolicySpec::baseline()).unwrap();
+    let ra = a.run().unwrap();
+    while b.time() < exp.sim_config().duration {
+        b.step().unwrap();
+    }
+    let rb = b.result();
+    assert_eq!(ra.instructions, rb.instructions);
+    assert_eq!(ra.stalls, rb.stalls);
+}
+
+#[test]
+fn workload_table_is_stable() {
+    // Table 4 must not drift: 12 workloads with the published mixes.
+    let ws = standard_workloads();
+    assert_eq!(ws.len(), 12);
+    assert_eq!(ws[6].display_name(), "gzip-twolf-ammp-lucas");
+    assert_eq!(ws[11].mix_label(), "FFFF");
+}
+
+#[test]
+fn telemetry_can_be_detached_and_reattached() {
+    let exp = fast_experiment();
+    let w = mixed_workload();
+    let mut sim = exp.build(&w, PolicySpec::baseline()).unwrap();
+    assert!(sim.take_telemetry().is_none());
+    sim.attach_telemetry(Telemetry::every(5));
+    for _ in 0..50 {
+        sim.step().unwrap();
+    }
+    let tel = sim.take_telemetry().unwrap();
+    assert_eq!(tel.records().len(), 10);
+    assert!(sim.take_telemetry().is_none());
+}
