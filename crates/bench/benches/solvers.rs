@@ -40,8 +40,7 @@ fn microarch(c: &mut Criterion) {
     c.bench_function("microarch/run_sample_x5", |b| {
         b.iter_batched(
             || {
-                let mut core =
-                    CoreSim::new(CoreConfig::default(), StreamProfile::generic_int(), 1);
+                let mut core = CoreSim::new(CoreConfig::default(), StreamProfile::generic_int(), 1);
                 core.run_cycles(100_000);
                 core
             },

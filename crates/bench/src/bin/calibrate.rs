@@ -22,7 +22,10 @@ fn main() {
     );
     let workloads: Vec<_> = standard_workloads().into_iter().take(n_workloads).collect();
 
-    println!("{:<44} {:>7} {:>7} {:>8} {:>7} {:>9}", "run", "BIPS", "duty%", "maxT", "stalls", "emerg_ms");
+    println!(
+        "{:<44} {:>7} {:>7} {:>8} {:>7} {:>9}",
+        "run", "BIPS", "duty%", "maxT", "stalls", "emerg_ms"
+    );
     for policy in PolicySpec::all().into_iter().take(4) {
         let mut bips = Vec::new();
         let mut duty = Vec::new();

@@ -21,7 +21,10 @@ fn main() {
     ];
 
     for (label, constriction) in [
-        ("with sub-block fast mode (default)", PackageConfig::default().local_constriction),
+        (
+            "with sub-block fast mode (default)",
+            PackageConfig::default().local_constriction,
+        ),
         ("ablated (local_constriction = 0)", 0.0),
     ] {
         let package = PackageConfig {

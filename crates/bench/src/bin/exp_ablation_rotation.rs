@@ -4,9 +4,7 @@
 //! the related work the paper builds on)?
 
 use dtm_bench::{duration_arg, experiment_with_duration, mean_bips, mean_duty};
-use dtm_core::{
-    MigrationKind, PolicySpec, RotationMigration, Scope, ThrottleKind,
-};
+use dtm_core::{MigrationKind, PolicySpec, RotationMigration, Scope, ThrottleKind};
 use dtm_workloads::standard_workloads;
 
 fn main() {

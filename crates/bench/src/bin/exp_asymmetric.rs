@@ -30,9 +30,13 @@ fn main() {
                 core_max_scale: ceilings,
                 ..SimConfig::default()
             };
-            let mut sim =
-                ThermalTimingSim::new(cfg, DtmConfig::default(), PolicySpec::best(), traces.clone())
-                    .expect("construct");
+            let mut sim = ThermalTimingSim::new(
+                cfg,
+                DtmConfig::default(),
+                PolicySpec::best(),
+                traces.clone(),
+            )
+            .expect("construct");
             let r = sim.run().expect("run");
             println!(
                 "{:<14} {:<26} {:>7.2} {:>8.1}% {:>8.1}C {:>11}",

@@ -36,7 +36,10 @@ fn main() {
         "  Functional units          {} FXU, {} FPU, {} LSU, {} BXU",
         core.n_fxu, core.n_fpu, core.n_lsu, core.n_bxu
     );
-    println!("  Physical registers        120 GPR, 108 FPR, 90 SPR (window {})", core.window);
+    println!(
+        "  Physical registers        120 GPR, 108 FPR, 90 SPR (window {})",
+        core.window
+    );
     println!(
         "  Branch predictor          {}K-entry bimodal + gshare + selector",
         core.bpred_entries / 1024
@@ -62,7 +65,10 @@ fn main() {
         core.l2.block_bytes,
         core.l2_latency
     );
-    println!("  Main memory               {}-cycle latency", core.mem_latency);
+    println!(
+        "  Main memory               {}-cycle latency",
+        core.mem_latency
+    );
     println!(
         "  DVFS transition penalty   {:.0} us",
         dtm.dvfs_transition_penalty * 1e6

@@ -12,8 +12,14 @@ use dtm_control::{
 fn main() {
     let gains = PiGains::paper_defaults();
     println!("== Continuous design ==");
-    println!("  G(s) = Kp + Ki/s with Kp = {}, Ki = {}", gains.kp, gains.ki);
-    println!("  control period T = {:.4} us (100k cycles @ 3.6 GHz)", gains.dt * 1e6);
+    println!(
+        "  G(s) = Kp + Ki/s with Kp = {}, Ki = {}",
+        gains.kp, gains.ki
+    );
+    println!(
+        "  control period T = {:.4} us (100k cycles @ 3.6 GHz)",
+        gains.dt * 1e6
+    );
 
     let g = TransferFunction::pi(gains.kp, gains.ki);
     let d = g.c2d(gains.dt, C2dMethod::ForwardEuler);
@@ -68,7 +74,10 @@ fn main() {
     }
 
     println!("\n== Closed-loop step response ==");
-    let cl = g.series(&plant).unity_feedback().c2d(gains.dt, C2dMethod::Tustin);
+    let cl = g
+        .series(&plant)
+        .unity_feedback()
+        .c2d(gains.dt, C2dMethod::Tustin);
     let n = (0.1 / gains.dt) as usize;
     let y = cl.simulate(&response::step_input(n));
     let ss = response::steady_state(&y);
@@ -87,7 +96,10 @@ fn main() {
         } else {
             TransferFunction::pid(gains.kp, gains.ki, kd)
         };
-        let cl = ctl.series(&plant).unity_feedback().c2d(gains.dt, C2dMethod::Tustin);
+        let cl = ctl
+            .series(&plant)
+            .unity_feedback()
+            .c2d(gains.dt, C2dMethod::Tustin);
         let y = cl.simulate(&response::step_input(n));
         let settle = response::settling_index(&y, 1.0, 0.02)
             .map(|i| format!("{:.2} ms", i as f64 * gains.dt * 1e3))

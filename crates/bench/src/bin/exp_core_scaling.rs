@@ -13,7 +13,9 @@ fn main() {
     let lib = TraceLibrary::new(TraceGenConfig::default());
     // One hot integer thread plus cooler companions, replicated to the
     // core count: the paper's single-hotspot asymmetry scenario.
-    let names = ["gzip", "ammp", "swim", "equake", "art", "mgrid", "applu", "lucas"];
+    let names = [
+        "gzip", "ammp", "swim", "equake", "art", "mgrid", "applu", "lucas",
+    ];
 
     println!(
         "{:>6} {:>14} {:>14} {:>18}",

@@ -5,62 +5,63 @@
 //! to the distributed stop-go baseline. Table 5 reports the policy means
 //! (BIPS, effective duty cycle, relative throughput).
 
-use dtm_bench::{duration_arg, experiment_with_duration, figure_label, mean_bips, mean_duty};
+use dtm_bench::{figure_label, mean_bips, mean_duty};
 use dtm_core::{MigrationKind, PolicySpec, Scope, ThrottleKind};
-use dtm_workloads::standard_workloads;
+use dtm_harness::{report, run_standard, SweepArgs, SweepSpec, Table};
 
 fn main() {
-    let exp = experiment_with_duration(duration_arg());
-    let workloads = standard_workloads();
-
+    let args = SweepArgs::from_env();
     let policies = [
         PolicySpec::new(ThrottleKind::StopGo, Scope::Global, MigrationKind::None),
-        PolicySpec::new(ThrottleKind::StopGo, Scope::Distributed, MigrationKind::None),
+        PolicySpec::new(
+            ThrottleKind::StopGo,
+            Scope::Distributed,
+            MigrationKind::None,
+        ),
         PolicySpec::new(ThrottleKind::Dvfs, Scope::Global, MigrationKind::None),
         PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
     ];
-    let mut results = Vec::new();
-    for p in policies {
-        let runs: Vec<_> = workloads.iter().map(|w| exp.run(w, p).expect("run")).collect();
-        results.push((p, runs));
-    }
-    let baseline = &results[1].1; // distributed stop-go
+    let spec = SweepSpec::standard(args.duration).policies(policies);
+    let results = run_standard(spec, &args).expect("sweep");
+    let baseline = results.policy_runs(policies[1]); // distributed stop-go
 
-    println!("== Figure 3: per-workload throughput relative to dist. stop-go ==\n");
-    println!(
-        "{:<44} {:>9} {:>9} {:>9}",
-        "workload", "glob SG", "glob DVFS", "dist DVFS"
-    );
-    for (i, w) in workloads.iter().enumerate() {
+    let mut fig3 = Table::new(["workload", "glob SG", "glob DVFS", "dist DVFS"])
+        .with_title("Figure 3: per-workload throughput relative to dist. stop-go");
+    for (i, w) in results.spec().workload_axis().iter().enumerate() {
         let base = baseline[i].bips();
-        println!(
-            "{:<44} {:>9.2} {:>9.2} {:>9.2}",
+        fig3.row([
             figure_label(w),
-            results[0].1[i].bips() / base,
-            results[2].1[i].bips() / base,
-            results[3].1[i].bips() / base,
-        );
+            report::num2(results.get(policies[0], i).bips() / base),
+            report::num2(results.get(policies[2], i).bips() / base),
+            report::num2(results.get(policies[3], i).bips() / base),
+        ]);
     }
+    fig3.print(args.json);
 
-    println!("\n== Table 5: policy averages ==\n");
-    println!(
-        "{:<16} {:>7} {:>11} {:>10} {:>12}",
-        "policy", "BIPS", "duty cycle", "relative", "emergencies"
-    );
-    let base_bips = mean_bips(baseline);
-    for (p, runs) in &results {
+    let mut table5 = Table::new(["policy", "BIPS", "duty cycle", "relative", "emergencies"])
+        .with_title("Table 5: policy averages");
+    let base_bips = mean_bips(&baseline);
+    for p in policies {
+        let runs = results.policy_runs(p);
         let emer: f64 = runs.iter().map(|r| r.emergency_time).sum();
-        println!(
-            "{:<16} {:>7.2} {:>10.2}% {:>9.2}x {:>10.2}ms",
+        table5.row([
             p.name(),
-            mean_bips(runs),
-            100.0 * mean_duty(runs),
-            mean_bips(runs) / base_bips,
-            1e3 * emer
-        );
+            report::num2(mean_bips(&runs)),
+            report::pct(mean_duty(&runs)),
+            report::times(mean_bips(&runs) / base_bips),
+            format!("{:.2}ms", 1e3 * emer),
+        ]);
     }
-    println!(
-        "\npaper reference: stop-go 2.79 BIPS 19.77% 0.62x | dist stop-go 4.53 32.57% 1.00x"
-    );
-    println!("                 global DVFS 9.36 66.49% 2.07x | dist DVFS 11.36 81.02% 2.51x");
+    if !args.json {
+        println!();
+    }
+    table5.print(args.json);
+
+    if !args.json {
+        println!(
+            "\npaper reference: stop-go 2.79 BIPS 19.77% 0.62x | dist stop-go 4.53 32.57% 1.00x"
+        );
+        println!("                 global DVFS 9.36 66.49% 2.07x | dist DVFS 11.36 81.02% 2.51x");
+        eprintln!("{}", results.summary());
+    }
 }

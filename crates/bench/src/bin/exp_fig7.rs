@@ -2,36 +2,49 @@
 //! conjunction with distributed DVFS (the best-performing practical
 //! policy of the original four).
 
-use dtm_bench::{duration_arg, experiment_with_duration, figure_label, run_all_workloads};
+use dtm_bench::figure_label;
 use dtm_core::{MigrationKind, PolicySpec, Scope, ThrottleKind};
-use dtm_workloads::standard_workloads;
+use dtm_harness::{report, run_standard, SweepArgs, SweepSpec, Table};
 
 fn main() {
-    let exp = experiment_with_duration(duration_arg());
+    let args = SweepArgs::from_env();
     let dvfs = |m| PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, m);
-    let plain = run_all_workloads(&exp, dvfs(MigrationKind::None)).expect("plain");
-    let counter = run_all_workloads(&exp, dvfs(MigrationKind::CounterBased)).expect("counter");
-    let sensor = run_all_workloads(&exp, dvfs(MigrationKind::SensorBased)).expect("sensor");
+    let spec = SweepSpec::standard(args.duration).policies([
+        dvfs(MigrationKind::None),
+        dvfs(MigrationKind::CounterBased),
+        dvfs(MigrationKind::SensorBased),
+    ]);
+    let results = run_standard(spec, &args).expect("sweep");
+    let plain = results.policy_runs(dvfs(MigrationKind::None));
+    let counter = results.policy_runs(dvfs(MigrationKind::CounterBased));
+    let sensor = results.policy_runs(dvfs(MigrationKind::SensorBased));
 
-    println!(
-        "{:<44} {:>14} {:>14}",
-        "workload", "counter Δ%", "sensor Δ%"
-    );
+    let mut table = Table::new(["workload", "counter Δ%", "sensor Δ%"])
+        .with_title("Figure 7: migration deltas on dist. DVFS");
     let mut counter_deltas = Vec::new();
     let mut sensor_deltas = Vec::new();
-    for (i, w) in standard_workloads().iter().enumerate() {
+    for (i, w) in results.spec().workload_axis().iter().enumerate() {
         let base = plain[i].bips();
         let dc = 100.0 * (counter[i].bips() / base - 1.0);
         let ds = 100.0 * (sensor[i].bips() / base - 1.0);
         counter_deltas.push(dc);
         sensor_deltas.push(ds);
-        println!("{:<44} {:>13.2}% {:>13.2}%", figure_label(w), dc, ds);
+        table.row([
+            figure_label(w),
+            report::signed_pct(dc),
+            report::signed_pct(ds),
+        ]);
     }
-    println!(
-        "\nmean: counter {:+.2}%, sensor {:+.2}%",
-        dtm_core::mean(&counter_deltas),
-        dtm_core::mean(&sensor_deltas)
-    );
-    println!("paper: deltas range from about -2% to +7% per workload; both policies");
-    println!("help on average (sensor slightly more) but not on every workload.");
+    table.print(args.json);
+
+    if !args.json {
+        println!(
+            "\nmean: counter {:+.2}%, sensor {:+.2}%",
+            dtm_core::mean(&counter_deltas),
+            dtm_core::mean(&sensor_deltas)
+        );
+        println!("paper: deltas range from about -2% to +7% per workload; both policies");
+        println!("help on average (sensor slightly more) but not on every workload.");
+        eprintln!("{}", results.summary());
+    }
 }

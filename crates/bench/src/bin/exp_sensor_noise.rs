@@ -53,7 +53,10 @@ fn main() {
             DtmConfig::default(),
         );
         let runs = run_all_workloads(&exp, PolicySpec::best()).expect("run");
-        let max_t = runs.iter().map(|r| r.max_temp).fold(f64::NEG_INFINITY, f64::max);
+        let max_t = runs
+            .iter()
+            .map(|r| r.max_temp)
+            .fold(f64::NEG_INFINITY, f64::max);
         let emer: f64 = runs.iter().map(|r| r.emergency_time).sum();
         println!(
             "{:<30} {:>7.2} {:>8.1}% {:>9.2} C {:>10.2} ms",

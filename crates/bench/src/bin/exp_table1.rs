@@ -17,7 +17,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.3);
     let lib = TraceLibrary::new(TraceGenConfig::default());
-    println!("{:<10} {:>6} {:>14} {:>8}", "benchmark", "suite", "temp (°C)", "class");
+    println!(
+        "{:<10} {:>6} {:>14} {:>8}",
+        "benchmark", "suite", "temp (°C)", "class"
+    );
     let mut rows = Vec::new();
     for b in all_benchmarks() {
         let s = unconstrained_steady_temp(&b, &lib, duration).expect("run");
@@ -25,7 +28,11 @@ fn main() {
     }
     rows.sort_by(|a, b| b.1.mean.total_cmp(&a.1.mean));
     for (b, s) in &rows {
-        let class = if s.is_steady(1.5) { "steady" } else { "oscillating" };
+        let class = if s.is_steady(1.5) {
+            "steady"
+        } else {
+            "oscillating"
+        };
         let temp = if s.is_steady(1.5) {
             format!("{:.0}", s.mean)
         } else {

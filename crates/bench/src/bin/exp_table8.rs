@@ -1,52 +1,54 @@
 //! Table 8: the full taxonomy grid — relative instruction throughput of
 //! all 12 policy combinations against the distributed stop-go baseline.
 
-use dtm_bench::{duration_arg, experiment_with_duration, mean_bips, run_all_workloads};
+use dtm_bench::mean_bips;
 use dtm_core::{MigrationKind, PolicySpec, Scope, ThrottleKind};
+use dtm_harness::{report, run_standard, SweepArgs, SweepSpec, Table};
 
 fn main() {
-    let exp = experiment_with_duration(duration_arg());
-    let baseline = run_all_workloads(&exp, PolicySpec::baseline()).expect("baseline");
-    let base = mean_bips(&baseline);
+    let args = SweepArgs::from_env();
+    let spec = SweepSpec::standard(args.duration).policies(PolicySpec::all());
+    let results = run_standard(spec, &args).expect("sweep");
+    let base = mean_bips(&results.policy_runs(PolicySpec::baseline()));
 
-    let migrations = [
-        (MigrationKind::None, "No migration"),
-        (MigrationKind::CounterBased, "Counter-based migration"),
-        (MigrationKind::SensorBased, "Sensor-based migration"),
-    ];
-
-    println!(
-        "{:<13} {:>23} {:>27} {:>26}",
-        "", "No migration", "Counter-based migration", "Sensor-based migration"
-    );
-    println!(
-        "{:<13} {:>11} {:>11} {:>13} {:>13} {:>13} {:>12}",
-        "", "Stop-go", "DVFS", "Stop-go", "DVFS", "Stop-go", "DVFS"
-    );
+    let mut table = Table::new([
+        "",
+        "No-mig stop-go",
+        "No-mig DVFS",
+        "Counter stop-go",
+        "Counter DVFS",
+        "Sensor stop-go",
+        "Sensor DVFS",
+    ])
+    .with_title("Table 8: relative throughput of all 12 policies");
     for scope in [Scope::Global, Scope::Distributed] {
-        let mut cells = Vec::new();
-        for (migration, _) in migrations {
-            for throttle in [ThrottleKind::StopGo, ThrottleKind::Dvfs] {
-                let p = PolicySpec::new(throttle, scope, migration);
-                let rel = if p == PolicySpec::baseline() {
-                    "baseline".to_string()
-                } else {
-                    let runs = run_all_workloads(&exp, p).expect("run");
-                    format!("{:.2}x", mean_bips(&runs) / base)
-                };
-                cells.push(rel);
-            }
-        }
         let label = match scope {
             Scope::Global => "Global",
             Scope::Distributed => "Distributed",
         };
-        println!(
-            "{:<13} {:>11} {:>11} {:>13} {:>13} {:>13} {:>12}",
-            label, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
-        );
+        let mut row = vec![label.to_string()];
+        for migration in [
+            MigrationKind::None,
+            MigrationKind::CounterBased,
+            MigrationKind::SensorBased,
+        ] {
+            for throttle in [ThrottleKind::StopGo, ThrottleKind::Dvfs] {
+                let p = PolicySpec::new(throttle, scope, migration);
+                row.push(if p == PolicySpec::baseline() {
+                    "baseline".to_string()
+                } else {
+                    report::times(mean_bips(&results.policy_runs(p)) / base)
+                });
+            }
+        }
+        table.row(row);
     }
-    println!("\npaper (Table 8):");
-    println!("  Global        0.62x   2.1x     1.2x   2.2x     1.2x   2.1x");
-    println!("  Distributed   base    2.5x     2.0x   2.6x     2.1x   2.6x");
+    table.print(args.json);
+
+    if !args.json {
+        println!("\npaper (Table 8):");
+        println!("  Global        0.62x   2.1x     1.2x   2.2x     1.2x   2.1x");
+        println!("  Distributed   base    2.5x     2.0x   2.6x     2.1x   2.6x");
+        eprintln!("{}", results.summary());
+    }
 }

@@ -2,55 +2,70 @@
 //! increases duty cycles by roughly 10–15 percentage points while the
 //! relative performance tradeoffs remain as presented.
 
-use dtm_bench::{duration_arg, mean_bips, mean_duty, run_all_workloads};
-use dtm_core::{DtmConfig, Experiment, MigrationKind, PolicySpec, Scope, SimConfig, ThrottleKind};
-use dtm_workloads::{TraceGenConfig, TraceLibrary};
+use dtm_bench::{mean_bips, mean_duty};
+use dtm_core::{DtmConfig, MigrationKind, PolicySpec, Scope, SimConfig, ThrottleKind};
+use dtm_harness::{report, run_standard, ConfigVariant, SweepArgs, SweepSpec, Table};
 
 fn main() {
-    let duration = duration_arg();
+    let args = SweepArgs::from_env();
     let policies = [
         PolicySpec::new(ThrottleKind::StopGo, Scope::Global, MigrationKind::None),
         PolicySpec::baseline(),
         PolicySpec::new(ThrottleKind::Dvfs, Scope::Global, MigrationKind::None),
         PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
     ];
+    let sim = SimConfig {
+        duration: args.duration,
+        ..SimConfig::default()
+    };
+    // Two points on the configuration axis: the study threshold and the
+    // §5.3 sensitivity threshold.
+    let variants = [("threshold=84.2", 84.2), ("threshold=100", 100.0)];
+    let spec = SweepSpec::standard(args.duration)
+        .policies(policies)
+        .variant(ConfigVariant::new(
+            variants[0].0,
+            sim.clone(),
+            DtmConfig::with_threshold(variants[0].1),
+        ))
+        .add_variant(ConfigVariant::new(
+            variants[1].0,
+            sim,
+            DtmConfig::with_threshold(variants[1].1),
+        ));
+    let results = run_standard(spec, &args).expect("sweep");
 
-    let mut per_threshold = Vec::new();
-    for threshold in [84.2, 100.0] {
-        let exp = Experiment::new(
-            TraceLibrary::new(TraceGenConfig::default()),
-            SimConfig {
-                duration,
-                ..SimConfig::default()
-            },
-            DtmConfig::with_threshold(threshold),
-        );
-        let results: Vec<_> = policies
-            .iter()
-            .map(|&p| run_all_workloads(&exp, p).expect("run"))
-            .collect();
-        per_threshold.push((threshold, results));
+    let mut table = Table::new(["policy", "duty @84.2C", "duty @100C", "Δ (pp)"])
+        .with_title("§5.3: duty-cycle sensitivity to the threshold");
+    for p in policies {
+        let d0 = 100.0 * mean_duty(&results.policy_runs_in(variants[0].0, p));
+        let d1 = 100.0 * mean_duty(&results.policy_runs_in(variants[1].0, p));
+        table.row([
+            p.name(),
+            format!("{d0:.1}%"),
+            format!("{d1:.1}%"),
+            format!("{:+.1}", d1 - d0),
+        ]);
     }
+    table.print(args.json);
 
-    println!(
-        "{:<16} {:>16} {:>16} {:>10}",
-        "policy", "duty @84.2C", "duty @100C", "Δ (pp)"
-    );
-    for (i, p) in policies.iter().enumerate() {
-        let d0 = 100.0 * mean_duty(&per_threshold[0].1[i]);
-        let d1 = 100.0 * mean_duty(&per_threshold[1].1[i]);
-        println!("{:<16} {:>15.1}% {:>15.1}% {:>+9.1}", p.name(), d0, d1, d1 - d0);
+    if !args.json {
+        println!("\nrelative throughput ordering at each threshold (vs dist. stop-go):");
+        for (name, threshold) in variants {
+            let base = mean_bips(&results.policy_runs_in(name, PolicySpec::baseline()));
+            let rels: Vec<String> = policies
+                .iter()
+                .map(|&p| {
+                    format!(
+                        "{} {}",
+                        p.name(),
+                        report::times(mean_bips(&results.policy_runs_in(name, p)) / base)
+                    )
+                })
+                .collect();
+            println!("  @{threshold} C: {}", rels.join(" | "));
+        }
+        println!("\npaper: +10 to +15 percentage points of duty at 100 C; ordering unchanged.");
+        eprintln!("{}", results.summary());
     }
-
-    println!("\nrelative throughput ordering at each threshold (vs dist. stop-go):");
-    for (threshold, results) in &per_threshold {
-        let base = mean_bips(&results[1]);
-        let rels: Vec<String> = policies
-            .iter()
-            .zip(results)
-            .map(|(p, r)| format!("{} {:.2}x", p.name(), mean_bips(r) / base))
-            .collect();
-        println!("  @{threshold} C: {}", rels.join(" | "));
-    }
-    println!("\npaper: +10 to +15 percentage points of duty at 100 C; ordering unchanged.");
 }

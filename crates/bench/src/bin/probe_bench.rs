@@ -4,7 +4,10 @@ use dtm_workloads::{all_benchmarks, TraceGenConfig, TraceLibrary};
 
 fn main() {
     let lib = TraceLibrary::new(TraceGenConfig::default());
-    println!("{:<10} {:>5} {:>7} {:>7} {:>7}", "bench", "IPC", "intRF", "fpRF", "core W");
+    println!(
+        "{:<10} {:>5} {:>7} {:>7} {:>7}",
+        "bench", "IPC", "intRF", "fpRF", "core W"
+    );
     for b in all_benchmarks() {
         let t = lib.trace(&b);
         println!(

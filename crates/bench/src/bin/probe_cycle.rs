@@ -5,25 +5,47 @@ use dtm_core::{DtmConfig, Experiment, PolicySpec, SimConfig};
 use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
 
 fn main() {
-    let sim = SimConfig { duration: 0.3, ..SimConfig::default() };
-    let exp = Experiment::new(TraceLibrary::new(TraceGenConfig::default()), sim, DtmConfig::default());
+    let sim = SimConfig {
+        duration: 0.3,
+        ..SimConfig::default()
+    };
+    let exp = Experiment::new(
+        TraceLibrary::new(TraceGenConfig::default()),
+        sim,
+        DtmConfig::default(),
+    );
     let w = &standard_workloads()[1]; // crafty-eon-parser-perlbmk
 
-    for policy in [PolicySpec::baseline(), PolicySpec::new(dtm_core::ThrottleKind::Dvfs, dtm_core::Scope::Distributed, dtm_core::MigrationKind::None)] {
+    for policy in [
+        PolicySpec::baseline(),
+        PolicySpec::new(
+            dtm_core::ThrottleKind::Dvfs,
+            dtm_core::Scope::Distributed,
+            dtm_core::MigrationKind::None,
+        ),
+    ] {
         let (r, tel) = exp.run_with_telemetry(w, policy, 18).unwrap();
-        println!("== {} duty {:.1}% bips {:.2}", policy.name(), r.duty_cycle*100.0, r.bips());
+        println!(
+            "== {} duty {:.1}% bips {:.2}",
+            policy.name(),
+            r.duty_cycle * 100.0,
+            r.bips()
+        );
         // core 0 hot sensor trajectory: min/max, and scale stats
         let recs = tel.records();
-        let hot: Vec<f64> = recs.iter().map(|r| r.sensor_temps[0][0].max(r.sensor_temps[0][1])).collect();
+        let hot: Vec<f64> = recs
+            .iter()
+            .map(|r| r.sensor_temps[0][0].max(r.sensor_temps[0][1]))
+            .collect();
         let smin = hot.iter().cloned().fold(f64::INFINITY, f64::min);
         let smax = hot.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         println!("   core0 hot sensor range {:.1}..{:.1}", smin, smax);
-        let scale_avg: f64 = recs.iter().map(|r| r.scales[0]).sum::<f64>()/recs.len() as f64;
+        let scale_avg: f64 = recs.iter().map(|r| r.scales[0]).sum::<f64>() / recs.len() as f64;
         println!("   core0 avg scale {:.2}", scale_avg);
         // print a 60 ms window of the trajectory every 1.5 ms
         for r in recs.iter().skip(60).take(40) {
             let h = r.sensor_temps[0][0].max(r.sensor_temps[0][1]);
-            println!("   t={:.1}ms T={:.2} s={:.2}", r.time*1e3, h, r.scales[0]);
+            println!("   t={:.1}ms T={:.2} s={:.2}", r.time * 1e3, h, r.scales[0]);
         }
     }
 }

@@ -3,22 +3,51 @@ use dtm_core::*;
 use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
 
 fn main() {
-    let sim = SimConfig { duration: 0.2, ..SimConfig::default() };
-    let exp = Experiment::new(TraceLibrary::new(TraceGenConfig::default()), sim, DtmConfig::default());
+    let sim = SimConfig {
+        duration: 0.2,
+        ..SimConfig::default()
+    };
+    let exp = Experiment::new(
+        TraceLibrary::new(TraceGenConfig::default()),
+        sim,
+        DtmConfig::default(),
+    );
     let w = &standard_workloads()[6];
     for mig in [MigrationKind::None, MigrationKind::CounterBased] {
         let policy = PolicySpec::new(ThrottleKind::StopGo, Scope::Distributed, mig);
         let (r, tel) = exp.run_with_telemetry(w, policy, 36).unwrap();
-        println!("== {} BIPS {:.2} duty {:.1}% migrations {} stalls {}", policy.name(), r.bips(), 100.0*r.duty_cycle, r.migrations, r.stalls);
+        println!(
+            "== {} BIPS {:.2} duty {:.1}% migrations {} stalls {}",
+            policy.name(),
+            r.bips(),
+            100.0 * r.duty_cycle,
+            r.migrations,
+            r.stalls
+        );
         for (i, t) in r.threads.iter().enumerate() {
-            println!("   thread {} ({}): work {:.3}s migs {}", i, w.benchmarks[i], t.scaled_work, t.migrations);
+            println!(
+                "   thread {} ({}): work {:.3}s migs {}",
+                i, w.benchmarks[i], t.scaled_work, t.migrations
+            );
         }
         // Assignment timeline + temps every 10ms
         let recs = tel.records();
         for rec in recs.iter().step_by(10).take(15) {
-            let temps: Vec<String> = rec.sensor_temps.iter().map(|t| format!("{:.0}/{:.0}", t[0], t[1])).collect();
-            println!("   t={:5.1}ms asg={:?} s={:?} T(int/fp)={}", rec.time*1e3, rec.assignment,
-                rec.scales.iter().map(|s| (s*100.0) as i32).collect::<Vec<_>>(), temps.join(" "));
+            let temps: Vec<String> = rec
+                .sensor_temps
+                .iter()
+                .map(|t| format!("{:.0}/{:.0}", t[0], t[1]))
+                .collect();
+            println!(
+                "   t={:5.1}ms asg={:?} s={:?} T(int/fp)={}",
+                rec.time * 1e3,
+                rec.assignment,
+                rec.scales
+                    .iter()
+                    .map(|s| (s * 100.0) as i32)
+                    .collect::<Vec<_>>(),
+                temps.join(" ")
+            );
         }
     }
 }

@@ -6,13 +6,24 @@ use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let duration: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
-    let sim = SimConfig { duration, ..SimConfig::default() };
-    let exp = Experiment::new(TraceLibrary::new(TraceGenConfig::default()), sim, DtmConfig::default());
+    let sim = SimConfig {
+        duration,
+        ..SimConfig::default()
+    };
+    let exp = Experiment::new(
+        TraceLibrary::new(TraceGenConfig::default()),
+        sim,
+        DtmConfig::default(),
+    );
     let workloads = standard_workloads();
 
     for throttle in [ThrottleKind::StopGo, ThrottleKind::Dvfs] {
         for scope in [Scope::Distributed, Scope::Global] {
-            for migration in [MigrationKind::None, MigrationKind::CounterBased, MigrationKind::SensorBased] {
+            for migration in [
+                MigrationKind::None,
+                MigrationKind::CounterBased,
+                MigrationKind::SensorBased,
+            ] {
                 let policy = PolicySpec::new(throttle, scope, migration);
                 let mut bips = Vec::new();
                 let mut duty = Vec::new();

@@ -3,12 +3,28 @@ use dtm_core::*;
 use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
 
 fn main() {
-    let sim = SimConfig { duration: 0.2, ..SimConfig::default() };
-    let exp = Experiment::new(TraceLibrary::new(TraceGenConfig::default()), sim, DtmConfig::default());
+    let sim = SimConfig {
+        duration: 0.2,
+        ..SimConfig::default()
+    };
+    let exp = Experiment::new(
+        TraceLibrary::new(TraceGenConfig::default()),
+        sim,
+        DtmConfig::default(),
+    );
     for w in standard_workloads() {
         let r = exp.run(&w, PolicySpec::baseline()).unwrap();
-        let duties: Vec<String> = r.threads.iter().zip(&w.benchmarks)
-            .map(|(t, b)| format!("{}={:.0}%", b, 100.0*t.scaled_work/r.duration)).collect();
-        println!("{:<12} duty {:>5.1}%  [{}]", w.id, 100.0*r.duty_cycle, duties.join(" "));
+        let duties: Vec<String> = r
+            .threads
+            .iter()
+            .zip(&w.benchmarks)
+            .map(|(t, b)| format!("{}={:.0}%", b, 100.0 * t.scaled_work / r.duration))
+            .collect();
+        println!(
+            "{:<12} duty {:>5.1}%  [{}]",
+            w.id,
+            100.0 * r.duty_cycle,
+            duties.join(" ")
+        );
     }
 }

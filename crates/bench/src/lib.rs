@@ -9,10 +9,7 @@ use dtm_workloads::{standard_workloads, Workload};
 /// # Errors
 ///
 /// Propagates the first simulation failure.
-pub fn run_all_workloads(
-    exp: &Experiment,
-    policy: PolicySpec,
-) -> Result<Vec<RunResult>, SimError> {
+pub fn run_all_workloads(exp: &Experiment, policy: PolicySpec) -> Result<Vec<RunResult>, SimError> {
     standard_workloads()
         .iter()
         .map(|w| exp.run(w, policy))
@@ -33,17 +30,6 @@ pub fn mean_bips(results: &[RunResult]) -> f64 {
 /// Mean duty cycle over a set of runs.
 pub fn mean_duty(results: &[RunResult]) -> f64 {
     dtm_core::mean(&results.iter().map(|r| r.duty_cycle).collect::<Vec<_>>())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn figure_label_format() {
-        let w = &standard_workloads()[6];
-        assert_eq!(figure_label(w), "gzip-twolf-ammp-lucas (IIFF)");
-    }
 }
 
 /// Parses the run duration (seconds of silicon time) from the first CLI
@@ -68,4 +54,15 @@ pub fn experiment_with_duration(duration: f64) -> Experiment {
         sim,
         DtmConfig::default(),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_label_format() {
+        let w = &standard_workloads()[6];
+        assert_eq!(figure_label(w), "gzip-twolf-ammp-lucas (IIFF)");
+    }
 }

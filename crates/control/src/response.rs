@@ -67,7 +67,9 @@ mod tests {
 
     #[test]
     fn oscillating_signal_never_settles() {
-        let y: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 2.0 }).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 2.0 })
+            .collect();
         assert_eq!(settling_index(&y, 1.0, 0.1), None);
     }
 

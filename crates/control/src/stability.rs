@@ -29,9 +29,12 @@ pub fn routh_hurwitz(char_poly: &Polynomial) -> RouthVerdict {
 
     // Build the first two rows.
     let width = n.div_ceil(2);
-    let mut prev: Vec<f64> = (0..width).map(|i| *coeffs.get(2 * i).unwrap_or(&0.0)).collect();
-    let mut curr: Vec<f64> =
-        (0..width).map(|i| *coeffs.get(2 * i + 1).unwrap_or(&0.0)).collect();
+    let mut prev: Vec<f64> = (0..width)
+        .map(|i| *coeffs.get(2 * i).unwrap_or(&0.0))
+        .collect();
+    let mut curr: Vec<f64> = (0..width)
+        .map(|i| *coeffs.get(2 * i + 1).unwrap_or(&0.0))
+        .collect();
 
     let mut first_column = vec![prev[0]];
     for _row in 2..n {

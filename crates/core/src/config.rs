@@ -225,8 +225,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "min scale")]
     fn bad_min_scale_rejected() {
-        let mut d = DtmConfig::default();
-        d.dvfs_min_scale = 1.5;
+        let d = DtmConfig {
+            dvfs_min_scale: 1.5,
+            ..DtmConfig::default()
+        };
         d.validate();
     }
 

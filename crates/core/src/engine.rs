@@ -12,17 +12,14 @@
 use crate::config::{DtmConfig, SimConfig};
 use crate::metrics::{RunResult, ThreadStats};
 use crate::migration::{
-    CounterMigration, MigrationPolicy, NoMigration, OsObservation, SensorMigration,
-    ThreadCounters,
+    CounterMigration, MigrationPolicy, NoMigration, OsObservation, SensorMigration, ThreadCounters,
 };
 use crate::policy::{MigrationKind, PolicySpec, Scope, ThrottleKind};
 use crate::telemetry::{Telemetry, TelemetryRecord};
 use dtm_control::{ClippedPi, PiGains};
 use dtm_floorplan::{Floorplan, UnitKind};
 use dtm_power::{leakage_reference, PowerTrace, N_CORE_UNITS};
-use dtm_thermal::{
-    LeakageModel, SensorBank, ThermalError, ThermalModel, TransientSolver,
-};
+use dtm_thermal::{LeakageModel, SensorBank, ThermalError, ThermalModel, TransientSolver};
 use std::sync::Arc;
 
 /// Errors surfaced while building or running a simulation.
@@ -209,8 +206,12 @@ impl ThermalTimingSim {
                     .expect("validated floorplan has every per-core unit");
             }
             unit_blocks.push(blocks);
-            let int_rf = floorplan.block_of(core, UnitKind::IntRegFile).expect("int RF");
-            let fp_rf = floorplan.block_of(core, UnitKind::FpRegFile).expect("fp RF");
+            let int_rf = floorplan
+                .block_of(core, UnitKind::IntRegFile)
+                .expect("int RF");
+            let fp_rf = floorplan
+                .block_of(core, UnitKind::FpRegFile)
+                .expect("fp RF");
             sensor_blocks.push([int_rf, fp_rf]);
             sensor_flat.push(int_rf);
             sensor_flat.push(fp_rf);
@@ -446,11 +447,13 @@ impl ThermalTimingSim {
         self.power_buf.resize(self.floorplan.len(), 0.0);
         let mut l2_power = self.l2_idle;
         let mut scales_now = vec![0.0; cores];
-        for core in 0..cores {
+        for (core, scale_slot) in scales_now.iter_mut().enumerate() {
             let s = self.effective_scale(core);
-            scales_now[core] = s;
+            *scale_slot = s;
             let thread = self.assignment[core];
-            let sample = self.traces[thread].sample(self.cursor[thread] as u64).clone();
+            let sample = self.traces[thread]
+                .sample(self.cursor[thread] as u64)
+                .clone();
             if s > 0.0 {
                 let s3 = s * s * s;
                 for u in 0..N_CORE_UNITS {
@@ -636,12 +639,12 @@ impl ThermalTimingSim {
             debug_assert_eq!(plan.len(), self.cfg.cores);
             let mut moved = 0;
             let trip = self.dtm.stopgo_trip();
-            for core in 0..self.cfg.cores {
-                if plan[core] != self.assignment[core] {
+            for (core, &target) in plan.iter().enumerate() {
+                if target != self.assignment[core] {
                     moved += 1;
                     self.penalty_until[core] =
                         self.penalty_until[core].max(self.time + self.dtm.migration_penalty);
-                    self.thread_stats[plan[core]].migrations += 1;
+                    self.thread_stats[target].migrations += 1;
                     // A stop-go stall exists to cool the core below its
                     // trip point; when the OS installs a different
                     // process on a core that has already cooled, the
@@ -706,8 +709,19 @@ mod tests {
         // per_core order: Fetch, BPred, I$, D$, Rename, IssInt, IssFp,
         // IntRF, FpRF, Fxu, Fpu, Lsu, Bxu
         s.units = [
-            base, base, base, base, base, base, base * 0.5, int_rf, fp_rf, base, base * 0.8,
-            base, base * 0.4,
+            base,
+            base,
+            base,
+            base,
+            base,
+            base,
+            base * 0.5,
+            int_rf,
+            fp_rf,
+            base,
+            base * 0.8,
+            base,
+            base * 0.4,
         ];
         s.l2 = 0.2;
         s.instructions = 200_000; // IPC 2
@@ -740,13 +754,9 @@ mod tests {
     }
 
     fn run_policy(policy: PolicySpec, traces: Vec<Arc<PowerTrace>>) -> RunResult {
-        let mut sim = ThermalTimingSim::new(
-            SimConfig::fast_test(),
-            DtmConfig::default(),
-            policy,
-            traces,
-        )
-        .expect("construction");
+        let mut sim =
+            ThermalTimingSim::new(SimConfig::fast_test(), DtmConfig::default(), policy, traces)
+                .expect("construction");
         sim.run().expect("run")
     }
 
@@ -778,7 +788,11 @@ mod tests {
             spec(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
             vec![hot_int(), hot_int(), hot_int(), hot_int()],
         );
-        assert!(r.duty_cycle < 0.99, "should throttle, duty = {}", r.duty_cycle);
+        assert!(
+            r.duty_cycle < 0.99,
+            "should throttle, duty = {}",
+            r.duty_cycle
+        );
         assert!(r.duty_cycle > 0.2, "duty collapsed: {}", r.duty_cycle);
         assert!(
             r.emergency_time < 0.002,
@@ -791,7 +805,11 @@ mod tests {
     #[test]
     fn hot_workload_under_stop_go_stalls() {
         let r = run_policy(
-            spec(ThrottleKind::StopGo, Scope::Distributed, MigrationKind::None),
+            spec(
+                ThrottleKind::StopGo,
+                Scope::Distributed,
+                MigrationKind::None,
+            ),
             vec![hot_int(), hot_int(), hot_int(), hot_int()],
         );
         assert!(r.stalls > 0);
@@ -802,7 +820,11 @@ mod tests {
     fn global_stop_go_is_worse_with_asymmetric_load() {
         let asym = vec![hot_int(), warm(), warm(), warm()];
         let dist = run_policy(
-            spec(ThrottleKind::StopGo, Scope::Distributed, MigrationKind::None),
+            spec(
+                ThrottleKind::StopGo,
+                Scope::Distributed,
+                MigrationKind::None,
+            ),
             asym.clone(),
         );
         let global = run_policy(
@@ -824,7 +846,10 @@ mod tests {
             spec(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
             asym.clone(),
         );
-        let global = run_policy(spec(ThrottleKind::Dvfs, Scope::Global, MigrationKind::None), asym);
+        let global = run_policy(
+            spec(ThrottleKind::Dvfs, Scope::Global, MigrationKind::None),
+            asym,
+        );
         assert!(
             global.duty_cycle < dist.duty_cycle,
             "global {} vs dist {}",
@@ -837,10 +862,17 @@ mod tests {
     fn dvfs_beats_stop_go_on_hot_workloads() {
         let hot = vec![hot_int(), hot_fp(), hot_int(), hot_fp()];
         let sg = run_policy(
-            spec(ThrottleKind::StopGo, Scope::Distributed, MigrationKind::None),
+            spec(
+                ThrottleKind::StopGo,
+                Scope::Distributed,
+                MigrationKind::None,
+            ),
             hot.clone(),
         );
-        let dvfs = run_policy(spec(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None), hot);
+        let dvfs = run_policy(
+            spec(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
+            hot,
+        );
         assert!(
             dvfs.bips() > sg.bips(),
             "dvfs {} vs stop-go {}",
@@ -958,8 +990,19 @@ mod energy_and_policy_tests {
     fn trace(int_rf: f64, fp_rf: f64, base: f64) -> Arc<PowerTrace> {
         let mut s = CorePowerSample::zero();
         s.units = [
-            base, base, base, base, base, base, base * 0.5, int_rf, fp_rf, base, base * 0.8,
-            base, base * 0.4,
+            base,
+            base,
+            base,
+            base,
+            base,
+            base,
+            base * 0.5,
+            int_rf,
+            fp_rf,
+            base,
+            base * 0.8,
+            base,
+            base * 0.4,
         ];
         s.l2 = 0.2;
         s.instructions = 150_000;
@@ -1065,7 +1108,11 @@ mod energy_and_policy_tests {
         .unwrap();
         let r = sim.run().unwrap();
         // Regulation holds within the noise amplitude.
-        assert!(r.emergency_time < 0.1 * r.duration, "emergency {}", r.emergency_time);
+        assert!(
+            r.emergency_time < 0.1 * r.duration,
+            "emergency {}",
+            r.emergency_time
+        );
         assert!(r.duty_cycle > 0.2);
     }
 

@@ -315,11 +315,7 @@ impl MigrationPolicy for SensorMigration {
         if self.last_temps.len() == n_cores && self.last_time.is_finite() {
             let dt = obs.time - self.last_time;
             if dt > 0.0 {
-                let chip_mean: f64 = obs
-                    .sensor_temps
-                    .iter()
-                    .flat_map(|t| t.iter())
-                    .sum::<f64>()
+                let chip_mean: f64 = obs.sensor_temps.iter().flat_map(|t| t.iter()).sum::<f64>()
                     / (2 * n_cores) as f64;
                 for core in 0..n_cores {
                     // Attribute the interval to the thread only if it ran
@@ -359,10 +355,9 @@ impl MigrationPolicy for SensorMigration {
         if !self.coverage_ok(n_threads, n_cores) {
             // Insufficient profiling data: rotate assignments to fill the
             // thread-core thermal table (Figure 6's "profile more" arm).
-            let mut rotated = vec![0; n_cores];
-            for c in 0..n_cores {
-                rotated[c] = obs.assignment[(c + 1) % n_cores];
-            }
+            let rotated = (0..n_cores)
+                .map(|c| obs.assignment[(c + 1) % n_cores])
+                .collect();
             return Some(rotated);
         }
         if !fire {
@@ -478,7 +473,9 @@ mod tests {
         let scale = [1.0; 4];
         let temps = [[90.0, 60.0]; 4];
         let c = counters4();
-        assert!(NoMigration.decide(&obs(&assignment, &scale, &temps, &c)).is_none());
+        assert!(NoMigration
+            .decide(&obs(&assignment, &scale, &temps, &c))
+            .is_none());
     }
 
     #[test]
@@ -595,15 +592,14 @@ mod tests {
                 pol.observe(&o);
             }
         }
-        assert!(pol.profiled_pairs() >= 8, "pairs = {}", pol.profiled_pairs());
+        assert!(
+            pol.profiled_pairs() >= 8,
+            "pairs = {}",
+            pol.profiled_pairs()
+        );
         // Now: core 0 int-critical imbalanced, currently running thread 0.
         let assignment = [0, 1, 2, 3];
-        let temps = [
-            [84.0, 60.0],
-            [74.0, 60.0],
-            [60.0, 82.0],
-            [56.0, 54.0],
-        ];
+        let temps = [[84.0, 60.0], [74.0, 60.0], [60.0, 82.0], [56.0, 54.0]];
         let plan = pol
             .decide(&obs(&assignment, &scale, &temps, &c))
             .expect("should migrate");
@@ -689,7 +685,9 @@ mod tests {
             trip_unit: &trip_unit,
         };
         assert_eq!(o.critical_unit(0), HOTSPOT_INT);
-        let plan = CounterMigration::new().decide(&o).expect("trip forces a decision");
+        let plan = CounterMigration::new()
+            .decide(&o)
+            .expect("trip forces a decision");
         // The tripped core must shed its int-heavy thread 0 for the
         // least-int-intense candidate (thread 3).
         assert_eq!(plan[0], 3);
@@ -701,12 +699,7 @@ mod tests {
         // tracker must suppress the decision entirely.
         let assignment = [0, 1, 2, 3];
         let scale = [1.0; 4];
-        let temps = [
-            [84.0, 60.0],
-            [75.0, 62.0],
-            [63.0, 83.0],
-            [60.0, 58.0],
-        ];
+        let temps = [[84.0, 60.0], [75.0, 62.0], [63.0, 83.0], [60.0, 58.0]];
         let c = counters4();
         let mut pol = CounterMigration::new();
         let first = pol.decide(&obs(&assignment, &scale, &temps, &c));

@@ -60,7 +60,11 @@ impl PolicySpec {
 
     /// The paper's baseline: distributed stop-go, no migration.
     pub fn baseline() -> Self {
-        PolicySpec::new(ThrottleKind::StopGo, Scope::Distributed, MigrationKind::None)
+        PolicySpec::new(
+            ThrottleKind::StopGo,
+            Scope::Distributed,
+            MigrationKind::None,
+        )
     }
 
     /// The paper's best performer: distributed DVFS + sensor-based

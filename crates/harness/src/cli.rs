@@ -1,0 +1,117 @@
+//! Minimal shared argument parsing for the experiment binaries.
+//!
+//! All reproductions accept the same knobs:
+//!
+//! ```text
+//! exp_table8 [DURATION] [--workers N | -j N] [--json] [--no-cache]
+//! ```
+//!
+//! where `DURATION` is seconds of simulated silicon time (default: the
+//! study's 0.5 s). `--workers` overrides the pool size (as does the
+//! `DTM_WORKERS` environment variable; the flag wins), `--json` switches
+//! table output to machine-readable JSON, and `--no-cache` forces every
+//! cell to re-simulate.
+
+/// Parsed sweep-binary arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Simulated seconds per run.
+    pub duration: f64,
+    /// Worker-pool size override (`--workers` / `-j`).
+    pub workers: Option<usize>,
+    /// Emit tables as JSON instead of aligned text.
+    pub json: bool,
+    /// Bypass the result cache (always simulate).
+    pub no_cache: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            duration: 0.5,
+            workers: None,
+            json: false,
+            no_cache: false,
+        }
+    }
+}
+
+impl SweepArgs {
+    /// Parses from the process's argument list.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (exposed for tests).
+    ///
+    /// Unknown flags abort with a usage message; an unparsable value
+    /// for a known flag does too.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = SweepArgs::default();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => out.json = true,
+                "--no-cache" => out.no_cache = true,
+                "--workers" | "-j" => {
+                    let v = args.next().and_then(|s| s.parse::<usize>().ok());
+                    match v {
+                        Some(n) => out.workers = Some(n.max(1)),
+                        None => usage(&format!("{a} requires a positive integer")),
+                    }
+                }
+                "--help" | "-h" => usage(""),
+                other => match other.parse::<f64>() {
+                    Ok(d) if d > 0.0 => out.duration = d,
+                    _ => usage(&format!("unrecognized argument `{other}`")),
+                },
+            }
+        }
+        out
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: <exp> [DURATION_SECONDS] [--workers N | -j N] [--json] [--no-cache]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> SweepArgs {
+        SweepArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_the_study() {
+        let a = parse(&[]);
+        assert_eq!(a, SweepArgs::default());
+        assert!((a.duration - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positional_duration_and_flags() {
+        let a = parse(&["0.1", "--workers", "3", "--json"]);
+        assert!((a.duration - 0.1).abs() < 1e-12);
+        assert_eq!(a.workers, Some(3));
+        assert!(a.json);
+        assert!(!a.no_cache);
+    }
+
+    #[test]
+    fn short_worker_flag_and_no_cache() {
+        let a = parse(&["-j", "8", "--no-cache"]);
+        assert_eq!(a.workers, Some(8));
+        assert!(a.no_cache);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(parse(&["--workers", "0"]).workers, Some(1));
+    }
+}

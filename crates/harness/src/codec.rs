@@ -1,0 +1,128 @@
+//! Hand-written JSON codec for [`RunResult`] (the workspace serde is a
+//! marker-trait stub; see `vendor/README.md`). Floats use
+//! shortest-round-trip formatting, so decode(encode(r)) is
+//! bit-identical to `r` — the property the result cache relies on.
+
+use crate::json::{Json, JsonError};
+use dtm_core::{RunResult, ThreadStats};
+
+/// Encodes a run result as a JSON object.
+pub fn result_to_json(r: &RunResult) -> Json {
+    Json::Obj(vec![
+        ("duration".into(), Json::f64(r.duration)),
+        ("cores".into(), Json::usize(r.cores)),
+        ("instructions".into(), Json::f64(r.instructions)),
+        ("duty_cycle".into(), Json::f64(r.duty_cycle)),
+        ("max_temp".into(), Json::f64(r.max_temp)),
+        ("emergency_time".into(), Json::f64(r.emergency_time)),
+        ("migrations".into(), Json::u64(r.migrations)),
+        ("dvfs_transitions".into(), Json::u64(r.dvfs_transitions)),
+        ("stalls".into(), Json::u64(r.stalls)),
+        ("energy".into(), Json::f64(r.energy)),
+        (
+            "threads".into(),
+            Json::Arr(
+                r.threads
+                    .iter()
+                    .map(|t| {
+                        Json::Obj(vec![
+                            ("instructions".into(), Json::f64(t.instructions)),
+                            ("scaled_work".into(), Json::f64(t.scaled_work)),
+                            ("migrations".into(), Json::u64(t.migrations)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a run result from [`result_to_json`]'s layout.
+///
+/// # Errors
+///
+/// Fails on missing fields or type mismatches (e.g. a corrupt or
+/// foreign cache file).
+pub fn result_from_json(v: &Json) -> Result<RunResult, JsonError> {
+    let threads = v
+        .field("threads")?
+        .as_arr()?
+        .iter()
+        .map(|t| {
+            Ok(ThreadStats {
+                instructions: t.field("instructions")?.as_f64()?,
+                scaled_work: t.field("scaled_work")?.as_f64()?,
+                migrations: t.field("migrations")?.as_u64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    Ok(RunResult {
+        duration: v.field("duration")?.as_f64()?,
+        cores: v.field("cores")?.as_usize()?,
+        instructions: v.field("instructions")?.as_f64()?,
+        duty_cycle: v.field("duty_cycle")?.as_f64()?,
+        max_temp: v.field("max_temp")?.as_f64()?,
+        emergency_time: v.field("emergency_time")?.as_f64()?,
+        migrations: v.field("migrations")?.as_u64()?,
+        dvfs_transitions: v.field("dvfs_transitions")?.as_u64()?,
+        stalls: v.field("stalls")?.as_u64()?,
+        energy: v.field("energy")?.as_f64()?,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunResult {
+        RunResult {
+            duration: 0.5,
+            cores: 4,
+            instructions: 5.678e9 + 1.0 / 3.0,
+            duty_cycle: 0.815_372_910_4,
+            max_temp: 84.199_999_999_9,
+            emergency_time: 0.0,
+            migrations: 17,
+            dvfs_transitions: 12_345,
+            stalls: 3,
+            energy: 22.25,
+            threads: vec![
+                ThreadStats {
+                    instructions: 1.5e9,
+                    scaled_work: 0.41,
+                    migrations: 5,
+                },
+                ThreadStats::default(),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_equal() {
+        let r = sample();
+        let back = result_from_json(&Json::parse(&result_to_json(&r).emit()).unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let r = sample();
+        let back = result_from_json(&Json::parse(&result_to_json(&r).emit()).unwrap()).unwrap();
+        for (a, b) in [
+            (r.instructions, back.instructions),
+            (r.duty_cycle, back.duty_cycle),
+            (r.max_temp, back.max_temp),
+            (r.energy, back.energy),
+            (r.threads[0].scaled_work, back.threads[0].scaled_work),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_layouts_are_errors() {
+        assert!(result_from_json(&Json::parse("{}").unwrap()).is_err());
+        assert!(result_from_json(&Json::parse("{\"duration\":\"x\"}").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! `dtm-harness`: the parallel sweep engine behind the experiment
+//! binaries.
+//!
+//! Every table and figure in the paper is a grid of independent
+//! simulations — workloads × policies × configuration variants. This
+//! crate turns that observation into infrastructure:
+//!
+//! - [`SweepSpec`] declares the grid (and [`ConfigVariant`] names points
+//!   on the configuration axis: threshold, core count, migration
+//!   interval, sensor noise, …).
+//! - [`SweepRunner`] executes the cells on a worker pool (size =
+//!   available parallelism, overridable via `--workers` or the
+//!   `DTM_WORKERS` environment variable), sharing one read-only
+//!   [`dtm_workloads::TraceLibrary`] across workers behind an `Arc`.
+//! - [`ResultCache`] is a content-addressed on-disk store under
+//!   `results/cache/`: each cell is keyed by a stable hash of its
+//!   complete inputs, so re-runs skip finished cells and experiments
+//!   share overlapping cells (Table 5's grid is a subset of Table 8's).
+//! - [`Ledger`] appends one structured JSON record per cell to
+//!   `results/ledger.jsonl` — inputs hash, metrics, wall-clock, worker —
+//!   a provenance trail for every number that reaches a table.
+//! - [`report::Table`] renders the aligned-column text tables (or, with
+//!   `--json`, machine-readable dumps) the binaries print.
+//!
+//! The typical experiment binary is now three steps:
+//!
+//! ```no_run
+//! use dtm_core::PolicySpec;
+//! use dtm_harness::{run_standard, SweepArgs, SweepSpec};
+//!
+//! let args = SweepArgs::from_env();
+//! let spec = SweepSpec::standard(args.duration).policies(PolicySpec::all());
+//! let results = run_standard(spec, &args).expect("sweep");
+//! // …render tables from `results` via dtm_harness::report…
+//! ```
+
+pub mod cache;
+pub mod cli;
+pub mod codec;
+pub mod json;
+pub mod ledger;
+pub mod progress;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use cache::{cell_key, CellKey, ResultCache, DEFAULT_CACHE_DIR};
+pub use cli::SweepArgs;
+pub use ledger::{Ledger, DEFAULT_LEDGER_PATH};
+pub use progress::Progress;
+pub use report::Table;
+pub use runner::{run_standard, SweepRunner, WORKERS_ENV};
+pub use sweep::{CellIndex, CellOutcome, ConfigVariant, SweepResults, SweepSpec};

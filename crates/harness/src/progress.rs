@@ -1,0 +1,140 @@
+//! Sweep progress reporting: cells-done / total with a wall-clock ETA,
+//! written to stderr so table output on stdout stays clean.
+
+use std::time::{Duration, Instant};
+
+/// Tracks and (optionally) prints sweep progress.
+#[derive(Debug)]
+pub struct Progress {
+    total: usize,
+    done: usize,
+    hits: usize,
+    started: Instant,
+    /// Cumulative simulation wall time across workers, for the ETA's
+    /// per-cell estimate.
+    sim_wall: Duration,
+    executed: usize,
+    enabled: bool,
+    finished: bool,
+}
+
+impl Progress {
+    /// A reporter over `total` cells; `enabled = false` makes every
+    /// method a silent counter update (for tests and `--quiet` runs).
+    pub fn new(total: usize, enabled: bool) -> Self {
+        Progress {
+            total,
+            done: 0,
+            hits: 0,
+            started: Instant::now(),
+            sim_wall: Duration::ZERO,
+            executed: 0,
+            enabled,
+            finished: false,
+        }
+    }
+
+    /// Records one cache-served cell.
+    pub fn record_hit(&mut self) {
+        self.done += 1;
+        self.hits += 1;
+        self.print();
+    }
+
+    /// Records one simulated cell that took `wall` of worker time.
+    pub fn record_executed(&mut self, wall: Duration) {
+        self.done += 1;
+        self.executed += 1;
+        self.sim_wall += wall;
+        self.print();
+    }
+
+    /// Cells completed so far (hits + executed).
+    pub fn done(&self) -> usize {
+        self.done
+    }
+
+    /// Human-readable ETA for the remaining cells, from elapsed
+    /// coordinator wall time per completed cell. `None` until at least
+    /// one cell has finished (no basis for an estimate).
+    pub fn eta(&self) -> Option<Duration> {
+        if self.done == 0 || self.done >= self.total {
+            return None;
+        }
+        let per_cell = self.started.elapsed().div_f64(self.done as f64);
+        Some(per_cell.mul_f64((self.total - self.done) as f64))
+    }
+
+    fn print(&self) {
+        if !self.enabled {
+            return;
+        }
+        let eta = match self.eta() {
+            Some(d) => format!(", eta {}", fmt_duration(d)),
+            None => String::new(),
+        };
+        eprint!(
+            "\r[sweep] {}/{} cells ({} cached){}   ",
+            self.done, self.total, self.hits, eta
+        );
+    }
+
+    /// Terminates the progress line with a final summary.
+    pub fn finish(&mut self) {
+        if self.finished || !self.enabled {
+            self.finished = true;
+            return;
+        }
+        self.finished = true;
+        eprintln!(
+            "\r[sweep] {}/{} cells done in {} ({} simulated, {} cached)   ",
+            self.done,
+            self.total,
+            fmt_duration(self.started.elapsed()),
+            self.executed,
+            self.hits
+        );
+    }
+}
+
+/// `mm:ss` (or `hh:mm:ss` past an hour) spelling of a duration.
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs();
+    if s >= 3600 {
+        format!("{}:{:02}:{:02}", s / 3600, (s % 3600) / 60, s % 60)
+    } else {
+        format!("{}:{:02}", s / 60, s % 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_hits_and_executions() {
+        let mut p = Progress::new(4, false);
+        p.record_hit();
+        p.record_executed(Duration::from_millis(10));
+        p.record_executed(Duration::from_millis(30));
+        assert_eq!(p.done(), 3);
+        assert!(p.eta().is_some(), "partial progress yields an estimate");
+        p.record_hit();
+        assert_eq!(p.done(), 4);
+        assert!(p.eta().is_none(), "complete sweep has no remaining work");
+        p.finish();
+    }
+
+    #[test]
+    fn empty_sweep_has_no_eta() {
+        let p = Progress::new(10, false);
+        assert!(p.eta().is_none());
+    }
+
+    #[test]
+    fn durations_format_as_clock_time() {
+        assert_eq!(fmt_duration(Duration::from_secs(0)), "0:00");
+        assert_eq!(fmt_duration(Duration::from_secs(75)), "1:15");
+        assert_eq!(fmt_duration(Duration::from_secs(3_725)), "1:02:05");
+    }
+}

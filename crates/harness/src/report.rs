@@ -1,0 +1,213 @@
+//! Shared table rendering for the experiment binaries.
+//!
+//! Every reproduction prints an aligned-column text table (the shape the
+//! paper's tables take); with `--json` the same table is dumped as a
+//! machine-readable object instead. Centralizing the formatting here
+//! replaces the per-binary `println!("{:<13} {:>11} …")` width juggling.
+
+use crate::json::Json;
+
+/// An aligned-column table: a header row plus data rows. The first
+/// column is left-aligned (labels), the rest right-aligned (numbers),
+/// with widths computed from the content.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Table {
+            title: None,
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a title line printed (and serialized) above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a data row. Short rows are padded with empty cells;
+    /// long rows widen the table.
+    pub fn row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the aligned text form (no trailing newline).
+    pub fn render(&self) -> String {
+        let ncols = self.column_count();
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.headers).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(&format!("== {t} ==\n\n"));
+        }
+        for row in std::iter::once(&self.headers).chain(&self.rows) {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{cell:<width$}"));
+                } else {
+                    line.push_str(&format!("{cell:>width$}"));
+                }
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out.pop();
+        out
+    }
+
+    /// The machine-readable form: `{"title", "headers", "rows"}` with
+    /// every cell as the exact string the text form prints.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "title".into(),
+                match &self.title {
+                    Some(t) => Json::str(t),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "headers".into(),
+                Json::Arr(self.headers.iter().map(Json::str).collect()),
+            ),
+            (
+                "rows".into(),
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(Json::str).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Prints the table to stdout — as JSON when `json` is set, as
+    /// aligned text otherwise.
+    pub fn print(&self, json: bool) {
+        if json {
+            println!("{}", self.to_json().emit());
+        } else {
+            println!("{}", self.render());
+        }
+    }
+}
+
+/// `1.23x`-style ratio cell.
+pub fn times(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// `32.57%`-style percentage cell (input is a fraction).
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", 100.0 * v)
+}
+
+/// `+4.20%`-style signed percentage-delta cell (input already in %).
+pub fn signed_pct(v: f64) -> String {
+    format!("{v:+.2}%")
+}
+
+/// `7.25`-style two-decimal numeric cell.
+pub fn num2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let mut t = Table::new(["policy", "BIPS", "relative"]);
+        t.row(["Dist. stop-go", "4.53", "baseline"]);
+        t.row(["Dist. DVFS", "11.36", "2.51x"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Right-aligned numeric columns end at the same offset on every
+        // line (modulo the trailing trim on the longest).
+        let col_end = |line: &str, s: &str| line.find(s).map(|i| i + s.len());
+        assert_eq!(col_end(lines[0], "BIPS"), col_end(lines[1], "4.53"));
+        assert_eq!(col_end(lines[1], "4.53"), col_end(lines[2], "11.36"));
+        // Label column is left-aligned.
+        assert!(lines[1].starts_with("Dist. stop-go"));
+        assert!(lines[2].starts_with("Dist. DVFS"));
+    }
+
+    #[test]
+    fn title_and_padding_of_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-label"]);
+        t.row(["x", "1", "extra"]);
+        let text = t.with_title("Table 5: policy averages").render();
+        assert!(text.starts_with("== Table 5: policy averages ==\n\n"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn json_form_mirrors_cells() {
+        let mut t = Table::new(["w", "rel"]);
+        t.row(["gzip".to_string(), times(1.234)]);
+        let j = t.with_title("Fig 3").to_json();
+        assert_eq!(j.field("title").unwrap().as_str().unwrap(), "Fig 3");
+        let rows = j.field("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        let cells = rows[0].as_arr().unwrap();
+        assert_eq!(cells[1].as_str().unwrap(), "1.23x");
+    }
+
+    #[test]
+    fn cell_formatters() {
+        assert_eq!(times(2.514), "2.51x");
+        assert_eq!(pct(0.3257), "32.57%");
+        assert_eq!(signed_pct(4.2), "+4.20%");
+        assert_eq!(signed_pct(-1.0), "-1.00%");
+        assert_eq!(num2(11.357), "11.36");
+    }
+
+    #[test]
+    fn empty_table_is_just_headers() {
+        let t = Table::new(["a", "bb"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.render(), "a  bb");
+    }
+}

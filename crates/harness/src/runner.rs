@@ -1,0 +1,505 @@
+//! The parallel sweep executor: a worker pool over the cells of a
+//! [`SweepSpec`], fed by the content-addressed [`ResultCache`] and
+//! observed through the run [`Ledger`] and a progress reporter.
+
+use crate::cache::{cell_key, CellKey, ResultCache};
+use crate::json::Json;
+use crate::ledger::Ledger;
+use crate::progress::Progress;
+use crate::sweep::{CellOutcome, SweepResults, SweepSpec};
+use dtm_core::{Experiment, SimError};
+use dtm_workloads::{Benchmark, TraceGenConfig, TraceLibrary};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Environment variable overriding the worker count.
+pub const WORKERS_ENV: &str = "DTM_WORKERS";
+
+/// Executes sweep grids in parallel with caching and a run ledger.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dtm_core::PolicySpec;
+/// use dtm_harness::{SweepRunner, SweepSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = SweepSpec::standard(0.5).policies(PolicySpec::all());
+/// let results = SweepRunner::paper_defaults().run(spec)?;
+/// eprintln!("{}", results.summary());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SweepRunner {
+    lib: Arc<TraceLibrary>,
+    workers: Option<usize>,
+    cache: Option<ResultCache>,
+    ledger: Option<Ledger>,
+    progress: bool,
+}
+
+impl SweepRunner {
+    /// A runner over an explicit trace library, with no cache, no
+    /// ledger, and no progress output — the unit-test configuration.
+    pub fn bare(lib: TraceLibrary) -> Self {
+        SweepRunner {
+            lib: Arc::new(lib),
+            workers: None,
+            cache: None,
+            ledger: None,
+            progress: false,
+        }
+    }
+
+    /// The standard experiment configuration: paper-default traces with
+    /// the on-disk trace cache, the result cache under `results/cache/`,
+    /// the ledger at `results/ledger.jsonl`, and progress reporting on
+    /// stderr.
+    pub fn paper_defaults() -> Self {
+        SweepRunner {
+            lib: Arc::new(TraceLibrary::default().with_disk_cache("target/trace-cache")),
+            workers: None,
+            cache: Some(ResultCache::default_location()),
+            ledger: Some(Ledger::default_location()),
+            progress: true,
+        }
+    }
+
+    /// Overrides the worker count (otherwise `DTM_WORKERS`, otherwise
+    /// the machine's available parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Replaces the result cache (e.g. a per-test temp directory), or
+    /// disables caching with `None`.
+    pub fn with_cache(mut self, cache: Option<ResultCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replaces the ledger, or disables it with `None`.
+    pub fn with_ledger(mut self, ledger: Option<Ledger>) -> Self {
+        self.ledger = ledger;
+        self
+    }
+
+    /// Disables progress reporting.
+    pub fn quiet(mut self) -> Self {
+        self.progress = false;
+        self
+    }
+
+    /// The shared trace library.
+    pub fn library(&self) -> Arc<TraceLibrary> {
+        Arc::clone(&self.lib)
+    }
+
+    /// The effective worker count: explicit override, then the
+    /// `DTM_WORKERS` environment variable, then available parallelism.
+    pub fn worker_count(&self) -> usize {
+        if let Some(n) = self.workers {
+            return n;
+        }
+        if let Some(n) = std::env::var(WORKERS_ENV)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Executes every cell of `spec` — cache hits served without
+    /// simulation, misses fanned out across the worker pool — and
+    /// returns the indexed results.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation failure; remaining in-flight cells
+    /// are abandoned.
+    pub fn run(mut self, spec: SweepSpec) -> Result<SweepResults, SimError> {
+        let cells = spec.cells();
+        let version = env!("CARGO_PKG_VERSION");
+        let tracegen: &TraceGenConfig = self.lib.config();
+        let keys: Vec<CellKey> = cells
+            .iter()
+            .map(|c| {
+                cell_key(
+                    &spec.workload_axis()[c.workload],
+                    spec.policy_axis()[c.policy],
+                    &spec.variant_axis()[c.variant].sim,
+                    &spec.variant_axis()[c.variant].dtm,
+                    tracegen,
+                    version,
+                )
+            })
+            .collect();
+
+        // Cache pass: serve whatever is already computed.
+        let mut outcomes: Vec<Option<CellOutcome>> = vec![None; cells.len()];
+        if let Some(cache) = &self.cache {
+            for (i, &key) in keys.iter().enumerate() {
+                let t0 = Instant::now();
+                if let Some(result) = cache.load(key) {
+                    outcomes[i] = Some(CellOutcome {
+                        index: cells[i],
+                        key: key.hex(),
+                        result,
+                        cached: true,
+                        wall: t0.elapsed(),
+                        worker: 0,
+                    });
+                }
+            }
+        }
+        let misses: Vec<usize> = (0..cells.len())
+            .filter(|&i| outcomes[i].is_none())
+            .collect();
+        let workers = self.worker_count().min(misses.len().max(1));
+
+        let mut progress = Progress::new(cells.len(), self.progress);
+        for o in outcomes.iter().flatten() {
+            progress.record_hit();
+            if let Some(ledger) = self.ledger.as_mut() {
+                ledger.append(&spec, o);
+            }
+        }
+
+        if !misses.is_empty() {
+            // Pre-warm the trace library so workers replay traces
+            // instead of racing to generate them. Only benchmarks that
+            // a missing cell actually needs are generated.
+            let mut benches: Vec<Benchmark> = Vec::new();
+            for &i in &misses {
+                for b in spec.workload_axis()[cells[i].workload].resolve() {
+                    if !benches.iter().any(|x| x.name == b.name) {
+                        benches.push(b);
+                    }
+                }
+            }
+            self.parallel_prewarm(&benches, workers);
+
+            // One shared Experiment per config variant, all over the
+            // same Arc'd trace library.
+            let experiments: Vec<Experiment> = spec
+                .variant_axis()
+                .iter()
+                .map(|v| Experiment::new_shared(self.library(), v.sim.clone(), v.dtm))
+                .collect();
+
+            let next = AtomicUsize::new(0);
+            let abort = AtomicBool::new(false);
+            let (tx, rx) = mpsc::channel::<Result<CellOutcome, SimError>>();
+            let mut first_error: Option<SimError> = None;
+
+            std::thread::scope(|s| {
+                for wid in 1..=workers {
+                    let tx = tx.clone();
+                    let spec = &spec;
+                    let cells = &cells;
+                    let keys = &keys;
+                    let misses = &misses;
+                    let experiments = &experiments;
+                    let next = &next;
+                    let abort = &abort;
+                    let cache = self.cache.as_ref();
+                    s.spawn(move || loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let j = next.fetch_add(1, Ordering::SeqCst);
+                        let Some(&i) = misses.get(j) else { break };
+                        let cell = cells[i];
+                        let workload = &spec.workload_axis()[cell.workload];
+                        let policy = spec.policy_axis()[cell.policy];
+                        let variant = &spec.variant_axis()[cell.variant];
+                        let t0 = Instant::now();
+                        match experiments[cell.variant].run(workload, policy) {
+                            Ok(result) => {
+                                if let Some(cache) = cache {
+                                    let describe = Json::Obj(vec![
+                                        ("workload".into(), Json::str(workload.display_name())),
+                                        ("mix".into(), Json::str(workload.mix_label())),
+                                        ("policy".into(), Json::str(policy.name())),
+                                        ("variant".into(), Json::str(&variant.name)),
+                                        ("version".into(), Json::str(version)),
+                                    ]);
+                                    cache.store(keys[i], &describe, &result);
+                                }
+                                let outcome = CellOutcome {
+                                    index: cell,
+                                    key: keys[i].hex(),
+                                    result,
+                                    cached: false,
+                                    wall: t0.elapsed(),
+                                    worker: wid,
+                                };
+                                if tx.send(Ok(outcome)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                abort.store(true, Ordering::Relaxed);
+                                let _ = tx.send(Err(e));
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+
+                for msg in rx {
+                    match msg {
+                        Ok(outcome) => {
+                            progress.record_executed(outcome.wall);
+                            if let Some(ledger) = self.ledger.as_mut() {
+                                ledger.append(&spec, &outcome);
+                            }
+                            let i = outcome.index.workload
+                                + spec.workload_axis().len()
+                                    * (outcome.index.policy
+                                        + spec.policy_axis().len() * outcome.index.variant);
+                            outcomes[i] = Some(outcome);
+                        }
+                        Err(e) => {
+                            abort.store(true, Ordering::Relaxed);
+                            if first_error.is_none() {
+                                first_error = Some(e);
+                            }
+                        }
+                    }
+                }
+            });
+
+            if let Some(e) = first_error {
+                progress.finish();
+                return Err(e);
+            }
+        }
+        progress.finish();
+
+        let outcomes: Vec<CellOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every cell resolved"))
+            .collect();
+        Ok(SweepResults::new(spec, outcomes))
+    }
+
+    /// Generates (or disk-loads) the traces for `benches` across the
+    /// worker pool.
+    fn parallel_prewarm(&self, benches: &[Benchmark], workers: usize) {
+        let next = AtomicUsize::new(0);
+        let lib = &self.lib;
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(benches.len()).max(1) {
+                s.spawn(|| loop {
+                    let j = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(b) = benches.get(j) else { break };
+                    let _ = lib.trace(b);
+                });
+            }
+        });
+    }
+}
+
+/// Convenience: run `spec` with the standard experiment configuration
+/// (see [`SweepRunner::paper_defaults`]) and the worker-count/output
+/// flags from [`crate::cli::SweepArgs`].
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn run_standard(
+    spec: SweepSpec,
+    args: &crate::cli::SweepArgs,
+) -> Result<SweepResults, SimError> {
+    let mut runner = SweepRunner::paper_defaults();
+    if let Some(n) = args.workers {
+        runner = runner.with_workers(n);
+    }
+    if args.no_cache {
+        runner = runner.with_cache(None);
+    }
+    runner.run(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_core::PolicySpec;
+    use dtm_workloads::Workload;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dtm-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn tiny_spec() -> SweepSpec {
+        // Two workloads × two policies on the fast-test configuration:
+        // four cells, each ~100 ms of simulation.
+        let spec = SweepSpec::new(vec![
+            Workload::new("wa", ["gzip", "mcf", "gzip", "mcf"]),
+            Workload::new("wb", ["mesa", "eon", "mesa", "eon"]),
+        ]);
+        let sim = dtm_core::SimConfig::fast_test();
+        let dtm = dtm_core::DtmConfig::default();
+        spec.variant(crate::ConfigVariant::new("base", sim, dtm))
+            .policies([PolicySpec::baseline(), PolicySpec::best()])
+    }
+
+    fn fast_lib() -> TraceLibrary {
+        TraceLibrary::new(TraceGenConfig::fast_test())
+    }
+
+    #[test]
+    fn parallel_results_match_serial_results() {
+        let spec = tiny_spec();
+        let parallel = SweepRunner::bare(fast_lib())
+            .with_workers(4)
+            .run(spec.clone())
+            .expect("parallel run");
+
+        // Serial reference through the plain Experiment API.
+        let exp = Experiment::new(
+            fast_lib(),
+            dtm_core::SimConfig::fast_test(),
+            dtm_core::DtmConfig::default(),
+        );
+        for (pi, &policy) in spec.policy_axis().iter().enumerate() {
+            for (wi, workload) in spec.workload_axis().iter().enumerate() {
+                let serial = exp.run(workload, policy).expect("serial run");
+                let from_sweep = parallel.get(policy, wi);
+                assert_eq!(
+                    &serial, from_sweep,
+                    "cell (policy {pi}, workload {wi}) diverged between serial and parallel"
+                );
+            }
+        }
+        assert_eq!(parallel.executed(), 4);
+        assert_eq!(parallel.cache_hits(), 0);
+    }
+
+    #[test]
+    fn warm_cache_executes_zero_simulations() {
+        let dir = tmpdir("warm");
+        let cold = SweepRunner::bare(fast_lib())
+            .with_cache(Some(ResultCache::new(&dir)))
+            .with_workers(2)
+            .run(tiny_spec())
+            .expect("cold run");
+        assert_eq!(cold.executed(), 4);
+
+        let warm = SweepRunner::bare(fast_lib())
+            .with_cache(Some(ResultCache::new(&dir)))
+            .with_workers(2)
+            .run(tiny_spec())
+            .expect("warm run");
+        assert_eq!(warm.executed(), 0, "warm cache must serve every cell");
+        assert_eq!(warm.cache_hits(), 4);
+        for (o_cold, o_warm) in cold.outcomes().iter().zip(warm.outcomes()) {
+            assert_eq!(o_cold.result, o_warm.result);
+            assert_eq!(
+                o_cold.result.duty_cycle.to_bits(),
+                o_warm.result.duty_cycle.to_bits(),
+                "cache hit must be bit-identical"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_experiment_cells_are_shared() {
+        // A one-policy sweep is a subset of a two-policy sweep (as
+        // Table 5 is of Table 8): its cells must all be cache hits.
+        let dir = tmpdir("subset");
+        let full = SweepRunner::bare(fast_lib())
+            .with_cache(Some(ResultCache::new(&dir)))
+            .run(tiny_spec())
+            .expect("full run");
+        assert_eq!(full.executed(), 4);
+
+        let subset_spec = tiny_spec();
+        let subset = SweepRunner::bare(fast_lib())
+            .with_cache(Some(ResultCache::new(&dir)))
+            .run(subset_spec.policies([])) // same two policies; dedup keeps axes equal
+            .expect("subset run");
+        assert_eq!(subset.executed(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ledger_records_every_cell() {
+        let dir = tmpdir("ledger");
+        let ledger_path = dir.join("ledger.jsonl");
+        let results = SweepRunner::bare(fast_lib())
+            .with_cache(Some(ResultCache::new(dir.join("cache"))))
+            .with_ledger(Some(Ledger::open(&ledger_path)))
+            .run(tiny_spec())
+            .expect("run");
+        assert_eq!(results.outcomes().len(), 4);
+        let text = std::fs::read_to_string(&ledger_path).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        for line in text.lines() {
+            let v = crate::json::Json::parse(line).expect("ledger line parses");
+            assert_eq!(v.field("cached").unwrap(), &crate::json::Json::Bool(false));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_count_resolution_prefers_explicit() {
+        let r = SweepRunner::bare(fast_lib()).with_workers(3);
+        assert_eq!(r.worker_count(), 3);
+        let r0 = SweepRunner::bare(fast_lib()).with_workers(0);
+        assert_eq!(r0.worker_count(), 1, "zero clamps to one");
+    }
+
+    #[test]
+    fn multiple_workers_are_actually_used() {
+        // 12 cells across 4 workers: with seconds-scale cells the pool
+        // essentially always spreads; tolerate the theoretical 1-worker
+        // degenerate schedule by requiring >1 only.
+        let spec = SweepSpec::new(vec![
+            Workload::new("wa", ["gzip", "mcf", "gzip", "mcf"]),
+            Workload::new("wb", ["mesa", "eon", "mesa", "eon"]),
+            Workload::new("wc", ["art", "swim", "art", "swim"]),
+        ])
+        .variant(crate::ConfigVariant::new(
+            "base",
+            dtm_core::SimConfig::fast_test(),
+            dtm_core::DtmConfig::default(),
+        ))
+        .policies([
+            PolicySpec::baseline(),
+            PolicySpec::best(),
+            PolicySpec::new(
+                dtm_core::ThrottleKind::Dvfs,
+                dtm_core::Scope::Global,
+                dtm_core::MigrationKind::None,
+            ),
+            PolicySpec::new(
+                dtm_core::ThrottleKind::StopGo,
+                dtm_core::Scope::Global,
+                dtm_core::MigrationKind::None,
+            ),
+        ]);
+        let results = SweepRunner::bare(fast_lib())
+            .with_workers(4)
+            .run(spec)
+            .expect("run");
+        assert_eq!(results.executed(), 12);
+        assert!(
+            results.workers_used() > 1,
+            "expected >1 worker on 12 cells, saw {}",
+            results.workers_used()
+        );
+    }
+}

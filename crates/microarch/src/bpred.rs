@@ -54,7 +54,10 @@ impl BranchPredictor {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         BranchPredictor {
             bimodal: vec![Counter2(1); entries],
             gshare: vec![Counter2(1); entries],

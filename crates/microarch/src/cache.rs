@@ -47,7 +47,10 @@ impl SetAssocCache {
             "capacity fraction must be in (0, 1]"
         );
         let full_sets = geometry.sets();
-        assert!(full_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            full_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         let mut sets = ((full_sets as f64 * capacity_fraction) as usize).max(1);
         // Round down to a power of two so simple masking works.
         sets = 1 << (usize::BITS - 1 - sets.leading_zeros());

@@ -72,7 +72,7 @@ impl CacheGeometry {
     /// Panics if the geometry does not divide evenly.
     pub fn sets(&self) -> usize {
         assert!(
-            self.size_bytes % (self.ways * self.block_bytes) == 0,
+            self.size_bytes.is_multiple_of(self.ways * self.block_bytes),
             "cache size must be a multiple of ways × block size"
         );
         self.size_bytes / (self.ways * self.block_bytes)

@@ -141,7 +141,10 @@ impl CoreSim {
     pub fn run_sample(&mut self, sampling: u64) -> ActivityCounters {
         assert!(sampling > 0, "sampling factor must be positive");
         let total = CoreConfig::CYCLES_PER_SAMPLE;
-        assert!(total % sampling == 0, "sampling must divide {total}");
+        assert!(
+            total.is_multiple_of(sampling),
+            "sampling must divide {total}"
+        );
         let burst = total / sampling;
         let mut counters = self.run_cycles(burst);
         counters = counters.scaled(sampling);
@@ -166,7 +169,7 @@ impl CoreSim {
 
         // I-cache: one access per fetched block (block = 32 instructions
         // of 4 bytes).
-        if self.seq % 32 == 0 {
+        if self.seq.is_multiple_of(32) {
             c.icache_accesses += 1;
             if !self.l1i.access(instr.pc) {
                 c.l2_accesses += 1;
@@ -182,7 +185,9 @@ impl CoreSim {
 
         // The fetch engine may not run unboundedly ahead of dispatch
         // (finite fetch buffer), nor fall behind the dispatch clock.
-        self.fetch_cycle = self.fetch_cycle.clamp(self.now.saturating_sub(8), self.now + 64);
+        self.fetch_cycle = self
+            .fetch_cycle
+            .clamp(self.now.saturating_sub(8), self.now + 64);
 
         // ---- Dispatch / window and queue constraints ----
         c.rename_ops += 1;
@@ -249,7 +254,11 @@ impl CoreSim {
         if instr.kind == InstrKind::Store {
             latency = 1;
         }
-        fu_free[slot] = if pipelined { issue + 1 } else { issue + latency };
+        fu_free[slot] = if pipelined {
+            issue + 1
+        } else {
+            issue + latency
+        };
 
         let complete = issue + latency;
 
@@ -421,11 +430,23 @@ mod tests {
 
     #[test]
     fn context_switch_causes_transient_slowdown() {
+        // A single 5 k-cycle window is dominated by instruction-stream
+        // sampling noise (~1 % IPC), which can swamp the cold-start
+        // penalty; average the transient over several switch cycles so
+        // the test measures the effect, not one draw.
         let mut s = sim(StreamProfile::generic_int(), 9);
         s.run_cycles(100_000); // warm
-        let warm = s.run_cycles(20_000).ipc();
-        s.context_switch();
-        let cold = s.run_cycles(5_000).ipc();
+        let rounds = 8;
+        let mut warm = 0.0;
+        let mut cold = 0.0;
+        for _ in 0..rounds {
+            warm += s.run_cycles(20_000).ipc();
+            s.context_switch();
+            cold += s.run_cycles(5_000).ipc();
+            s.run_cycles(80_000); // re-warm before the next measurement
+        }
+        warm /= rounds as f64;
+        cold /= rounds as f64;
         assert!(cold < warm, "cold {cold} vs warm {warm}");
     }
 

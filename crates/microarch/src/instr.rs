@@ -346,7 +346,9 @@ mod tests {
         let p = StreamProfile::generic_int();
         let mut a = StreamGenerator::new(p, 1);
         let mut b = StreamGenerator::new(p, 2);
-        let same = (0..100).filter(|_| a.next_instr() == b.next_instr()).count();
+        let same = (0..100)
+            .filter(|_| a.next_instr() == b.next_instr())
+            .count();
         assert!(same < 100);
     }
 
@@ -407,9 +409,7 @@ mod tests {
     fn set_profile_switches_mix() {
         let mut g = StreamGenerator::new(StreamProfile::generic_int(), 9);
         g.set_profile(StreamProfile::generic_fp());
-        let fp = (0..10_000)
-            .filter(|_| g.next_instr().kind.is_fp())
-            .count();
+        let fp = (0..10_000).filter(|_| g.next_instr().kind.is_fp()).count();
         assert!(fp > 2000);
     }
 

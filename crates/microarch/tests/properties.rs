@@ -1,6 +1,8 @@
 //! Property-based tests for the performance model.
 
-use dtm_microarch::{BranchPredictor, CacheGeometry, CoreConfig, CoreSim, SetAssocCache, StreamProfile};
+use dtm_microarch::{
+    BranchPredictor, CacheGeometry, CoreConfig, CoreSim, SetAssocCache, StreamProfile,
+};
 use proptest::prelude::*;
 
 prop_compose! {

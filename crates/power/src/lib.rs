@@ -27,8 +27,6 @@ mod serialize;
 mod trace;
 
 pub use energy::{scaling, EnergyTable, UnitEnergy};
+pub use model::{leakage_reference, PowerModel, DEFAULT_LOGIC_LEAKAGE, DEFAULT_SRAM_LEAKAGE};
 pub use serialize::TraceCodecError;
-pub use model::{
-    leakage_reference, PowerModel, DEFAULT_LOGIC_LEAKAGE, DEFAULT_SRAM_LEAKAGE,
-};
 pub use trace::{CorePowerSample, PowerTrace, N_CORE_UNITS};

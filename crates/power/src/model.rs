@@ -33,7 +33,10 @@ impl PowerModel {
     ///
     /// Panics if `clock_hz` is not positive.
     pub fn new(table: EnergyTable, clock_hz: f64) -> Self {
-        assert!(clock_hz.is_finite() && clock_hz > 0.0, "clock must be positive");
+        assert!(
+            clock_hz.is_finite() && clock_hz > 0.0,
+            "clock must be positive"
+        );
         PowerModel { table, clock_hz }
     }
 

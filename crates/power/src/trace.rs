@@ -76,7 +76,10 @@ impl PowerTrace {
     ///
     /// Panics if `samples` is empty or `dt` is not positive.
     pub fn new(name: impl Into<String>, dt: f64, samples: Vec<CorePowerSample>) -> Self {
-        assert!(!samples.is_empty(), "a power trace needs at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "a power trace needs at least one sample"
+        );
         assert!(dt.is_finite() && dt > 0.0, "sample period must be positive");
         PowerTrace {
             name: name.into(),

@@ -236,13 +236,26 @@ impl ThermalModel {
             a[(i, i)] = diag;
         }
 
-        let mut node_names: Vec<String> =
-            floorplan.blocks().iter().map(|b| b.name().to_string()).collect();
+        let mut node_names: Vec<String> = floorplan
+            .blocks()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect();
         node_names.extend(
-            ["spreader_c", "spreader_n", "spreader_e", "spreader_s", "spreader_w", "sink_c",
-             "sink_n", "sink_e", "sink_s", "sink_w"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "spreader_c",
+                "spreader_n",
+                "spreader_e",
+                "spreader_s",
+                "spreader_w",
+                "sink_c",
+                "sink_n",
+                "sink_e",
+                "sink_s",
+                "sink_w",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
 
         if !(package.local_constriction.is_finite() && package.local_constriction >= 0.0) {
@@ -335,9 +348,7 @@ impl ThermalModel {
         let mut p = vec![0.0; self.n_nodes];
         for (i, &w) in block_power.iter().enumerate() {
             if !w.is_finite() || w < 0.0 {
-                return Err(ThermalError::NotPhysical(format!(
-                    "power[{i}] = {w}"
-                )));
+                return Err(ThermalError::NotPhysical(format!("power[{i}] = {w}")));
             }
             p[i] = w;
         }
@@ -672,8 +683,10 @@ mod tests {
     #[test]
     fn non_physical_package_is_rejected() {
         let fp = Floorplan::ppc_cmp(1);
-        let mut pkg = PackageConfig::default();
-        pkg.k_silicon = -5.0;
+        let pkg = PackageConfig {
+            k_silicon: -5.0,
+            ..PackageConfig::default()
+        };
         assert!(matches!(
             ThermalModel::new(&fp, &pkg),
             Err(ThermalError::NotPhysical(_))

@@ -128,6 +128,9 @@ mod tests {
         let chip_area = 1.2e-4; // ~9×13.5 mm die
         let r = p.vertical_resistance_estimate(chip_area);
         assert!(r > p.r_convection);
-        assert!(r < p.r_convection + 1.0, "conduction path unreasonably resistive: {r}");
+        assert!(
+            r < p.r_convection + 1.0,
+            "conduction path unreasonably resistive: {r}"
+        );
     }
 }

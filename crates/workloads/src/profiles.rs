@@ -61,11 +61,9 @@ pub struct Benchmark {
 impl Benchmark {
     /// Deterministic per-benchmark RNG seed (stable across runs).
     pub fn seed(&self) -> u64 {
-        self.name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-            })
+        self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        })
     }
 }
 
@@ -141,7 +139,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         "vpr",
         with!(int_base(), {
             mean_dep_distance: 6.5,
-            data_working_set: 1 * MB,
+            data_working_set: MB,
             branch_predictability: 0.88,
         }),
         None,
@@ -173,7 +171,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         "crafty",
         with!(int_base(), {
             mean_dep_distance: 7.0,
-            data_working_set: 1 * MB,
+            data_working_set: MB,
             branch_predictability: 0.9,
             frac_branch: 0.18,
         }),
@@ -213,7 +211,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         "gap",
         with!(int_base(), {
             mean_dep_distance: 6.5,
-            data_working_set: 1 * MB,
+            data_working_set: MB,
             branch_predictability: 0.93,
         }),
         None,
@@ -228,7 +226,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
     });
     let bzip2_cool = with!(int_base(), {
         mean_dep_distance: 4.5,
-        data_working_set: 1 * MB,
+        data_working_set: MB,
         data_locality: 0.87,
     });
     int(
@@ -244,7 +242,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         "twolf",
         with!(int_base(), {
             mean_dep_distance: 5.0,
-            data_working_set: 1 * MB,
+            data_working_set: MB,
             branch_predictability: 0.87,
         }),
         None,
@@ -263,7 +261,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
     fp(
         "swim",
         with!(fp_base(), {
-            data_working_set: 1 * MB,
+            data_working_set: MB,
             data_locality: 0.8,
             mean_dep_distance: 9.0,
         }),
@@ -272,7 +270,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
     fp(
         "mgrid",
         with!(fp_base(), {
-            data_working_set: 1 * MB,
+            data_working_set: MB,
             data_locality: 0.85,
             mean_dep_distance: 10.0,
         }),
@@ -281,7 +279,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
     fp(
         "applu",
         with!(fp_base(), {
-            data_working_set: 1 * MB,
+            data_working_set: MB,
             data_locality: 0.84,
             mean_dep_distance: 9.0,
         }),
@@ -301,7 +299,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         "art",
         with!(fp_base(), {
             frac_fp: 0.35,
-            data_working_set: 1 * MB,
+            data_working_set: MB,
             data_locality: 0.8,
             mean_dep_distance: 5.0,
         }),
@@ -362,7 +360,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         "lucas",
         with!(fp_base(), {
             frac_fp: 0.5,
-            data_working_set: 1 * MB,
+            data_working_set: MB,
             data_locality: 0.86,
             mean_dep_distance: 10.0,
         }),
@@ -371,7 +369,7 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
     // fma3d oscillates (61–67 °C).
     let fma3d_warm = with!(fp_base(), {
         frac_fp: 0.42,
-        data_working_set: 1 * MB,
+        data_working_set: MB,
         mean_dep_distance: 9.0,
     });
     let fma3d_cool = with!(fp_base(), {

@@ -140,7 +140,12 @@ impl TraceLibrary {
 
     /// Returns (generating on first use) the trace for `bench`.
     pub fn trace(&self, bench: &Benchmark) -> Arc<PowerTrace> {
-        if let Some(t) = self.cache.lock().expect("trace cache poisoned").get(&bench.name) {
+        if let Some(t) = self
+            .cache
+            .lock()
+            .expect("trace cache poisoned")
+            .get(&bench.name)
+        {
             return Arc::clone(t);
         }
         // Try the disk cache, then generate. Both happen outside the
@@ -244,7 +249,9 @@ mod tests {
         let split = (duty * period as f64) as u64;
         let base_mean: f64 =
             (0..split).map(|i| t.sample(i).core_power()).sum::<f64>() / split as f64;
-        let alt_mean: f64 = (split..period).map(|i| t.sample(i).core_power()).sum::<f64>()
+        let alt_mean: f64 = (split..period)
+            .map(|i| t.sample(i).core_power())
+            .sum::<f64>()
             / (period - split) as f64;
         assert!(
             base_mean > alt_mean * 1.1,
@@ -267,6 +274,38 @@ mod tests {
         // The cache file exists and has the fingerprinted name.
         let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
         assert_eq!(entries.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_disk_cache_entry_is_regenerated_and_repaired() {
+        let dir = std::env::temp_dir().join(format!("dtm-trace-trunc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = benchmark("applu");
+        let lib1 = TraceLibrary::new(TraceGenConfig::fast_test()).with_disk_cache(&dir);
+        let t1 = lib1.trace(&b);
+
+        // Truncate the cache file mid-record, as a crashed or
+        // out-of-disk writer would leave it.
+        let path = lib1.disk_path(&b.name).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 3]).unwrap();
+
+        // A fresh library must fall back to regeneration, produce the
+        // identical trace, and repair the cache entry on the way out.
+        let lib2 = TraceLibrary::new(TraceGenConfig::fast_test()).with_disk_cache(&dir);
+        let t2 = lib2.trace(&b);
+        assert_eq!(*t1, *t2);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            full,
+            "regeneration must rewrite the damaged entry"
+        );
+
+        // Same for garbage content (wrong magic / random bytes).
+        std::fs::write(&path, b"not a trace file").unwrap();
+        let lib3 = TraceLibrary::new(TraceGenConfig::fast_test()).with_disk_cache(&dir);
+        assert_eq!(*lib3.trace(&b), *t1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

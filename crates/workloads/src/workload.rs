@@ -87,8 +87,8 @@ mod tests {
     #[test]
     fn mix_labels_match_table4() {
         let expected = [
-            "IIII", "IIII", "IIIF", "IIIF", "IIFF", "IIFF", "IIFF", "IIFF", "IFFF", "IFFF",
-            "FFFF", "FFFF",
+            "IIII", "IIII", "IIIF", "IIIF", "IIFF", "IIFF", "IIFF", "IIFF", "IFFF", "IFFF", "FFFF",
+            "FFFF",
         ];
         for (w, e) in standard_workloads().iter().zip(expected) {
             assert_eq!(w.mix_label(), e, "{}", w.id);

@@ -113,7 +113,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let custom = Floorplan::from_blocks(blocks, chip_w, l2_h + 2.0 * template.core_height);
     custom.validate()?;
-    hotspots(&custom, "separated layout (FP register file moved to the cache strip)")?;
+    hotspots(
+        &custom,
+        "separated layout (FP register file moved to the cache strip)",
+    )?;
 
     println!("\nseparating the register files lowers the FP hotspot by conduction into");
     println!("the cooler cache strip — the floorplanning lever the DTM paper cites as");

@@ -9,7 +9,9 @@ use dtm_core::{DtmConfig, Experiment, PolicySpec, SimConfig};
 use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "workload7".into());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "workload7".into());
     let workload = standard_workloads()
         .into_iter()
         .find(|w| w.id == wanted)

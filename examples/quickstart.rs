@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // gzip-twolf-ammp-lucas: the paper's running example of a workload
     // whose integer-bound and FP-bound threads heat different hotspots.
     let workload = &standard_workloads()[6];
-    println!("workload: {} ({})", workload.display_name(), workload.mix_label());
+    println!(
+        "workload: {} ({})",
+        workload.display_name(),
+        workload.mix_label()
+    );
 
     let baseline = exp.run(workload, PolicySpec::baseline())?;
     let best = exp.run(workload, PolicySpec::best())?;

@@ -44,7 +44,11 @@ pub fn assert_sane(r: &RunResult) {
         "duty cycle {} out of range",
         r.duty_cycle
     );
-    assert!(r.max_temp > 40.0 && r.max_temp < 200.0, "temp {}", r.max_temp);
+    assert!(
+        r.max_temp > 40.0 && r.max_temp < 200.0,
+        "temp {}",
+        r.max_temp
+    );
     assert!(r.emergency_time >= 0.0);
     assert!(r.bips() >= 0.0);
 }

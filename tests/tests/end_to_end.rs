@@ -34,7 +34,10 @@ fn distributed_dvfs_strongly_beats_the_stop_go_baseline() {
 #[test]
 fn global_stop_go_is_the_worst_policy() {
     let w = mixed_workload();
-    let global = run(&w, policy(ThrottleKind::StopGo, Scope::Global, MigrationKind::None));
+    let global = run(
+        &w,
+        policy(ThrottleKind::StopGo, Scope::Global, MigrationKind::None),
+    );
     let base = run(&w, PolicySpec::baseline());
     assert!(
         global.bips() < base.bips(),
@@ -49,7 +52,10 @@ fn distributed_beats_global_for_both_throttles() {
     let w = mixed_workload();
     for throttle in [ThrottleKind::StopGo, ThrottleKind::Dvfs] {
         let g = run(&w, policy(throttle, Scope::Global, MigrationKind::None));
-        let d = run(&w, policy(throttle, Scope::Distributed, MigrationKind::None));
+        let d = run(
+            &w,
+            policy(throttle, Scope::Distributed, MigrationKind::None),
+        );
         assert!(
             d.bips() >= g.bips(),
             "{throttle:?}: dist {} < global {}",

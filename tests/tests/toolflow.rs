@@ -34,7 +34,8 @@ fn int_and_fp_workloads_heat_their_own_register_files() {
     let gzip = lib.trace(&benchmark("gzip"));
     let lucas = lib.trace(&benchmark("lucas"));
     assert!(
-        gzip.mean_unit_power(UnitKind::IntRegFile) > 2.0 * gzip.mean_unit_power(UnitKind::FpRegFile)
+        gzip.mean_unit_power(UnitKind::IntRegFile)
+            > 2.0 * gzip.mean_unit_power(UnitKind::FpRegFile)
     );
     assert!(
         lucas.mean_unit_power(UnitKind::FpRegFile)

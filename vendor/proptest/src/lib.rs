@@ -1,0 +1,258 @@
+//! Offline stub of the `proptest` API surface used in this workspace:
+//! `proptest!`, `prop_compose!`, `prop_assert!`/`prop_assert_eq!`,
+//! `ProptestConfig::with_cases`, range strategies, and
+//! `collection::vec`. Cases are sampled from a deterministic generator
+//! (same inputs every run) and failures are reported through plain
+//! `assert!` panics — there is no shrinking. That keeps the property
+//! tests meaningful as randomized coverage while remaining buildable
+//! with no registry access; swap the `[patch.crates-io]` entry to
+//! return to the real engine.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {
+            $(impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            })*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A strategy defined by a sampling closure (the `prop_compose!`
+    /// building block).
+    pub struct SampleFn<T, F: Fn(&mut TestRng) -> T>(F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> SampleFn<T, F> {
+        /// Wraps a sampling closure.
+        pub fn new(f: F) -> Self {
+            SampleFn(f)
+        }
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for SampleFn<T, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with element strategy `S` and a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose lengths fall in `size` (half-open, as in
+    /// real proptest's range-based sizes).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.random_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner configuration.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The generator handed to strategies. Fixed seed: every run
+    /// explores the same cases (no shrinking, so reproducibility is the
+    /// debugging story).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// The deterministic per-test generator.
+        pub fn deterministic() -> Self {
+            TestRng(StdRng::seed_from_u64(0x70_72_6f_70))
+        }
+    }
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases sampled per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; these properties exercise
+            // full model conversions, so a smaller deterministic sweep
+            // keeps `cargo test` fast.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+}
+
+/// Asserts a property-case condition (panics immediately; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` sampled iterations.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic();
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Declares a named strategy built by sampling sub-strategies and
+/// mapping them through a body expression.
+#[macro_export]
+macro_rules! prop_compose {
+    ( $(#[$meta:meta])* $vis:vis fn $name:ident($($outer:tt)*)
+        ( $($arg:ident in $strat:expr),+ $(,)? ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::SampleFn::new(
+                move |__rng: &mut $crate::test_runner::TestRng| -> $ret {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                    $body
+                },
+            )
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u64..10, b in 10u64..20) -> (u64, u64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.25f64..0.75, n in 3usize..9) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn composed_strategies_apply_bodies(p in arb_pair()) {
+            prop_assert!(p.0 < p.1);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0i32..5, 1usize..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The build container has no network access and an empty crates-io
+//! mirror, so the workspace vendors the minimal API surface it actually
+//! uses (see `vendor/README.md`). The repo derives `Serialize` /
+//! `Deserialize` on its data types but never exercises a serde
+//! serializer — every on-disk format is a hand-written codec (the trace
+//! cache in `dtm-power::serialize`, the harness result cache and ledger
+//! in `dtm-harness`). The traits are therefore markers: deriving them
+//! keeps the public API source-compatible with the real `serde` so the
+//! stub can be swapped back out by deleting the `[patch.crates-io]`
+//! entry, without committing to a wire format here.
+
+/// Marker for types that real `serde` could serialize.
+pub trait Serialize {}
+
+/// Marker for types that real `serde` could deserialize.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<T: Deserialize + ?Sized> Deserialize for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl Serialize for str {}

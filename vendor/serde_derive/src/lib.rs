@@ -1,0 +1,62 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The vendored `serde` facade defines `Serialize` / `Deserialize` as
+//! marker traits (nothing in this workspace drives a serde serializer),
+//! so the derives only need to name the type: they hand-parse the item
+//! header out of the token stream — no `syn`/`quote`, which are equally
+//! unavailable offline — and emit an empty trait impl. Generic types are
+//! rejected explicitly; the workspace has none and supporting them
+//! without `syn` is not worth the parser.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum`/`union` item, skipping
+/// attributes, doc comments, and visibility modifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // `#[...]` attribute: consume the bracket group that follows.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                                if p.as_char() == '<' {
+                                    panic!(
+                                        "stub serde_derive does not support generic type `{name}`"
+                                    );
+                                }
+                            }
+                            return name.to_string();
+                        }
+                        other => panic!("expected type name after `{kw}`, found {other:?}"),
+                    }
+                }
+                // `pub`, `pub(crate)`, etc.: keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("stub serde_derive: no struct/enum found in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
