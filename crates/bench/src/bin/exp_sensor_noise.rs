@@ -3,13 +3,13 @@
 //! here we sweep Gaussian noise and quantization on the thermal sensors
 //! and check that the PI-DVFS policy stays effective and emergency-safe.
 
-use dtm_bench::{duration_arg, mean_bips, mean_duty, run_all_workloads};
-use dtm_core::{DtmConfig, Experiment, PolicySpec, SimConfig};
+use dtm_bench::{mean_bips, mean_duty};
+use dtm_core::{DtmConfig, PolicySpec, SimConfig};
+use dtm_harness::{run_standard, ConfigVariant, SweepArgs, SweepSpec, Table};
 use dtm_thermal::SensorSpec;
-use dtm_workloads::{TraceGenConfig, TraceLibrary};
 
 fn main() {
-    let duration = duration_arg();
+    let args = SweepArgs::from_env();
     let cases = [
         ("ideal", SensorSpec::ideal()),
         (
@@ -38,35 +38,52 @@ fn main() {
         ),
     ];
 
-    println!(
-        "{:<30} {:>7} {:>9} {:>11} {:>12}",
-        "sensor model (dist. DVFS)", "BIPS", "duty", "max temp", "emerg. time"
-    );
-    for (name, spec) in cases {
-        let exp = Experiment::new(
-            TraceLibrary::new(TraceGenConfig::default()),
-            SimConfig {
-                duration,
-                sensor: spec,
-                ..SimConfig::default()
-            },
-            DtmConfig::default(),
-        );
-        let runs = run_all_workloads(&exp, PolicySpec::best()).expect("run");
+    // One configuration variant per sensor model, swept over the full
+    // Table 4 workload set under the paper's best policy.
+    let mut spec = SweepSpec::standard(args.duration).policies([PolicySpec::best()]);
+    for (i, (name, sensor)) in cases.iter().enumerate() {
+        let sim = SimConfig {
+            duration: args.duration,
+            sensor: *sensor,
+            ..SimConfig::default()
+        };
+        let v = ConfigVariant::new(*name, sim, DtmConfig::default());
+        spec = if i == 0 {
+            spec.variant(v)
+        } else {
+            spec.add_variant(v)
+        };
+    }
+    let results = run_standard(spec, &args).expect("sweep");
+
+    let mut table = Table::new([
+        "sensor model (dist. DVFS)",
+        "BIPS",
+        "duty",
+        "max temp",
+        "emerg. time",
+    ])
+    .with_title("§4.1 sensitivity: sensor noise and quantization");
+    for (name, _) in cases {
+        let runs = results.policy_runs_in(name, PolicySpec::best());
         let max_t = runs
             .iter()
             .map(|r| r.max_temp)
             .fold(f64::NEG_INFINITY, f64::max);
         let emer: f64 = runs.iter().map(|r| r.emergency_time).sum();
-        println!(
-            "{:<30} {:>7.2} {:>8.1}% {:>9.2} C {:>10.2} ms",
-            name,
-            mean_bips(&runs),
-            100.0 * mean_duty(&runs),
-            max_t,
-            1e3 * emer
-        );
+        table.row([
+            name.to_string(),
+            format!("{:.2}", mean_bips(&runs)),
+            format!("{:.1}%", 100.0 * mean_duty(&runs)),
+            format!("{max_t:.2} C"),
+            format!("{:.2} ms", 1e3 * emer),
+        ]);
     }
-    println!("\n(noise costs a little throughput — the controller must leave margin —");
-    println!(" but the closed loop stays stable and near the setpoint)");
+    table.print(args.json);
+
+    if !args.json {
+        println!("\n(noise costs a little throughput — the controller must leave margin —");
+        println!(" but the closed loop stays stable and near the setpoint)");
+        eprintln!("{}", results.summary());
+    }
 }

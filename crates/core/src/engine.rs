@@ -10,17 +10,24 @@
 //! power, while a stalled core dissipates only leakage.
 
 use crate::config::{DtmConfig, SimConfig};
-use crate::metrics::{RunResult, ThreadStats};
+use crate::metrics::{Robustness, RunResult, ThreadStats};
 use crate::migration::{
     CounterMigration, MigrationPolicy, NoMigration, OsObservation, SensorMigration, ThreadCounters,
 };
 use crate::policy::{MigrationKind, PolicySpec, Scope, ThrottleKind};
 use crate::telemetry::{Telemetry, TelemetryRecord};
 use dtm_control::{ClippedPi, PiGains};
+use dtm_faults::{FallbackKind, FaultConfig, FaultScenario, FaultState, Watchdog, WatchdogConfig};
 use dtm_floorplan::{Floorplan, UnitKind};
 use dtm_power::{leakage_reference, PowerTrace, N_CORE_UNITS};
 use dtm_thermal::{LeakageModel, SensorBank, ThermalError, ThermalModel, TransientSolver};
 use std::sync::Arc;
+
+/// Margin below the DVFS setpoint under which a throttled chip is
+/// counted as *falsely* throttled: the true hotspot sits this far below
+/// where the controller would want it, so the lost throughput bought no
+/// thermal safety.
+const FALSE_THROTTLE_MARGIN: f64 = 2.0;
 
 /// Errors surfaced while building or running a simulation.
 #[derive(Debug)]
@@ -109,6 +116,20 @@ pub struct ThermalTimingSim {
 
     migration: Box<dyn MigrationPolicy>,
     sensors: SensorBank,
+
+    // Fault injection and the watchdog safety layer. Both `None` (the
+    // default) on the fault-free path, which therefore stays
+    // bit-identical to the pre-fault engine.
+    faults: Option<FaultState>,
+    watchdog: Option<Watchdog>,
+    /// True (fault-free, noise-free) block temperatures at each core's
+    /// `[int_rf, fp_rf]` sensor sites — what the chip actually does,
+    /// regardless of what the sensors claim.
+    true_sensor_temps: Vec<[f64; 2]>,
+    max_true_temp: f64,
+    violation_time: f64,
+    false_throttle_time: f64,
+    fallback_time: f64,
 
     // Clocks and accumulators.
     time: f64,
@@ -270,6 +291,13 @@ impl ThermalTimingSim {
             sensor_temps: vec![[0.0; 2]; cores],
             migration,
             sensors,
+            faults: None,
+            watchdog: None,
+            true_sensor_temps: vec![[0.0; 2]; cores],
+            max_true_temp: f64::NEG_INFINITY,
+            violation_time: 0.0,
+            false_throttle_time: 0.0,
+            fallback_time: 0.0,
             time: 0.0,
             next_os_tick: 0.0,
             last_migration: f64::NEG_INFINITY,
@@ -295,6 +323,33 @@ impl ThermalTimingSim {
     /// downstream users explore new points in the design space.
     pub fn set_migration_policy(&mut self, policy: Box<dyn MigrationPolicy>) {
         self.migration = policy;
+    }
+
+    /// Installs a fault schedule. The ideal scenario clears any
+    /// previous one and restores the fault-free fast path.
+    pub fn set_fault_scenario(&mut self, scenario: FaultScenario) {
+        self.faults = if scenario.is_ideal() {
+            None
+        } else {
+            Some(FaultState::new(scenario))
+        };
+    }
+
+    /// Installs the watchdog. A disabled configuration clears it and
+    /// restores the unscreened fast path.
+    pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.watchdog = if cfg.enabled {
+            Some(Watchdog::new(cfg, self.cfg.cores, 2))
+        } else {
+            None
+        };
+    }
+
+    /// Installs a complete robustness configuration (scenario plus
+    /// watchdog).
+    pub fn set_fault_config(&mut self, cfg: &FaultConfig) {
+        self.set_fault_scenario(cfg.scenario.clone());
+        self.set_watchdog(cfg.watchdog);
     }
 
     /// Attaches a telemetry recorder (replacing any previous one).
@@ -327,9 +382,23 @@ impl ThermalTimingSim {
         &self.floorplan
     }
 
-    /// Latest per-core hotspot sensor readings `[int_rf, fp_rf]` (°C).
+    /// Latest per-core hotspot sensor readings `[int_rf, fp_rf]` (°C),
+    /// after fault injection and watchdog screening — what the
+    /// controllers see.
     pub fn sensor_temps(&self) -> &[[f64; 2]] {
         &self.sensor_temps
+    }
+
+    /// Latest *true* block temperatures at the sensor sites (°C) —
+    /// unaffected by sensor noise, faults, or the watchdog.
+    pub fn true_sensor_temps(&self) -> &[[f64; 2]] {
+        &self.true_sensor_temps
+    }
+
+    /// The watchdog's per-core fallback latch; `None` when no watchdog
+    /// is installed.
+    pub fn watchdog_fallback(&self) -> Option<&[bool]> {
+        self.watchdog.as_ref().map(|w| w.in_fallback())
     }
 
     /// Floorplan block indices of each core's `[int_rf, fp_rf]` sensors.
@@ -413,21 +482,53 @@ impl ThermalTimingSim {
     /// paying a transition/migration penalty; the DVFS factor (or the
     /// core's architectural ceiling under stop-go) otherwise.
     pub fn effective_scale(&self, core: usize) -> f64 {
-        if self.time < self.stall_until[core] || self.time < self.penalty_until[core] {
+        // A broken stop-go gate means stall commands are issued and
+        // accounted but never bite.
+        let gate_ignored = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.gate_ignored(self.time, core));
+        if (self.time < self.stall_until[core] && !gate_ignored)
+            || self.time < self.penalty_until[core]
+        {
             return 0.0;
         }
         let ceiling = self.max_scale(core);
-        match self.policy.throttle {
+        let s = match self.policy.throttle {
             ThrottleKind::StopGo => ceiling,
             ThrottleKind::Dvfs => self.scale[core].min(ceiling),
+        };
+        // Watchdog limp-home mode: while any core's sensors are
+        // implausible, the chip is clamped to the minimum DVFS scale.
+        if let Some(wd) = &self.watchdog {
+            if wd.config().fallback == FallbackKind::FreqFloor && wd.any_fallback() {
+                return s.min(self.dtm.dvfs_min_scale);
+            }
         }
+        s
     }
 
     fn read_sensors(&mut self) {
         // Sensors sit at the within-block hotspots, so they see the
         // lumped node temperature plus the sub-block fast-mode excess.
         let temps = self.thermal.hot_block_temps();
-        let flat = self.sensors.read_all(&temps);
+        let mut flat = self.sensors.read_all(&temps);
+        for core in 0..self.cfg.cores {
+            self.true_sensor_temps[core] = [
+                temps[self.sensor_blocks[core][0]],
+                temps[self.sensor_blocks[core][1]],
+            ];
+        }
+        if let Some(faults) = &mut self.faults {
+            for core in 0..self.cfg.cores {
+                for (k, slot) in flat[core * 2..core * 2 + 2].iter_mut().enumerate() {
+                    *slot = faults.apply_sensor(self.time, core, k, *slot);
+                }
+            }
+        }
+        if let Some(wd) = &mut self.watchdog {
+            wd.assess(self.time, &mut flat);
+        }
         for core in 0..self.cfg.cores {
             self.sensor_temps[core] = [flat[core * 2], flat[core * 2 + 1]];
         }
@@ -494,11 +595,31 @@ impl ThermalTimingSim {
             self.emergency_time += dt;
         }
 
+        // ---- Robustness accounting (against *true* temperatures) ----
+        let true_hot = self
+            .true_sensor_temps
+            .iter()
+            .flat_map(|t| t.iter())
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.max_true_temp = self.max_true_temp.max(true_hot);
+        if true_hot > self.dtm.threshold {
+            self.violation_time += dt;
+        }
+        if self.watchdog.as_ref().is_some_and(|w| w.any_fallback()) {
+            self.fallback_time += dt;
+        }
+        let throttled = (0..cores).any(|c| scales_now[c] < self.max_scale(c) - 1e-12);
+        if throttled && true_hot < self.dtm.dvfs_setpoint() - FALSE_THROTTLE_MARGIN {
+            self.false_throttle_time += dt;
+        }
+
         // ---- Throttle control ----
         match self.policy.throttle {
             ThrottleKind::StopGo => self.control_stopgo(),
             ThrottleKind::Dvfs => self.control_dvfs(),
         }
+        self.control_fallback_stopgo();
 
         // ---- OS tick: migration ----
         if self.time >= self.next_os_tick {
@@ -511,14 +632,49 @@ impl ThermalTimingSim {
             let time = self.time;
             let sensor_temps = self.sensor_temps.clone();
             let assignment = self.assignment.clone();
+            let in_fallback = match &self.watchdog {
+                Some(w) => w.in_fallback().to_vec(),
+                None => vec![false; cores],
+            };
             tel.offer(|| TelemetryRecord {
                 time,
                 sensor_temps,
                 scales: scales_now,
                 assignment,
+                in_fallback,
             });
         }
         Ok(())
+    }
+
+    /// Whether `core`'s DVFS actuator is currently stuck by a fault.
+    fn dvfs_stuck(&self, core: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.dvfs_stuck(self.time, core))
+    }
+
+    /// The [`FallbackKind::StopGoLastGood`] fail-safe: cores whose
+    /// sensors are implausible run stop-go on their last plausible
+    /// reading instead of the (untrustworthy) live one.
+    fn control_fallback_stopgo(&mut self) {
+        let Some(wd) = &self.watchdog else {
+            return;
+        };
+        if wd.config().fallback != FallbackKind::StopGoLastGood || !wd.any_fallback() {
+            return;
+        }
+        let trip = self.dtm.stopgo_trip();
+        for core in 0..self.cfg.cores {
+            if !wd.in_fallback()[core] || self.time < self.stall_until[core] {
+                continue;
+            }
+            let last_good = wd.last_good(core * 2).max(wd.last_good(core * 2 + 1));
+            if last_good >= trip {
+                self.stall_until[core] = self.time + self.dtm.stopgo_stall;
+                self.stalls += 1;
+            }
+        }
     }
 
     fn control_stopgo(&mut self) {
@@ -580,7 +736,13 @@ impl ThermalTimingSim {
             Scope::Distributed => {
                 for core in 0..self.cfg.cores {
                     let hot = self.sensor_temps[core][0].max(self.sensor_temps[core][1]);
+                    // The PI state advances even when the actuator is
+                    // stuck: the controller keeps observing, it just
+                    // cannot act.
                     let u = self.pi[core].update(hot - setpoint);
+                    if self.dvfs_stuck(core) {
+                        continue;
+                    }
                     if (u - self.scale[core]).abs() >= self.dtm.dvfs_min_transition * range {
                         self.scale[core] = u;
                         self.penalty_until[core] = self.time + self.dtm.dvfs_transition_penalty;
@@ -596,11 +758,21 @@ impl ThermalTimingSim {
                     .cloned()
                     .fold(f64::NEG_INFINITY, f64::max);
                 let u = self.pi[0].update(hot - setpoint);
-                if (u - self.scale[0]).abs() >= self.dtm.dvfs_min_transition * range {
-                    for core in 0..self.cfg.cores {
+                // Fault-free, all scales move in lockstep and this is
+                // exactly the single scale[0] comparison; with a stuck
+                // core, the healthy cores still track the controller.
+                let mut moved = false;
+                for core in 0..self.cfg.cores {
+                    if self.dvfs_stuck(core) {
+                        continue;
+                    }
+                    if (u - self.scale[core]).abs() >= self.dtm.dvfs_min_transition * range {
                         self.scale[core] = u;
                         self.penalty_until[core] = self.time + self.dtm.dvfs_transition_penalty;
+                        moved = true;
                     }
+                }
+                if moved {
                     self.dvfs_transitions += 1;
                 }
             }
@@ -691,6 +863,15 @@ impl ThermalTimingSim {
             dvfs_transitions: self.dvfs_transitions,
             stalls: self.stalls,
             energy: self.energy,
+            robustness: Robustness {
+                violation_time: self.violation_time,
+                peak_overshoot: (self.max_true_temp - self.dtm.threshold).max(0.0),
+                false_throttle_time: self.false_throttle_time,
+                fallback_time: self.fallback_time,
+                fallback_entries: self.watchdog.as_ref().map_or(0, |w| w.entries()),
+                fallback_exits: self.watchdog.as_ref().map_or(0, |w| w.exits()),
+                watchdog_flags: self.watchdog.as_ref().map_or(0, |w| w.flags()),
+            },
             threads: self.thread_stats.clone(),
         }
     }
@@ -1143,6 +1324,272 @@ mod energy_and_policy_tests {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::policy::MigrationKind;
+    use dtm_faults::{FaultEvent, FaultKind, FaultTarget};
+    use dtm_power::CorePowerSample;
+
+    fn trace(int_rf: f64, fp_rf: f64, base: f64) -> Arc<PowerTrace> {
+        let mut s = CorePowerSample::zero();
+        s.units = [
+            base,
+            base,
+            base,
+            base,
+            base,
+            base,
+            base * 0.5,
+            int_rf,
+            fp_rf,
+            base,
+            base * 0.8,
+            base,
+            base * 0.4,
+        ];
+        s.l2 = 0.2;
+        s.instructions = 200_000;
+        s.int_rf_per_cycle = 10.0 * int_rf;
+        s.fp_rf_per_cycle = 10.0 * fp_rf;
+        Arc::new(PowerTrace::new("t", 1.0e5 / 3.6e9, vec![s]))
+    }
+
+    fn quad_hot() -> Vec<Arc<PowerTrace>> {
+        (0..4).map(|_| trace(2.6, 0.2, 0.6)).collect()
+    }
+
+    fn dist_dvfs() -> PolicySpec {
+        PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None)
+    }
+
+    fn sim(policy: PolicySpec, faults: &FaultConfig) -> ThermalTimingSim {
+        let mut sim = ThermalTimingSim::new(
+            SimConfig::fast_test(),
+            DtmConfig::default(),
+            policy,
+            quad_hot(),
+        )
+        .expect("construction");
+        sim.set_fault_config(faults);
+        sim
+    }
+
+    #[test]
+    fn ideal_fault_config_is_bit_identical_to_fault_free() {
+        // The acceptance bar for the whole subsystem: installing the
+        // ideal FaultConfig must not perturb a single bit of the result,
+        // so fault-free sweep cells keep their cached contents.
+        let mut plain = ThermalTimingSim::new(
+            SimConfig::fast_test(),
+            DtmConfig::default(),
+            dist_dvfs(),
+            quad_hot(),
+        )
+        .unwrap();
+        let a = plain.run().unwrap();
+        let b = sim(dist_dvfs(), &FaultConfig::ideal()).run().unwrap();
+        assert_eq!(a.duty_cycle.to_bits(), b.duty_cycle.to_bits());
+        assert_eq!(a.max_temp.to_bits(), b.max_temp.to_bits());
+        assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        assert_eq!(a.instructions.to_bits(), b.instructions.to_bits());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stuck_hot_sensor_latches_fallback_within_one_control_period() {
+        let fault_start = 0.01;
+        let cfg = FaultConfig::protected(
+            FaultScenario::stuck_sensor("stuck-hot", 0, 0, 150.0, fault_start),
+            WatchdogConfig::enabled(),
+        );
+        let mut s = sim(dist_dvfs(), &cfg);
+        let dt = 1.0e5 / 3.6e9;
+        while s.time() < fault_start + 1.5 * dt {
+            s.step().unwrap();
+        }
+        assert!(
+            s.watchdog_fallback().unwrap()[0],
+            "watchdog did not latch within one control period of the fault"
+        );
+        let r = s.run().unwrap();
+        assert!(r.robustness.fallback_entries >= 1);
+        assert!(r.robustness.watchdog_flags > 0);
+        assert!(
+            r.robustness.fallback_time > 0.8 * (r.duration - fault_start),
+            "fallback_time {} for a permanent fault over {}",
+            r.robustness.fallback_time,
+            r.duration - fault_start
+        );
+        assert_eq!(
+            r.robustness.violation_time, 0.0,
+            "limp-home mode overheated"
+        );
+        // Limp-home clamps the chip, so throughput is sacrificed while
+        // the true temperature sits safely low: false throttle time.
+        assert!(r.robustness.false_throttle_time > 0.0);
+    }
+
+    #[test]
+    fn stuck_cold_chip_without_watchdog_overheats() {
+        // All sensors frozen at a comfortable reading, no safety net:
+        // the controller sees no reason to throttle and the true
+        // temperature sails past the threshold.
+        let cfg = FaultConfig::unprotected(FaultScenario::new(
+            "stuck-cold",
+            vec![FaultEvent::permanent(
+                0.0,
+                FaultTarget::Chip,
+                FaultKind::SensorStuck { value: 60.0 },
+            )],
+        ));
+        let r = sim(dist_dvfs(), &cfg).run().unwrap();
+        assert!(
+            r.robustness.violation_time > 0.0,
+            "stuck-cold sensors should cook the chip"
+        );
+        assert!(r.robustness.peak_overshoot > 0.0);
+        assert_eq!(r.emergency_time, 0.0, "the sensors never admit it");
+        assert_eq!(r.robustness.fallback_time, 0.0, "no watchdog installed");
+    }
+
+    #[test]
+    fn dropout_without_watchdog_stops_throttling() {
+        // NaN readings defeat every `hot >= trip` comparison: ungraceful
+        // degradation by design.
+        let cfg = FaultConfig::unprotected(FaultScenario::new(
+            "dropout-chip",
+            vec![FaultEvent::permanent(
+                0.0,
+                FaultTarget::Chip,
+                FaultKind::SensorDropout,
+            )],
+        ));
+        let faulty = sim(dist_dvfs(), &cfg).run().unwrap();
+        let clean = sim(dist_dvfs(), &FaultConfig::ideal()).run().unwrap();
+        assert!(
+            faulty.duty_cycle > clean.duty_cycle,
+            "blind chip should run unthrottled: {} vs {}",
+            faulty.duty_cycle,
+            clean.duty_cycle
+        );
+        assert!(faulty.robustness.violation_time > 0.0);
+    }
+
+    #[test]
+    fn stopgo_last_good_fallback_trades_overshoot_for_throughput() {
+        // A sensor stuck at 150 °C under distributed stop-go with no
+        // watchdog stalls its core forever (the reading never drops
+        // below trip). The stop-go-on-last-good fallback filters the
+        // lie and keeps the core running on its last plausible
+        // temperature — buying throughput at the cost of a small,
+        // bounded true-temperature overshoot while the frozen last-good
+        // value understates the heating.
+        let policy = PolicySpec::new(
+            ThrottleKind::StopGo,
+            Scope::Distributed,
+            MigrationKind::None,
+        );
+        let fault_start = 0.01;
+        let scenario = FaultScenario::stuck_sensor("stuck-hot", 0, 0, 150.0, fault_start);
+        let unprotected = sim(policy, &FaultConfig::unprotected(scenario.clone()))
+            .run()
+            .unwrap();
+        let protected = sim(
+            policy,
+            &FaultConfig::protected(scenario, WatchdogConfig::enabled_stopgo()),
+        )
+        .run()
+        .unwrap();
+        assert!(protected.robustness.fallback_time > 0.0);
+        assert!(
+            protected.duty_cycle > unprotected.duty_cycle,
+            "fallback should outperform a permanently stalled core: {} vs {}",
+            protected.duty_cycle,
+            unprotected.duty_cycle
+        );
+        let exposed = protected.duration - fault_start;
+        assert!(
+            protected.robustness.violation_time < 0.2 * exposed,
+            "overshoot must stay bounded: {} of {} s exposed",
+            protected.robustness.violation_time,
+            exposed
+        );
+    }
+
+    #[test]
+    fn gate_ignored_fault_defeats_stop_go() {
+        let cfg = FaultConfig::unprotected(FaultScenario::new(
+            "gate-ignored",
+            vec![FaultEvent::permanent(
+                0.0,
+                FaultTarget::Chip,
+                FaultKind::GateIgnored,
+            )],
+        ));
+        let policy = PolicySpec::new(
+            ThrottleKind::StopGo,
+            Scope::Distributed,
+            MigrationKind::None,
+        );
+        let broken = sim(policy, &cfg).run().unwrap();
+        let healthy = sim(policy, &FaultConfig::ideal()).run().unwrap();
+        assert!(broken.stalls > 0, "stalls are still issued and counted");
+        assert!(
+            broken.duty_cycle > healthy.duty_cycle,
+            "ignored gates should keep the cores running: {} vs {}",
+            broken.duty_cycle,
+            healthy.duty_cycle
+        );
+        assert!(broken.robustness.violation_time > healthy.robustness.violation_time);
+    }
+
+    #[test]
+    fn dvfs_stuck_core_keeps_its_pre_fault_scale() {
+        let fault_start = 0.0;
+        let cfg = FaultConfig::unprotected(FaultScenario::new(
+            "dvfs-stuck",
+            vec![FaultEvent::permanent(
+                fault_start,
+                FaultTarget::Core { core: 0 },
+                FaultKind::DvfsStuck,
+            )],
+        ));
+        let mut s = sim(dist_dvfs(), &cfg);
+        s.attach_telemetry(Telemetry::every(36));
+        s.run().unwrap();
+        let tel = s.take_telemetry().unwrap();
+        // Core 0's actuator froze at its initial scale (1.0); the
+        // healthy cores throttle below it on this hot workload.
+        let last = tel.records().last().unwrap();
+        assert!(
+            (last.scales[0] - 1.0).abs() < 1e-12 || last.scales[0] == 0.0,
+            "stuck core should hold its pre-fault scale, got {}",
+            last.scales[0]
+        );
+        let healthy_throttled = tel
+            .records()
+            .iter()
+            .any(|r| r.scales[1] > 0.0 && r.scales[1] < 0.9);
+        assert!(healthy_throttled, "healthy cores never throttled");
+    }
+
+    #[test]
+    fn telemetry_reports_fallback_latch() {
+        let cfg = FaultConfig::protected(
+            FaultScenario::stuck_sensor("stuck-hot", 2, 1, 150.0, 0.01),
+            WatchdogConfig::enabled(),
+        );
+        let mut s = sim(dist_dvfs(), &cfg);
+        s.attach_telemetry(Telemetry::every(36));
+        s.run().unwrap();
+        let tel = s.take_telemetry().unwrap();
+        assert!(tel.records().iter().all(|r| r.in_fallback.len() == 4));
+        assert!(tel.records().iter().any(|r| r.in_fallback[2]));
+        assert!(tel.records().iter().all(|r| !r.in_fallback[0]));
     }
 }
 

@@ -60,8 +60,12 @@ mod runner;
 mod telemetry;
 
 pub use config::{DtmConfig, LeakageConfig, SimConfig};
+pub use dtm_faults::{
+    FallbackKind, FaultConfig, FaultEvent, FaultKind, FaultScenario, FaultState, FaultTarget,
+    Watchdog, WatchdogConfig,
+};
 pub use engine::{SimError, ThermalTimingSim};
-pub use metrics::{geometric_mean, mean, RunResult, ThreadStats};
+pub use metrics::{geometric_mean, mean, Robustness, RunResult, ThreadStats};
 pub use migration::{
     CounterMigration, MigrationPolicy, NoMigration, OsObservation, RotationMigration,
     SensorMigration, ThreadCounters, HOTSPOT_FP, HOTSPOT_INT,

@@ -15,6 +15,35 @@ pub struct ThreadStats {
     pub migrations: u64,
 }
 
+/// Robustness accounting for one run (the fault-injection study's
+/// metrics; all zero for fault-free runs under a disabled watchdog).
+///
+/// Unlike [`RunResult::emergency_time`], which counts what the
+/// *sensors* report, these are measured against the **true** block
+/// temperatures at the sensor sites — the distinction is the whole
+/// point once sensors can lie.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Robustness {
+    /// Time the true hotspot temperature spent above the thermal
+    /// threshold (s).
+    pub violation_time: f64,
+    /// Peak true-temperature excess over the threshold (°C, ≥ 0).
+    pub peak_overshoot: f64,
+    /// Time the chip spent throttled while the true hotspot sat safely
+    /// below the control setpoint (s) — throughput burned on faults,
+    /// not on heat.
+    pub false_throttle_time: f64,
+    /// Time at least one core spent in watchdog fallback (s).
+    pub fallback_time: f64,
+    /// Fallback episodes entered.
+    pub fallback_entries: u64,
+    /// Fallback episodes exited (entries minus exits = episodes still
+    /// latched at run end).
+    pub fallback_exits: u64,
+    /// Sensor readings the watchdog flagged as implausible.
+    pub watchdog_flags: u64,
+}
+
 /// The result of one (workload, policy) simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
@@ -39,6 +68,9 @@ pub struct RunResult {
     /// Total energy dissipated by the chip over the run (J), including
     /// leakage.
     pub energy: f64,
+    /// Fault/watchdog robustness accounting (all zero when nothing was
+    /// injected and the watchdog was off).
+    pub robustness: Robustness,
     /// Per-thread statistics.
     pub threads: Vec<ThreadStats>,
 }
@@ -71,6 +103,13 @@ impl RunResult {
         } else {
             1e9 * self.energy / self.instructions
         }
+    }
+
+    /// Whether the run kept the *true* temperature below the threshold
+    /// the whole time — the robustness analogue of
+    /// [`RunResult::emergency_free`], immune to lying sensors.
+    pub fn violation_free(&self) -> bool {
+        self.robustness.violation_time == 0.0
     }
 }
 
@@ -118,6 +157,7 @@ mod tests {
             dvfs_transitions: 0,
             stalls: 0,
             energy: 5.0,
+            robustness: Robustness::default(),
             threads: vec![],
         }
     }

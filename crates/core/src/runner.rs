@@ -5,6 +5,7 @@ use crate::engine::{SimError, ThermalTimingSim};
 use crate::metrics::RunResult;
 use crate::policy::PolicySpec;
 use crate::telemetry::Telemetry;
+use dtm_faults::FaultConfig;
 use dtm_workloads::{Benchmark, TraceLibrary, Workload};
 use std::sync::Arc;
 
@@ -37,6 +38,7 @@ pub struct Experiment {
     lib: Arc<TraceLibrary>,
     sim: SimConfig,
     dtm: DtmConfig,
+    faults: FaultConfig,
 }
 
 impl Experiment {
@@ -49,7 +51,12 @@ impl Experiment {
     /// many contexts (config sweeps, per-variant overrides) from one
     /// library means every variant reuses the same generated traces.
     pub fn new_shared(lib: Arc<TraceLibrary>, sim: SimConfig, dtm: DtmConfig) -> Self {
-        Experiment { lib, sim, dtm }
+        Experiment {
+            lib,
+            sim,
+            dtm,
+            faults: FaultConfig::ideal(),
+        }
     }
 
     /// The study's configuration: 4 cores, 0.5 s runs, 84.2 °C limit.
@@ -106,6 +113,20 @@ impl Experiment {
         self
     }
 
+    /// Replaces the robustness configuration (fault scenario plus
+    /// watchdog) applied to every simulator this context builds. The
+    /// default is [`FaultConfig::ideal`], which leaves the simulator
+    /// bit-identical to a fault-unaware build.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The robustness configuration.
+    pub fn fault_config(&self) -> &FaultConfig {
+        &self.faults
+    }
+
     /// Builds a simulator for one workload and policy.
     ///
     /// # Errors
@@ -121,7 +142,11 @@ impl Experiment {
             .iter()
             .map(|b| self.lib.trace(b))
             .collect();
-        ThermalTimingSim::new(self.sim.clone(), self.dtm, policy, traces)
+        let mut sim = ThermalTimingSim::new(self.sim.clone(), self.dtm, policy, traces)?;
+        if !self.faults.is_ideal() {
+            sim.set_fault_config(&self.faults);
+        }
+        Ok(sim)
     }
 
     /// Runs one workload under one policy.

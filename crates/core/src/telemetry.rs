@@ -13,6 +13,9 @@ pub struct TelemetryRecord {
     pub scales: Vec<f64>,
     /// Core → thread assignment.
     pub assignment: Vec<usize>,
+    /// Per-core watchdog fallback latch (all `false` when no watchdog
+    /// is installed).
+    pub in_fallback: Vec<bool>,
 }
 
 /// A sampling recorder attached to a simulation run.
@@ -67,6 +70,7 @@ mod tests {
             sensor_temps: vec![[50.0, 51.0]],
             scales: vec![1.0],
             assignment: vec![0],
+            in_fallback: vec![false],
         }
     }
 

@@ -1,0 +1,289 @@
+//! Runtime application of a [`FaultScenario`] to a simulation.
+//!
+//! [`FaultState`] is the per-run applier: the engine calls
+//! [`FaultState::apply_sensor`] on every raw sensor reading and queries
+//! [`FaultState::dvfs_stuck`] / [`FaultState::gate_ignored`] on its
+//! actuation paths. All state it keeps (stale-telemetry history) is a
+//! pure function of the schedule and the reading stream, so replaying a
+//! run reproduces every faulty value bit-for-bit.
+
+use crate::scenario::{FaultKind, FaultScenario};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Per-run fault applier derived from a [`FaultScenario`].
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    scenario: FaultScenario,
+    /// Longest stale delay in the schedule (s); bounds history length.
+    max_stale: f64,
+    /// Raw-reading history per (core, sensor index) slot, recorded only
+    /// for slots some stale event targets. Entries are `(time, raw)`.
+    history: HashMap<(usize, usize), VecDeque<(f64, f64)>>,
+}
+
+impl FaultState {
+    /// Builds the applier for one run.
+    pub fn new(scenario: FaultScenario) -> Self {
+        let max_stale = scenario
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::SensorStale { delay } => Some(delay),
+                _ => None,
+            })
+            .fold(0.0, f64::max);
+        FaultState {
+            scenario,
+            max_stale,
+            history: HashMap::new(),
+        }
+    }
+
+    /// The schedule this applier executes.
+    pub fn scenario(&self) -> &FaultScenario {
+        &self.scenario
+    }
+
+    /// Whether the schedule is empty (nothing will ever be injected).
+    pub fn is_ideal(&self) -> bool {
+        self.scenario.is_ideal()
+    }
+
+    /// Whether any event targets this sensor slot with a stale fault
+    /// (at any time — history must be recorded before the window opens
+    /// so the delayed readings exist when it does).
+    fn records_history(&self, core: usize, index: usize) -> bool {
+        self.scenario.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::SensorStale { .. }) && e.target.covers_sensor(core, index)
+        })
+    }
+
+    /// Applies every active sensor fault to one raw reading, in
+    /// schedule order, returning what the sensor actually reports.
+    pub fn apply_sensor(&mut self, time: f64, core: usize, index: usize, raw: f64) -> f64 {
+        if self.records_history(core, index) {
+            let h = self.history.entry((core, index)).or_default();
+            h.push_back((time, raw));
+            let horizon = time - self.max_stale - 1e-3;
+            while h.front().is_some_and(|&(t, _)| t < horizon) {
+                h.pop_front();
+            }
+        }
+        let mut value = raw;
+        for ei in 0..self.scenario.events.len() {
+            let e = self.scenario.events[ei];
+            if !e.active(time) || !e.target.covers_sensor(core, index) {
+                continue;
+            }
+            value = match e.kind {
+                FaultKind::SensorStuck { value: v } => v,
+                FaultKind::SensorDrift { rate } => value + rate * (time - e.start),
+                FaultKind::SensorDropout => f64::NAN,
+                FaultKind::SensorSpike { amplitude } => value + amplitude,
+                FaultKind::SensorStale { delay } => self.delayed(core, index, time - delay),
+                FaultKind::DvfsStuck | FaultKind::GateIgnored => value,
+            };
+        }
+        value
+    }
+
+    /// The newest recorded raw reading at or before `when`, held at the
+    /// oldest entry when history does not reach back that far.
+    fn delayed(&self, core: usize, index: usize, when: f64) -> f64 {
+        let Some(h) = self.history.get(&(core, index)) else {
+            return f64::NAN;
+        };
+        let mut best = None;
+        for &(t, v) in h {
+            if t <= when {
+                best = Some(v);
+            } else {
+                break;
+            }
+        }
+        best.or_else(|| h.front().map(|&(_, v)| v))
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Whether `core`'s DVFS level is stuck at `time` (controller
+    /// commands must be ignored).
+    pub fn dvfs_stuck(&self, time: f64, core: usize) -> bool {
+        self.scenario.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::DvfsStuck) && e.active(time) && e.target.covers_core(core)
+        })
+    }
+
+    /// Whether `core`'s stop-go gate is ignored at `time` (stall
+    /// commands have no effect on execution).
+    pub fn gate_ignored(&self, time: f64, core: usize) -> bool {
+        self.scenario.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::GateIgnored) && e.active(time) && e.target.covers_core(core)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{FaultEvent, FaultTarget};
+
+    #[test]
+    fn ideal_state_is_identity() {
+        let mut s = FaultState::new(FaultScenario::ideal());
+        assert!(s.is_ideal());
+        for t in [0.0, 0.1, 5.0] {
+            assert_eq!(s.apply_sensor(t, 0, 0, 77.25), 77.25);
+        }
+        assert!(!s.dvfs_stuck(1.0, 0));
+        assert!(!s.gate_ignored(1.0, 0));
+    }
+
+    #[test]
+    fn stuck_overrides_only_in_window_and_target() {
+        let sc = FaultScenario::new(
+            "stuck",
+            vec![FaultEvent {
+                start: 0.1,
+                end: 0.2,
+                target: FaultTarget::Sensor { core: 1, index: 0 },
+                kind: FaultKind::SensorStuck { value: 150.0 },
+            }],
+        );
+        let mut s = FaultState::new(sc);
+        assert_eq!(s.apply_sensor(0.05, 1, 0, 80.0), 80.0);
+        assert_eq!(s.apply_sensor(0.15, 1, 0, 80.0), 150.0);
+        assert_eq!(s.apply_sensor(0.15, 1, 1, 80.0), 80.0);
+        assert_eq!(s.apply_sensor(0.15, 0, 0, 80.0), 80.0);
+        assert_eq!(s.apply_sensor(0.25, 1, 0, 80.0), 80.0);
+    }
+
+    #[test]
+    fn drift_accumulates_from_event_start() {
+        let sc = FaultScenario::new(
+            "drift",
+            vec![FaultEvent::permanent(
+                1.0,
+                FaultTarget::Sensor { core: 0, index: 1 },
+                FaultKind::SensorDrift { rate: 2.0 },
+            )],
+        );
+        let mut s = FaultState::new(sc);
+        assert_eq!(s.apply_sensor(1.0, 0, 1, 70.0), 70.0);
+        assert!((s.apply_sensor(1.5, 0, 1, 70.0) - 71.0).abs() < 1e-12);
+        assert!((s.apply_sensor(3.0, 0, 1, 70.0) - 74.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropout_reads_nan() {
+        let mut s = FaultState::new(FaultScenario::dropout_sensor("d", 0, 0, 0.0));
+        assert!(s.apply_sensor(0.0, 0, 0, 80.0).is_nan());
+    }
+
+    #[test]
+    fn spike_is_additive_and_transient() {
+        let sc = FaultScenario::new(
+            "spike",
+            vec![FaultEvent {
+                start: 0.2,
+                end: 0.3,
+                target: FaultTarget::Chip,
+                kind: FaultKind::SensorSpike { amplitude: -12.5 },
+            }],
+        );
+        let mut s = FaultState::new(sc);
+        assert_eq!(s.apply_sensor(0.25, 3, 1, 80.0), 67.5);
+        assert_eq!(s.apply_sensor(0.35, 3, 1, 80.0), 80.0);
+    }
+
+    #[test]
+    fn stale_reports_delayed_readings() {
+        let sc = FaultScenario::new(
+            "stale",
+            vec![FaultEvent::permanent(
+                0.3,
+                FaultTarget::Sensor { core: 0, index: 0 },
+                FaultKind::SensorStale { delay: 0.2 },
+            )],
+        );
+        let mut s = FaultState::new(sc);
+        // History records before the window opens.
+        for i in 0..10 {
+            let t = 0.05 * i as f64;
+            let _ = s.apply_sensor(t, 0, 0, 50.0 + t * 100.0);
+        }
+        // At t = 0.45 the sensor reports the t = 0.25 reading.
+        let r = s.apply_sensor(0.45, 0, 0, 95.0);
+        assert!((r - 75.0).abs() < 1e-9, "stale reading {r}");
+    }
+
+    #[test]
+    fn stale_holds_oldest_when_history_is_short() {
+        let sc = FaultScenario::new(
+            "stale",
+            vec![FaultEvent::permanent(
+                0.0,
+                FaultTarget::Sensor { core: 0, index: 0 },
+                FaultKind::SensorStale { delay: 1.0 },
+            )],
+        );
+        let mut s = FaultState::new(sc);
+        let first = s.apply_sensor(0.0, 0, 0, 61.0);
+        assert!((first - 61.0).abs() < 1e-12);
+        let held = s.apply_sensor(0.5, 0, 0, 99.0);
+        assert!((held - 61.0).abs() < 1e-12, "held {held}");
+    }
+
+    #[test]
+    fn actuator_faults_answer_target_and_window() {
+        let sc = FaultScenario::new(
+            "act",
+            vec![
+                FaultEvent {
+                    start: 0.1,
+                    end: 0.4,
+                    target: FaultTarget::Core { core: 2 },
+                    kind: FaultKind::DvfsStuck,
+                },
+                FaultEvent::permanent(0.2, FaultTarget::Chip, FaultKind::GateIgnored),
+            ],
+        );
+        let s = FaultState::new(sc);
+        assert!(!s.dvfs_stuck(0.05, 2));
+        assert!(s.dvfs_stuck(0.2, 2));
+        assert!(!s.dvfs_stuck(0.2, 1));
+        assert!(!s.dvfs_stuck(0.5, 2));
+        assert!(s.gate_ignored(0.3, 0) && s.gate_ignored(0.3, 3));
+        assert!(!s.gate_ignored(0.1, 0));
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let sc = FaultScenario::new(
+            "mix",
+            vec![
+                FaultEvent::permanent(
+                    0.1,
+                    FaultTarget::Sensor { core: 0, index: 0 },
+                    FaultKind::SensorDrift { rate: 3.7 },
+                ),
+                FaultEvent::permanent(
+                    0.2,
+                    FaultTarget::Sensor { core: 0, index: 0 },
+                    FaultKind::SensorStale { delay: 0.05 },
+                ),
+            ],
+        );
+        let run = |mut s: FaultState| -> Vec<u64> {
+            (0..200)
+                .map(|i| {
+                    let t = i as f64 * 0.005;
+                    s.apply_sensor(t, 0, 0, 60.0 + (i % 17) as f64).to_bits()
+                })
+                .collect()
+        };
+        let a = run(FaultState::new(sc.clone()));
+        let b = run(FaultState::new(sc));
+        assert_eq!(a, b);
+    }
+}

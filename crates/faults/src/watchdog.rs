@@ -1,0 +1,332 @@
+//! The plausibility-checking safety watchdog.
+//!
+//! Real power controllers (e.g. ControlPULP) treat sensor faults as a
+//! first-class input: a reading that is non-finite, moves faster than
+//! physics allows, or disagrees wildly with every other sensor on the
+//! die is *implausible*, and a controller that keeps trusting it either
+//! melts the chip (stuck-cold) or throttles it to the floor forever
+//! (stuck-hot). The [`Watchdog`] runs inside the engine's control loop:
+//! each step it screens all sensor readings, substitutes the last
+//! plausible value for any flagged reading (so PI controllers never
+//! integrate NaN or a 70 °C step), and drives a per-core fail-safe
+//! fallback while a core's sensors cannot be trusted.
+
+use serde::{Deserialize, Serialize};
+
+/// The fail-safe action taken while a core is in fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FallbackKind {
+    /// Clamp the whole chip to the minimum DVFS frequency scale — the
+    /// conservative "limp home" mode.
+    FreqFloor,
+    /// Run stop-go on the last plausible temperature of the afflicted
+    /// core: the core stalls whenever its last-good reading sits above
+    /// the trip point, and otherwise keeps executing.
+    StopGoLastGood,
+}
+
+/// Watchdog configuration.
+///
+/// The default is [`WatchdogConfig::disabled`]: the watchdog adds zero
+/// work and zero behavioral change unless explicitly enabled, so
+/// fault-free simulations stay bit-identical to the pre-watchdog
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Largest plausible reading change between two consecutive samples
+    /// (°C). Thermal RC time constants bound real silicon far below
+    /// this; sensor noise must stay comfortably below it too.
+    pub max_step: f64,
+    /// Largest plausible deviation from the chip-median reading (°C).
+    /// Catches frozen/stuck sensors whose step delta is zero.
+    pub max_deviation: f64,
+    /// The fail-safe applied while a core's sensors are implausible.
+    pub fallback: FallbackKind,
+    /// Minimum dwell time in fallback once entered (s), preventing
+    /// entry/exit chatter at the plausibility boundary.
+    pub min_hold: f64,
+}
+
+impl WatchdogConfig {
+    /// Watchdog off: no checks, no fallback, no behavioral change.
+    pub fn disabled() -> Self {
+        WatchdogConfig {
+            enabled: false,
+            max_step: f64::INFINITY,
+            max_deviation: f64::INFINITY,
+            fallback: FallbackKind::FreqFloor,
+            min_hold: 0.0,
+        }
+    }
+
+    /// The standard enabled configuration: 6 °C per-sample step bound
+    /// (≈ 12σ of the realistic sensor noise), 40 °C cross-sensor
+    /// deviation bound, chip-wide frequency-floor fallback with 1 ms
+    /// minimum dwell.
+    pub fn enabled() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            max_step: 6.0,
+            max_deviation: 40.0,
+            fallback: FallbackKind::FreqFloor,
+            min_hold: 1e-3,
+        }
+    }
+
+    /// The enabled configuration with the stop-go-on-last-good
+    /// fallback.
+    pub fn enabled_stopgo() -> Self {
+        WatchdogConfig {
+            fallback: FallbackKind::StopGoLastGood,
+            ..WatchdogConfig::enabled()
+        }
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig::disabled()
+    }
+}
+
+/// Per-run watchdog state: last/last-good readings per sensor and the
+/// fallback latch per core.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    /// Last raw reading per sensor slot (flattened core-major), NaN
+    /// before the first assessment.
+    last: Vec<f64>,
+    /// Last plausible reading per sensor slot.
+    last_good: Vec<f64>,
+    /// Fallback latch per core.
+    in_fallback: Vec<bool>,
+    /// Entry time of the current fallback episode per core.
+    since: Vec<f64>,
+    entries: u64,
+    exits: u64,
+    flags: u64,
+}
+
+impl Watchdog {
+    /// Builds the runtime for `cores` cores with `sensors_per_core`
+    /// sensors each.
+    pub fn new(cfg: WatchdogConfig, cores: usize, sensors_per_core: usize) -> Self {
+        Watchdog {
+            cfg,
+            last: vec![f64::NAN; cores * sensors_per_core],
+            last_good: vec![f64::NAN; cores * sensors_per_core],
+            in_fallback: vec![false; cores],
+            since: vec![0.0; cores],
+            entries: 0,
+            exits: 0,
+            flags: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.cfg
+    }
+
+    /// Screens this step's readings (flattened core-major, matching
+    /// `new`'s layout), replacing implausible values with the sensor's
+    /// last plausible reading in place, and updates each core's
+    /// fallback latch.
+    pub fn assess(&mut self, time: f64, readings: &mut [f64]) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let n = readings.len();
+        debug_assert_eq!(n, self.last.len());
+        let per_core = n / self.in_fallback.len().max(1);
+
+        // Chip median of this step's finite raw readings — the
+        // cross-sensor consistency reference.
+        let mut finite: Vec<f64> = readings.iter().copied().filter(|v| v.is_finite()).collect();
+        finite.sort_by(|a, b| a.partial_cmp(b).expect("finite readings compare"));
+        let median = if finite.is_empty() {
+            f64::NAN
+        } else {
+            finite[finite.len() / 2]
+        };
+
+        let mut plausible = vec![true; n];
+        for i in 0..n {
+            let r = readings[i];
+            let ok = r.is_finite()
+                && (self.last[i].is_nan() || (r - self.last[i]).abs() <= self.cfg.max_step)
+                && (median.is_nan() || (r - median).abs() <= self.cfg.max_deviation);
+            self.last[i] = r;
+            if ok {
+                self.last_good[i] = r;
+            } else {
+                plausible[i] = false;
+                self.flags += 1;
+                // Substitute the last plausible value; before any good
+                // reading exists the median is the best available guess.
+                readings[i] = if self.last_good[i].is_nan() {
+                    median
+                } else {
+                    self.last_good[i]
+                };
+            }
+        }
+
+        for core in 0..self.in_fallback.len() {
+            let core_ok = plausible[core * per_core..(core + 1) * per_core]
+                .iter()
+                .all(|&p| p);
+            if !core_ok && !self.in_fallback[core] {
+                self.in_fallback[core] = true;
+                self.since[core] = time;
+                self.entries += 1;
+            } else if core_ok
+                && self.in_fallback[core]
+                && time - self.since[core] >= self.cfg.min_hold
+            {
+                self.in_fallback[core] = false;
+                self.exits += 1;
+            }
+        }
+    }
+
+    /// Per-core fallback latch.
+    pub fn in_fallback(&self) -> &[bool] {
+        &self.in_fallback
+    }
+
+    /// Whether any core is currently in fallback.
+    pub fn any_fallback(&self) -> bool {
+        self.in_fallback.iter().any(|&f| f)
+    }
+
+    /// Last plausible reading of one sensor slot (flattened core-major
+    /// index); NaN if none was ever plausible.
+    pub fn last_good(&self, slot: usize) -> f64 {
+        self.last_good[slot]
+    }
+
+    /// Fallback episodes entered.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Fallback episodes exited.
+    pub fn exits(&self) -> u64 {
+        self.exits
+    }
+
+    /// Total implausible readings flagged.
+    pub fn flags(&self) -> u64 {
+        self.flags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wd() -> Watchdog {
+        Watchdog::new(WatchdogConfig::enabled(), 2, 2)
+    }
+
+    #[test]
+    fn disabled_watchdog_touches_nothing() {
+        let mut w = Watchdog::new(WatchdogConfig::disabled(), 2, 2);
+        let mut r = [80.0, f64::NAN, 200.0, -40.0];
+        w.assess(0.0, &mut r);
+        assert!(r[1].is_nan());
+        assert_eq!(r[2], 200.0);
+        assert!(!w.any_fallback());
+        assert_eq!(w.flags(), 0);
+    }
+
+    #[test]
+    fn plausible_readings_pass_through() {
+        let mut w = wd();
+        let mut r = [70.0, 71.0, 69.5, 70.5];
+        w.assess(0.0, &mut r);
+        assert_eq!(r, [70.0, 71.0, 69.5, 70.5]);
+        assert!(!w.any_fallback());
+        let mut r2 = [70.5, 71.4, 70.0, 71.0];
+        w.assess(1e-3, &mut r2);
+        assert!(!w.any_fallback());
+        assert_eq!(w.flags(), 0);
+    }
+
+    #[test]
+    fn step_jump_is_flagged_and_substituted() {
+        let mut w = wd();
+        let mut r0 = [70.0, 71.0, 69.5, 70.5];
+        w.assess(0.0, &mut r0);
+        let mut r1 = [150.0, 71.0, 69.5, 70.5];
+        w.assess(1e-3, &mut r1);
+        assert_eq!(r1[0], 70.0, "substituted with last good");
+        assert!(w.in_fallback()[0]);
+        assert!(!w.in_fallback()[1]);
+        assert_eq!(w.entries(), 1);
+        assert_eq!(w.flags(), 1);
+    }
+
+    #[test]
+    fn frozen_outlier_stays_flagged_via_deviation() {
+        let mut w = wd();
+        let mut r0 = [70.0, 71.0, 69.5, 70.5];
+        w.assess(0.0, &mut r0);
+        // Stuck at 150: after the first step the delta is zero, but the
+        // deviation from the chip median keeps it implausible.
+        for i in 1..5 {
+            let mut r = [150.0, 71.0, 69.5, 70.5];
+            w.assess(i as f64 * 1e-3, &mut r);
+            assert_eq!(r[0], 70.0);
+            assert!(w.in_fallback()[0]);
+        }
+        assert_eq!(w.entries(), 1, "one episode, not one per step");
+    }
+
+    #[test]
+    fn nan_is_always_implausible() {
+        let mut w = wd();
+        let mut r0 = [70.0, 71.0, 69.5, 70.5];
+        w.assess(0.0, &mut r0);
+        let mut r1 = [70.0, f64::NAN, 69.5, 70.5];
+        w.assess(1e-3, &mut r1);
+        assert_eq!(r1[1], 71.0);
+        assert!(w.in_fallback()[0]);
+    }
+
+    #[test]
+    fn recovery_exits_after_min_hold() {
+        let mut w = wd();
+        let mut r0 = [70.0, 71.0, 69.5, 70.5];
+        w.assess(0.0, &mut r0);
+        let mut bad = [f64::NAN, 71.0, 69.5, 70.5];
+        w.assess(1e-4, &mut bad);
+        assert!(w.in_fallback()[0]);
+        // Plausible again, but inside the hold window: stays latched.
+        let mut ok = [70.0, 71.0, 69.5, 70.5];
+        w.assess(2e-4, &mut ok);
+        assert!(w.in_fallback()[0]);
+        // After the hold expires it releases.
+        let mut ok2 = [70.0, 71.0, 69.5, 70.5];
+        w.assess(1e-4 + 2e-3, &mut ok2);
+        assert!(!w.in_fallback()[0]);
+        assert_eq!(w.exits(), 1);
+    }
+
+    #[test]
+    fn first_sample_without_history_uses_median_substitute() {
+        let mut w = wd();
+        let mut r = [f64::NAN, 71.0, 69.5, 70.5];
+        w.assess(0.0, &mut r);
+        assert!(
+            (r[0] - 70.5).abs() < 1e-12,
+            "median substitute, got {}",
+            r[0]
+        );
+        assert!(w.in_fallback()[0]);
+    }
+}

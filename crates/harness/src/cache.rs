@@ -15,7 +15,7 @@
 
 use crate::codec::{result_from_json, result_to_json};
 use crate::json::Json;
-use dtm_core::{DtmConfig, PolicySpec, RunResult, SimConfig};
+use dtm_core::{DtmConfig, FaultConfig, PolicySpec, RunResult, SimConfig};
 use dtm_workloads::{TraceGenConfig, Workload};
 use std::path::{Path, PathBuf};
 
@@ -54,19 +54,29 @@ fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
 /// interval, sensor noise, trace length, …) changes the key. The crate
 /// version is folded in so result-affecting code changes can be
 /// invalidated wholesale by a version bump.
+///
+/// The robustness configuration is folded in **only when it is not
+/// ideal**: the ideal `FaultConfig` is behaviorally a no-op, and
+/// omitting it keeps every fault-free cell's address byte-identical to
+/// what it was before the fault subsystem existed — a warm cache stays
+/// warm.
 pub fn cell_key(
     workload: &Workload,
     policy: PolicySpec,
     sim: &SimConfig,
     dtm: &DtmConfig,
+    faults: &FaultConfig,
     tracegen: &TraceGenConfig,
     version: &str,
 ) -> CellKey {
     // Resolve to full benchmark descriptions: a change to a benchmark's
     // profile in the catalog rekeys every cell that replays it.
     let benches = workload.resolve();
-    let repr =
+    let mut repr =
         format!("v={version}|w={benches:?}|p={policy:?}|sim={sim:?}|dtm={dtm:?}|tg={tracegen:?}");
+    if !faults.is_ideal() {
+        repr.push_str(&format!("|flt={faults:?}"));
+    }
     let lo = fnv1a64(0xcbf2_9ce4_8422_2325, repr.as_bytes());
     // Independent second lane: different offset basis, reversed input.
     let rev: Vec<u8> = repr.bytes().rev().collect();
@@ -143,7 +153,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtm_core::ThreadStats;
+    use dtm_core::{FaultScenario, Robustness, ThreadStats, WatchdogConfig};
     use dtm_workloads::standard_workloads;
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -164,6 +174,7 @@ mod tests {
             dvfs_transitions: 100,
             stalls: 9,
             energy: 30.125,
+            robustness: Robustness::default(),
             threads: vec![ThreadStats {
                 instructions: 1.125e9,
                 scaled_work: 0.25,
@@ -178,6 +189,7 @@ mod tests {
             PolicySpec::baseline(),
             sim,
             dtm,
+            &FaultConfig::ideal(),
             &TraceGenConfig::default(),
             "0.1.0",
         )
@@ -231,6 +243,7 @@ mod tests {
             PolicySpec::best(),
             &sim,
             &dtm,
+            &FaultConfig::ideal(),
             &TraceGenConfig::default(),
             "0.1.0",
         );
@@ -240,6 +253,7 @@ mod tests {
             PolicySpec::baseline(),
             &sim,
             &dtm,
+            &FaultConfig::ideal(),
             &TraceGenConfig::default(),
             "0.1.0",
         );
@@ -249,6 +263,7 @@ mod tests {
             PolicySpec::baseline(),
             &sim,
             &dtm,
+            &FaultConfig::ideal(),
             &TraceGenConfig::fast_test(),
             "0.1.0",
         );
@@ -258,10 +273,69 @@ mod tests {
             PolicySpec::baseline(),
             &sim,
             &dtm,
+            &FaultConfig::ideal(),
             &TraceGenConfig::default(),
             "0.2.0",
         );
         assert_ne!(base, k_other_version);
+    }
+
+    #[test]
+    fn ideal_faults_do_not_perturb_pre_fault_keys() {
+        // Re-derive the key from the pre-fault-subsystem canonical
+        // representation (no `|flt=` segment): the ideal FaultConfig
+        // must hash to exactly this, or every existing cache entry is
+        // silently orphaned.
+        let sim = SimConfig::default();
+        let dtm = DtmConfig::default();
+        let w = &standard_workloads()[0];
+        let policy = PolicySpec::baseline();
+        let tracegen = TraceGenConfig::default();
+        let benches = w.resolve();
+        let repr =
+            format!("v=0.1.0|w={benches:?}|p={policy:?}|sim={sim:?}|dtm={dtm:?}|tg={tracegen:?}");
+        let lo = fnv1a64(0xcbf2_9ce4_8422_2325, repr.as_bytes());
+        let rev: Vec<u8> = repr.bytes().rev().collect();
+        let hi = fnv1a64(0x6c62_272e_07bb_0142, &rev);
+        let legacy = CellKey(((hi as u128) << 64) | lo as u128);
+        assert_eq!(
+            key_for(&sim, &dtm),
+            legacy,
+            "ideal FaultConfig changed fault-free cell addresses"
+        );
+    }
+
+    #[test]
+    fn non_ideal_faults_rekey_the_cell() {
+        let sim = SimConfig::default();
+        let dtm = DtmConfig::default();
+        let base = key_for(&sim, &dtm);
+        let keyed = |faults: &FaultConfig| {
+            cell_key(
+                &standard_workloads()[0],
+                PolicySpec::baseline(),
+                &sim,
+                &dtm,
+                faults,
+                &TraceGenConfig::default(),
+                "0.1.0",
+            )
+        };
+        let stuck =
+            FaultConfig::unprotected(FaultScenario::stuck_sensor("stuck-hot", 0, 0, 150.0, 0.1));
+        assert_ne!(base, keyed(&stuck), "fault scenario must rekey");
+        let protected = FaultConfig::protected(
+            FaultScenario::stuck_sensor("stuck-hot", 0, 0, 150.0, 0.1),
+            WatchdogConfig::enabled(),
+        );
+        assert_ne!(keyed(&stuck), keyed(&protected), "watchdog must rekey");
+        let wd_only = FaultConfig::protected(FaultScenario::ideal(), WatchdogConfig::enabled());
+        assert_ne!(
+            base,
+            keyed(&wd_only),
+            "an enabled watchdog changes behavior and must rekey"
+        );
+        assert_eq!(base, keyed(&FaultConfig::ideal()));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! bit-identical to `r` — the property the result cache relies on.
 
 use crate::json::{Json, JsonError};
-use dtm_core::{RunResult, ThreadStats};
+use dtm_core::{Robustness, RunResult, ThreadStats};
 
 /// Encodes a run result as a JSON object.
 pub fn result_to_json(r: &RunResult) -> Json {
@@ -19,6 +19,39 @@ pub fn result_to_json(r: &RunResult) -> Json {
         ("dvfs_transitions".into(), Json::u64(r.dvfs_transitions)),
         ("stalls".into(), Json::u64(r.stalls)),
         ("energy".into(), Json::f64(r.energy)),
+        (
+            "robustness".into(),
+            Json::Obj(vec![
+                (
+                    "violation_time".into(),
+                    Json::f64(r.robustness.violation_time),
+                ),
+                (
+                    "peak_overshoot".into(),
+                    Json::f64(r.robustness.peak_overshoot),
+                ),
+                (
+                    "false_throttle_time".into(),
+                    Json::f64(r.robustness.false_throttle_time),
+                ),
+                (
+                    "fallback_time".into(),
+                    Json::f64(r.robustness.fallback_time),
+                ),
+                (
+                    "fallback_entries".into(),
+                    Json::u64(r.robustness.fallback_entries),
+                ),
+                (
+                    "fallback_exits".into(),
+                    Json::u64(r.robustness.fallback_exits),
+                ),
+                (
+                    "watchdog_flags".into(),
+                    Json::u64(r.robustness.watchdog_flags),
+                ),
+            ]),
+        ),
         (
             "threads".into(),
             Json::Arr(
@@ -56,6 +89,22 @@ pub fn result_from_json(v: &Json) -> Result<RunResult, JsonError> {
             })
         })
         .collect::<Result<Vec<_>, JsonError>>()?;
+    // Entries written before the fault subsystem existed have no
+    // robustness object; they decode to the all-zero default so the
+    // whole pre-existing cache stays loadable (and fault-free cells are
+    // all-zero anyway).
+    let robustness = match v.field("robustness") {
+        Ok(rv) => Robustness {
+            violation_time: rv.field("violation_time")?.as_f64()?,
+            peak_overshoot: rv.field("peak_overshoot")?.as_f64()?,
+            false_throttle_time: rv.field("false_throttle_time")?.as_f64()?,
+            fallback_time: rv.field("fallback_time")?.as_f64()?,
+            fallback_entries: rv.field("fallback_entries")?.as_u64()?,
+            fallback_exits: rv.field("fallback_exits")?.as_u64()?,
+            watchdog_flags: rv.field("watchdog_flags")?.as_u64()?,
+        },
+        Err(_) => Robustness::default(),
+    };
     Ok(RunResult {
         duration: v.field("duration")?.as_f64()?,
         cores: v.field("cores")?.as_usize()?,
@@ -67,6 +116,7 @@ pub fn result_from_json(v: &Json) -> Result<RunResult, JsonError> {
         dvfs_transitions: v.field("dvfs_transitions")?.as_u64()?,
         stalls: v.field("stalls")?.as_u64()?,
         energy: v.field("energy")?.as_f64()?,
+        robustness,
         threads,
     })
 }
@@ -87,6 +137,15 @@ mod tests {
             dvfs_transitions: 12_345,
             stalls: 3,
             energy: 22.25,
+            robustness: Robustness {
+                violation_time: 0.012_5,
+                peak_overshoot: 1.375 + 1.0 / 9.0,
+                false_throttle_time: 0.031,
+                fallback_time: 0.25,
+                fallback_entries: 2,
+                fallback_exits: 1,
+                watchdog_flags: 4_321,
+            },
             threads: vec![
                 ThreadStats {
                     instructions: 1.5e9,
@@ -115,9 +174,27 @@ mod tests {
             (r.max_temp, back.max_temp),
             (r.energy, back.energy),
             (r.threads[0].scaled_work, back.threads[0].scaled_work),
+            (r.robustness.peak_overshoot, back.robustness.peak_overshoot),
+            (r.robustness.violation_time, back.robustness.violation_time),
         ] {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+        assert_eq!(r.robustness, back.robustness);
+    }
+
+    #[test]
+    fn pre_fault_entries_decode_with_default_robustness() {
+        // An entry written before the fault subsystem existed: strip the
+        // robustness object and check the decode still succeeds with the
+        // all-zero default (old cache entries must stay warm).
+        let mut encoded = result_to_json(&sample());
+        if let Json::Obj(fields) = &mut encoded {
+            fields.retain(|(k, _)| k != "robustness");
+        }
+        let back = result_from_json(&Json::parse(&encoded.emit()).unwrap()).unwrap();
+        assert_eq!(back.robustness, Robustness::default());
+        assert_eq!(back.duration, sample().duration);
+        assert_eq!(back.threads.len(), 2);
     }
 
     #[test]

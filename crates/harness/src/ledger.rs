@@ -98,7 +98,7 @@ impl Ledger {
 mod tests {
     use super::*;
     use crate::sweep::CellIndex;
-    use dtm_core::{PolicySpec, RunResult};
+    use dtm_core::{PolicySpec, Robustness, RunResult};
     use std::time::Duration;
 
     #[test]
@@ -125,6 +125,7 @@ mod tests {
                 dvfs_transitions: 0,
                 stalls: 1,
                 energy: 2.0,
+                robustness: Robustness::default(),
                 threads: vec![],
             },
             cached: false,
@@ -185,6 +186,7 @@ mod tests {
                 dvfs_transitions: 0,
                 stalls: 0,
                 energy: 0.0,
+                robustness: Robustness::default(),
                 threads: vec![],
             },
             cached: true,

@@ -135,6 +135,7 @@ impl SweepRunner {
                     spec.policy_axis()[c.policy],
                     &spec.variant_axis()[c.variant].sim,
                     &spec.variant_axis()[c.variant].dtm,
+                    &spec.variant_axis()[c.variant].faults,
                     tracegen,
                     version,
                 )
@@ -190,7 +191,10 @@ impl SweepRunner {
             let experiments: Vec<Experiment> = spec
                 .variant_axis()
                 .iter()
-                .map(|v| Experiment::new_shared(self.library(), v.sim.clone(), v.dtm))
+                .map(|v| {
+                    Experiment::new_shared(self.library(), v.sim.clone(), v.dtm)
+                        .with_faults(v.faults.clone())
+                })
                 .collect();
 
             let next = AtomicUsize::new(0);
@@ -223,13 +227,20 @@ impl SweepRunner {
                         match experiments[cell.variant].run(workload, policy) {
                             Ok(result) => {
                                 if let Some(cache) = cache {
-                                    let describe = Json::Obj(vec![
+                                    let mut fields = vec![
                                         ("workload".into(), Json::str(workload.display_name())),
                                         ("mix".into(), Json::str(workload.mix_label())),
                                         ("policy".into(), Json::str(policy.name())),
                                         ("variant".into(), Json::str(&variant.name)),
                                         ("version".into(), Json::str(version)),
-                                    ]);
+                                    ];
+                                    if !variant.faults.is_ideal() {
+                                        fields.push((
+                                            "faults".into(),
+                                            Json::str(&variant.faults.scenario.name),
+                                        ));
+                                    }
+                                    let describe = Json::Obj(fields);
                                     cache.store(keys[i], &describe, &result);
                                 }
                                 let outcome = CellOutcome {

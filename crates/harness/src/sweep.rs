@@ -7,13 +7,13 @@
 //! [`SweepResults`] the reporting code indexes by (variant, policy,
 //! workload).
 
-use dtm_core::{DtmConfig, PolicySpec, RunResult, SimConfig};
+use dtm_core::{DtmConfig, FaultConfig, PolicySpec, RunResult, SimConfig};
 use dtm_workloads::{standard_workloads, Workload};
 use std::time::Duration;
 
-/// One named (SimConfig, DtmConfig) combination — a point on the sweep's
-/// configuration axis (threshold, core count, migration interval,
-/// sensor noise, …).
+/// One named (SimConfig, DtmConfig, FaultConfig) combination — a point
+/// on the sweep's configuration axis (threshold, core count, migration
+/// interval, sensor noise, fault scenario, …).
 #[derive(Debug, Clone)]
 pub struct ConfigVariant {
     /// Display name, e.g. `base` or `threshold=100`.
@@ -22,16 +22,27 @@ pub struct ConfigVariant {
     pub sim: SimConfig,
     /// DTM configuration for this variant.
     pub dtm: DtmConfig,
+    /// Robustness configuration (fault scenario plus watchdog); the
+    /// ideal default contributes nothing to the cell's content address,
+    /// so fault-free variants keep their pre-fault cache entries.
+    pub faults: FaultConfig,
 }
 
 impl ConfigVariant {
-    /// Builds a named variant.
+    /// Builds a named fault-free variant.
     pub fn new(name: impl Into<String>, sim: SimConfig, dtm: DtmConfig) -> Self {
         ConfigVariant {
             name: name.into(),
             sim,
             dtm,
+            faults: FaultConfig::ideal(),
         }
+    }
+
+    /// Attaches a robustness configuration to the variant.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
     }
 }
 

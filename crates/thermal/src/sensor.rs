@@ -10,6 +10,21 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Sensor non-idealities applied to a true block temperature.
+///
+/// The model is applied in a fixed order — offset, then noise, then
+/// quantization — so the calibration `offset` is itself subject to
+/// rounding, exactly as a miscalibrated diode behind an ACPI register
+/// would be.
+///
+/// # Determinism
+///
+/// [`SensorSpec::read`] is a pure function of `(spec, true_temp)` and
+/// the state of the caller's `rng`: every random draw comes from that
+/// generator and nothing else (no global RNG, no time). Two identically
+/// seeded generators therefore yield bit-identical reading sequences
+/// across runs and platforms, which is what lets the sweep harness
+/// content-address noisy-sensor cells. A zero-`noise_std` spec draws
+/// nothing, so it does not advance the generator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SensorSpec {
     /// Standard deviation of additive Gaussian noise (°C).
@@ -155,6 +170,56 @@ mod tests {
             offset: 2.5,
         };
         assert_eq!(s.read(80.0, &mut rng), 82.5);
+    }
+
+    #[test]
+    fn offset_applies_before_quantization() {
+        // Regression: the calibration offset must shift the reading
+        // *before* rounding, so it can change which step the reading
+        // lands on.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = SensorSpec {
+            noise_std: 0.0,
+            quantization: 1.0,
+            offset: 0.3,
+        };
+        assert_eq!(s.read(83.4, &mut rng), 84.0); // 83.7 rounds up
+        let unbiased = SensorSpec { offset: 0.0, ..s };
+        assert_eq!(unbiased.read(83.4, &mut rng), 83.0);
+    }
+
+    #[test]
+    fn reads_are_deterministic_for_identical_seeds() {
+        // The full model (offset + noise + quantization) is a pure
+        // function of the spec and the caller's RNG state: identically
+        // seeded generators reproduce readings bit-for-bit.
+        let s = SensorSpec {
+            noise_std: 0.7,
+            quantization: 0.25,
+            offset: -1.5,
+        };
+        let mut a = rand::rngs::StdRng::seed_from_u64(0xDE7E);
+        let mut b = rand::rngs::StdRng::seed_from_u64(0xDE7E);
+        for i in 0..256 {
+            let t = 50.0 + i as f64 * 0.17;
+            assert_eq!(s.read(t, &mut a).to_bits(), s.read(t, &mut b).to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_noise_reads_do_not_advance_the_rng() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let quiet = SensorSpec {
+            noise_std: 0.0,
+            quantization: 0.5,
+            offset: 0.1,
+        };
+        for _ in 0..32 {
+            quiet.read(70.0, &mut rng);
+        }
+        use rand::Rng;
+        let mut fresh = rand::rngs::StdRng::seed_from_u64(3);
+        assert_eq!(rng.random::<u64>(), fresh.random::<u64>());
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Property-based tests for the sensor model.
+
+use dtm_thermal::SensorSpec;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0)
+}
+
+proptest! {
+    /// A quantized reading is always an integer multiple of the step,
+    /// for any true temperature and calibration offset.
+    #[test]
+    fn quantized_output_is_a_multiple_of_the_step(
+        temp in -50.0f64..150.0,
+        offset in -5.0f64..5.0,
+        step in 0.05f64..4.0,
+    ) {
+        let s = SensorSpec { noise_std: 0.0, quantization: step, offset };
+        let r = s.read(temp, &mut rng());
+        let cycles = r / step;
+        prop_assert!(
+            (cycles - cycles.round()).abs() < 1e-9,
+            "{r} is not a multiple of {step}"
+        );
+    }
+
+    /// Rounding moves a reading by at most half a step (after the
+    /// offset shift).
+    #[test]
+    fn quantization_error_is_bounded_by_half_a_step(
+        temp in -50.0f64..150.0,
+        offset in -5.0f64..5.0,
+        step in 0.05f64..4.0,
+    ) {
+        let s = SensorSpec { noise_std: 0.0, quantization: step, offset };
+        let r = s.read(temp, &mut rng());
+        prop_assert!((r - (temp + offset)).abs() <= step / 2.0 + 1e-9);
+    }
+
+    /// For zero-noise sensors the model is monotone in the true
+    /// temperature: a hotter block never reads cooler.
+    #[test]
+    fn zero_noise_reads_are_monotone(
+        t1 in -50.0f64..150.0,
+        dt in 0.0f64..50.0,
+        offset in -5.0f64..5.0,
+        step in 0.0f64..4.0,
+    ) {
+        let s = SensorSpec { noise_std: 0.0, quantization: step, offset };
+        let lo = s.read(t1, &mut rng());
+        let hi = s.read(t1 + dt, &mut rng());
+        prop_assert!(hi >= lo, "read({}) = {hi} < read({t1}) = {lo}", t1 + dt);
+    }
+
+    /// Identically seeded generators reproduce noisy readings
+    /// bit-for-bit — the determinism contract the sweep cache relies on.
+    #[test]
+    fn noisy_reads_replay_bit_identically(
+        temp in -50.0f64..150.0,
+        noise in 0.0f64..3.0,
+        step in 0.0f64..2.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let s = SensorSpec { noise_std: noise, quantization: step, offset: 0.0 };
+        let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            prop_assert_eq!(s.read(temp, &mut a).to_bits(), s.read(temp, &mut b).to_bits());
+        }
+    }
+}
