@@ -3,12 +3,17 @@
 //! the energy side — average chip power, total energy, and energy per
 //! instruction — showing that DVFS policies also win on efficiency
 //! (cubic power scaling buys quadratic energy-per-work savings).
+//!
+//! The 5-policy × 12-workload grid runs through the shared sweep
+//! harness, so cells are cached, ledgered, and shared with the other
+//! tables (this grid is a subset of Table 8's).
 
-use dtm_bench::{duration_arg, experiment_with_duration, mean_bips, run_all_workloads};
-use dtm_core::{MigrationKind, PolicySpec, Scope, ThrottleKind};
+use dtm_bench::mean_bips;
+use dtm_core::{mean, MigrationKind, PolicySpec, Scope, ThrottleKind};
+use dtm_harness::{run_standard, SweepArgs, SweepSpec, Table};
 
 fn main() {
-    let exp = experiment_with_duration(duration_arg());
+    let args = SweepArgs::from_env();
     let policies = [
         PolicySpec::new(ThrottleKind::StopGo, Scope::Global, MigrationKind::None),
         PolicySpec::baseline(),
@@ -16,30 +21,33 @@ fn main() {
         PolicySpec::new(ThrottleKind::Dvfs, Scope::Distributed, MigrationKind::None),
         PolicySpec::best(),
     ];
+    let spec = SweepSpec::standard(args.duration).policies(policies);
+    let results = run_standard(spec, &args).expect("sweep");
 
-    println!(
-        "{:<46} {:>7} {:>10} {:>10} {:>10}",
-        "policy", "BIPS", "avg power", "energy", "EPI"
-    );
+    let mut table = Table::new(["policy", "BIPS", "avg power", "energy", "EPI"]);
     for p in policies {
-        let runs = run_all_workloads(&exp, p).expect("run");
-        let avg_power = dtm_core::mean(&runs.iter().map(|r| r.avg_power()).collect::<Vec<_>>());
-        let energy = dtm_core::mean(&runs.iter().map(|r| r.energy).collect::<Vec<_>>());
-        let epi = dtm_core::mean(
+        let runs = results.policy_runs(p);
+        let avg_power = mean(&runs.iter().map(|r| r.avg_power()).collect::<Vec<_>>());
+        let energy = mean(&runs.iter().map(|r| r.energy).collect::<Vec<_>>());
+        let epi = mean(
             &runs
                 .iter()
                 .map(|r| r.energy_per_instruction_nj())
                 .collect::<Vec<_>>(),
         );
-        println!(
-            "{:<46} {:>7.2} {:>8.1} W {:>8.2} J {:>7.2} nJ",
+        table.row([
             p.name(),
-            mean_bips(&runs),
-            avg_power,
-            energy,
-            epi
-        );
+            format!("{:.2}", mean_bips(&runs)),
+            format!("{avg_power:.1} W"),
+            format!("{energy:.2} J"),
+            format!("{epi:.2} nJ"),
+        ]);
     }
-    println!("\n(stop-go wastes leakage while stalled at high temperature; DVFS runs");
-    println!(" continuously at scaled voltage, doing more work per joule)");
+    table.print(args.json);
+
+    if !args.json {
+        println!("\n(stop-go wastes leakage while stalled at high temperature; DVFS runs");
+        println!(" continuously at scaled voltage, doing more work per joule)");
+        eprintln!("{}", results.summary());
+    }
 }

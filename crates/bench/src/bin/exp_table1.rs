@@ -7,26 +7,65 @@
 //! Absolute values differ from the paper's notebook (different chip,
 //! package, and ambient); the *ordering* and the steady-vs-oscillating
 //! classification are the reproduction targets.
+//!
+//! The 22 single-benchmark runs go through the shared sweep harness as
+//! a 22-workload × 1-policy grid, so they are cached, ledgered, and
+//! parallelized like every other table.
 
-use dtm_core::unconstrained_steady_temp;
-use dtm_workloads::{all_benchmarks, TraceGenConfig, TraceLibrary};
+use dtm_core::{unconstrained_single_core, PolicySpec};
+use dtm_harness::{run_standard, ConfigVariant, SweepArgs, SweepSpec, Table};
+use dtm_workloads::{all_benchmarks, Workload};
+
+/// Whether `argv` already carries a positional duration (anything that
+/// parses as a float and is not a `--workers`/`-j` value).
+fn has_positional_duration(argv: &[String]) -> bool {
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" | "-j" => {
+                it.next();
+            }
+            s => {
+                if s.parse::<f64>().is_ok() {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
 
 fn main() {
-    let duration: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.3);
-    let lib = TraceLibrary::new(TraceGenConfig::default());
-    println!(
-        "{:<10} {:>6} {:>14} {:>8}",
-        "benchmark", "suite", "temp (°C)", "class"
-    );
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // This table's historical default is a 0.3 s run — long enough for
+    // one unconstrained core to reach steady state — not the sweep
+    // default of 0.5 s.
+    if !has_positional_duration(&argv) {
+        argv.push("0.3".to_string());
+    }
+    let args = SweepArgs::parse(argv);
+
+    let (sim, dtm) = unconstrained_single_core(args.duration);
+    let workloads: Vec<Workload> = all_benchmarks()
+        .iter()
+        .map(|b| Workload::solo(&b.name))
+        .collect();
+    let spec = SweepSpec::new(workloads)
+        .policies([PolicySpec::baseline()])
+        .variant(ConfigVariant::new("unconstrained-1core", sim, dtm));
+    let results = run_standard(spec, &args).expect("sweep");
+
     let mut rows = Vec::new();
-    for b in all_benchmarks() {
-        let s = unconstrained_steady_temp(&b, &lib, duration).expect("run");
+    for (wi, b) in all_benchmarks().into_iter().enumerate() {
+        let r = results.get_in("unconstrained-1core", PolicySpec::baseline(), wi);
+        let s = r
+            .steady
+            .expect("a positive-duration run yields steady samples");
         rows.push((b, s));
     }
     rows.sort_by(|a, b| b.1.mean.total_cmp(&a.1.mean));
+
+    let mut table = Table::new(["benchmark", "suite", "temp (°C)", "class"]);
     for (b, s) in &rows {
         let class = if s.is_steady(1.5) {
             "steady"
@@ -38,12 +77,15 @@ fn main() {
         } else {
             format!("{:.0}-{:.0}", s.min, s.max)
         };
-        println!(
-            "{:<10} {:>6} {:>14} {:>8}",
-            b.name,
+        table.row([
+            b.name.to_string(),
             format!("{:?}", b.suite),
             temp,
-            class
-        );
+            class.to_string(),
+        ]);
+    }
+    table.print(args.json);
+    if !args.json {
+        eprintln!("{}", results.summary());
     }
 }

@@ -10,7 +10,9 @@
 //! power, while a stalled core dissipates only leakage.
 
 use crate::config::{DtmConfig, SimConfig};
-use crate::metrics::{Robustness, RunResult, ThreadStats};
+use crate::metrics::{
+    PhaseNs, PhaseProfile, Robustness, RunResult, SteadyTempSummary, ThreadStats,
+};
 use crate::migration::{
     CounterMigration, MigrationPolicy, NoMigration, OsObservation, SensorMigration, ThreadCounters,
 };
@@ -19,6 +21,7 @@ use crate::telemetry::{Telemetry, TelemetryRecord};
 use dtm_control::{ClippedPi, PiGains};
 use dtm_faults::{FallbackKind, FaultConfig, FaultScenario, FaultState, Watchdog, WatchdogConfig};
 use dtm_floorplan::{Floorplan, UnitKind};
+use dtm_obs::{Histogram, ObsHandle};
 use dtm_power::{leakage_reference, PowerTrace, N_CORE_UNITS};
 use dtm_thermal::{LeakageModel, SensorBank, ThermalError, ThermalModel, TransientSolver};
 use std::sync::Arc;
@@ -28,6 +31,68 @@ use std::sync::Arc;
 /// where the controller would want it, so the lost throughput bought no
 /// thermal safety.
 const FALSE_THROTTLE_MARGIN: f64 = 2.0;
+
+/// The engine's per-step phases, in execution order. Phase timing
+/// histograms are registered as `dtm_phase_<name>_ns`.
+pub const ENGINE_PHASES: [&str; 9] = [
+    "microarch",
+    "power",
+    "thermal",
+    "sensors",
+    "watchdog",
+    "accounting",
+    "control",
+    "migration",
+    "telemetry",
+];
+
+const PH_MICROARCH: usize = 0;
+const PH_POWER: usize = 1;
+const PH_THERMAL: usize = 2;
+const PH_SENSORS: usize = 3;
+const PH_WATCHDOG: usize = 4;
+const PH_ACCOUNTING: usize = 5;
+const PH_CONTROL: usize = 6;
+const PH_MIGRATION: usize = 7;
+const PH_TELEMETRY: usize = 8;
+
+/// Phase timing is itself sampled: every `TIMED_SAMPLE_STRIDE`-th step
+/// reads the clock around each phase (durations go to the phase
+/// histograms and, scaled by the stride, to the run's phase totals).
+/// Nine clock reads per step would otherwise cost a few percent of the
+/// hot loop — sampling keeps the instrumented build within its < 3%
+/// overhead budget while the ~28 µs steps stay statistically identical.
+const TIMED_SAMPLE_STRIDE: u64 = 8;
+
+/// Full span records (ring pushes behind a mutex) are sampled more
+/// sparsely still — every `SPAN_SAMPLE_STRIDE`-th step contributes its
+/// nine phase spans to the trace. A multiple of [`TIMED_SAMPLE_STRIDE`],
+/// so span steps are always timed steps.
+const SPAN_SAMPLE_STRIDE: u64 = 32;
+
+/// Hottest-sensor steady-state samples are taken every this many steps
+/// (~1 ms), matching the telemetry stride the Table 1 characterization
+/// has always used, so steady summaries are bit-compatible with it.
+const STEADY_SAMPLE_EVERY: u64 = 36;
+
+/// Per-phase profiling state, present only while an enabled
+/// [`ObsHandle`] is attached.
+struct EngineProf {
+    obs: ObsHandle,
+    hists: [Histogram; ENGINE_PHASES.len()],
+    /// Nanoseconds measured on the timed (sampled) steps only; scaled
+    /// up by `steps / timed_steps` when the profile is reported.
+    phase_ns: [u64; ENGINE_PHASES.len()],
+    steps: u64,
+    timed_steps: u64,
+}
+
+/// Step-local clock state for phase marking.
+struct StepClock {
+    last_ns: u64,
+    /// Whether this step's phases are also recorded as trace spans.
+    sample: bool,
+}
 
 /// Errors surfaced while building or running a simulation.
 #[derive(Debug)]
@@ -67,7 +132,7 @@ impl From<ThermalError> for SimError {
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let lib = TraceLibrary::new(TraceGenConfig::default());
 /// let workload = &standard_workloads()[0];
-/// let traces = workload.resolve().map(|b| lib.trace(&b)).to_vec();
+/// let traces: Vec<_> = workload.resolve().iter().map(|b| lib.trace(b)).collect();
 /// let mut sim = ThermalTimingSim::new(
 ///     SimConfig::default(),
 ///     DtmConfig::default(),
@@ -145,6 +210,13 @@ pub struct ThermalTimingSim {
 
     telemetry: Option<Telemetry>,
     power_buf: Vec<f64>,
+
+    // Observability (None / empty on the unprofiled fast path).
+    prof: Option<EngineProf>,
+    /// Hottest sensor reading every [`STEADY_SAMPLE_EVERY`] steps, for
+    /// the steady-state summary in [`RunResult::steady`].
+    steady_hot: Vec<f64>,
+    steady_counter: u64,
 }
 
 impl std::fmt::Debug for ThermalTimingSim {
@@ -310,10 +382,55 @@ impl ThermalTimingSim {
             energy: 0.0,
             telemetry: None,
             power_buf: Vec::new(),
+            prof: None,
+            steady_hot: Vec::new(),
+            steady_counter: 0,
         };
         sim.initialize_temperatures()?;
-        sim.read_sensors();
+        sim.read_sensors(&mut None);
         Ok(sim)
+    }
+
+    /// Attaches an observability handle. An enabled handle turns on
+    /// per-phase timing (histograms named `dtm_phase_<name>_ns` plus
+    /// sampled trace spans) and binds the watchdog's counters; a
+    /// disabled handle detaches profiling.
+    pub fn attach_obs(&mut self, obs: &ObsHandle) {
+        if obs.is_enabled() {
+            let hists = std::array::from_fn(|i| {
+                obs.histogram(&format!("dtm_phase_{}_ns", ENGINE_PHASES[i]))
+            });
+            self.prof = Some(EngineProf {
+                obs: obs.clone(),
+                hists,
+                phase_ns: [0; ENGINE_PHASES.len()],
+                steps: 0,
+                timed_steps: 0,
+            });
+            if let Some(wd) = &mut self.watchdog {
+                wd.bind_obs(obs);
+            }
+        } else {
+            self.prof = None;
+        }
+    }
+
+    /// Closes the phase that ran since the last mark: its duration goes
+    /// to the phase histogram and the run's phase totals, and — on
+    /// sampled steps — into the span ring.
+    #[inline]
+    fn mark(&mut self, phase: usize, clk: &mut Option<StepClock>) {
+        if let (Some(p), Some(c)) = (&mut self.prof, clk.as_mut()) {
+            let now = p.obs.now_ns();
+            let d = now - c.last_ns;
+            p.hists[phase].record(d);
+            p.phase_ns[phase] += d;
+            if c.sample {
+                p.obs
+                    .record_span("engine", ENGINE_PHASES[phase], c.last_ns, d);
+            }
+            c.last_ns = now;
+        }
     }
 
     /// Replaces the migration policy with a custom implementation
@@ -339,7 +456,11 @@ impl ThermalTimingSim {
     /// restores the unscreened fast path.
     pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
         self.watchdog = if cfg.enabled {
-            Some(Watchdog::new(cfg, self.cfg.cores, 2))
+            let mut wd = Watchdog::new(cfg, self.cfg.cores, 2);
+            if let Some(p) = &self.prof {
+                wd.bind_obs(&p.obs);
+            }
+            Some(wd)
         } else {
             None
         };
@@ -508,7 +629,7 @@ impl ThermalTimingSim {
         s
     }
 
-    fn read_sensors(&mut self) {
+    fn read_sensors(&mut self, clk: &mut Option<StepClock>) {
         // Sensors sit at the within-block hotspots, so they see the
         // lumped node temperature plus the sub-block fast-mode excess.
         let temps = self.thermal.hot_block_temps();
@@ -526,9 +647,11 @@ impl ThermalTimingSim {
                 }
             }
         }
+        self.mark(PH_SENSORS, clk);
         if let Some(wd) = &mut self.watchdog {
             wd.assess(self.time, &mut flat);
         }
+        self.mark(PH_WATCHDOG, clk);
         for core in 0..self.cfg.cores {
             self.sensor_temps[core] = [flat[core * 2], flat[core * 2 + 1]];
         }
@@ -542,6 +665,23 @@ impl ThermalTimingSim {
     pub fn step(&mut self) -> Result<(), SimError> {
         let dt = self.dt;
         let cores = self.cfg.cores;
+        let mut clk = match &mut self.prof {
+            Some(p) => {
+                let timed = p.steps.is_multiple_of(TIMED_SAMPLE_STRIDE);
+                let sample = p.steps.is_multiple_of(SPAN_SAMPLE_STRIDE);
+                p.steps += 1;
+                if timed {
+                    p.timed_steps += 1;
+                    Some(StepClock {
+                        last_ns: p.obs.now_ns(),
+                        sample,
+                    })
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
 
         // ---- Assemble block power and advance work ----
         self.power_buf.clear();
@@ -574,14 +714,17 @@ impl ThermalTimingSim {
             }
         }
         self.power_buf[self.l2_block] += l2_power;
+        self.mark(PH_MICROARCH, &mut clk);
         let temps_now = self.thermal.block_temps().to_vec();
         self.leakage.add_power(&temps_now, &mut self.power_buf);
+        self.energy += self.power_buf.iter().sum::<f64>() * dt;
+        self.mark(PH_POWER, &mut clk);
 
         // ---- Thermal integration ----
-        self.energy += self.power_buf.iter().sum::<f64>() * dt;
         self.thermal.step(&self.power_buf, dt)?;
         self.time += dt;
-        self.read_sensors();
+        self.mark(PH_THERMAL, &mut clk);
+        self.read_sensors(&mut clk);
 
         // ---- Emergency accounting ----
         let hottest = self
@@ -613,6 +756,7 @@ impl ThermalTimingSim {
         if throttled && true_hot < self.dtm.dvfs_setpoint() - FALSE_THROTTLE_MARGIN {
             self.false_throttle_time += dt;
         }
+        self.mark(PH_ACCOUNTING, &mut clk);
 
         // ---- Throttle control ----
         match self.policy.throttle {
@@ -620,12 +764,14 @@ impl ThermalTimingSim {
             ThrottleKind::Dvfs => self.control_dvfs(),
         }
         self.control_fallback_stopgo();
+        self.mark(PH_CONTROL, &mut clk);
 
         // ---- OS tick: migration ----
         if self.time >= self.next_os_tick {
             self.next_os_tick += self.dtm.os_tick;
             self.os_tick(&scales_now);
         }
+        self.mark(PH_MIGRATION, &mut clk);
 
         // ---- Telemetry ----
         if let Some(tel) = &mut self.telemetry {
@@ -644,6 +790,14 @@ impl ThermalTimingSim {
                 in_fallback,
             });
         }
+        // Steady-state sampling mirrors `Telemetry::every(36)` exactly
+        // (record, then count), so `RunResult::steady` is bit-compatible
+        // with the telemetry-based Table 1 characterization it replaced.
+        if self.steady_counter.is_multiple_of(STEADY_SAMPLE_EVERY) {
+            self.steady_hot.push(hottest);
+        }
+        self.steady_counter += 1;
+        self.mark(PH_TELEMETRY, &mut clk);
         Ok(())
     }
 
@@ -872,8 +1026,52 @@ impl ThermalTimingSim {
                 fallback_exits: self.watchdog.as_ref().map_or(0, |w| w.exits()),
                 watchdog_flags: self.watchdog.as_ref().map_or(0, |w| w.flags()),
             },
+            steady: self.steady_summary(),
+            phases: self.prof.as_ref().map(|p| {
+                // Measured nanoseconds cover only the timed (sampled)
+                // steps; scale them to whole-run estimates.
+                let scale = |ns: u64| -> u64 {
+                    if p.timed_steps == 0 {
+                        return 0;
+                    }
+                    (ns as u128 * p.steps as u128 / p.timed_steps as u128) as u64
+                };
+                PhaseProfile {
+                    steps: p.steps,
+                    phases: ENGINE_PHASES
+                        .iter()
+                        .zip(p.phase_ns)
+                        .map(|(name, ns)| PhaseNs {
+                            name: (*name).to_string(),
+                            ns: scale(ns),
+                        })
+                        .collect(),
+                }
+            }),
             threads: self.thread_stats.clone(),
         }
+    }
+
+    /// Hottest-sensor summary over the second half of the steady
+    /// samples (`None` before the first step).
+    fn steady_summary(&self) -> Option<SteadyTempSummary> {
+        if self.steady_hot.is_empty() {
+            return None;
+        }
+        let window = &self.steady_hot[self.steady_hot.len() / 2..];
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &hot in window {
+            min = min.min(hot);
+            max = max.max(hot);
+            sum += hot;
+        }
+        Some(SteadyTempSummary {
+            mean: sum / window.len() as f64,
+            min,
+            max,
+        })
     }
 }
 

@@ -64,12 +64,17 @@ pub use dtm_faults::{
     FallbackKind, FaultConfig, FaultEvent, FaultKind, FaultScenario, FaultState, FaultTarget,
     Watchdog, WatchdogConfig,
 };
-pub use engine::{SimError, ThermalTimingSim};
-pub use metrics::{geometric_mean, mean, Robustness, RunResult, ThreadStats};
+pub use dtm_obs::{Counter, Histogram, ObsHandle};
+pub use engine::{SimError, ThermalTimingSim, ENGINE_PHASES};
+pub use metrics::{
+    geometric_mean, mean, PhaseNs, PhaseProfile, Robustness, RunResult, ThreadStats,
+};
 pub use migration::{
     CounterMigration, MigrationPolicy, NoMigration, OsObservation, RotationMigration,
     SensorMigration, ThreadCounters, HOTSPOT_FP, HOTSPOT_INT,
 };
 pub use policy::{MigrationKind, PolicySpec, Scope, ThrottleKind};
-pub use runner::{unconstrained_steady_temp, Experiment, SteadyTempSummary};
+pub use runner::{
+    unconstrained_single_core, unconstrained_steady_temp, Experiment, SteadyTempSummary,
+};
 pub use telemetry::{Telemetry, TelemetryRecord};

@@ -44,6 +44,64 @@ pub struct Robustness {
     pub watchdog_flags: u64,
 }
 
+/// Steady-state temperature summary of a run: the hottest sensor over
+/// the second half, sampled at the engine's telemetry-compatible
+/// steady stride. For a single benchmark on one unconstrained core
+/// this is the Table 1 reproduction primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SteadyTempSummary {
+    /// Mean hottest-sensor temperature over the analysis window (°C).
+    pub mean: f64,
+    /// Minimum over the window (°C).
+    pub min: f64,
+    /// Maximum over the window (°C).
+    pub max: f64,
+}
+
+impl SteadyTempSummary {
+    /// Whether the benchmark holds a steady temperature (the paper's
+    /// Table 1a vs 1b distinction), given an oscillation tolerance (°C).
+    pub fn is_steady(&self, tolerance: f64) -> bool {
+        self.max - self.min <= tolerance
+    }
+}
+
+/// Accumulated wall time of one named engine phase (ns).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseNs {
+    /// Phase name, e.g. `thermal` or `microarch`.
+    pub name: String,
+    /// Total nanoseconds spent in the phase across the run.
+    pub ns: u64,
+}
+
+/// Per-phase wall-time breakdown of the engine's step loop, recorded
+/// only when an enabled `ObsHandle` is attached (profiling runs).
+/// Totals are whole-run estimates scaled up from the engine's sampled
+/// timed steps (see `TIMED_SAMPLE_STRIDE` in the engine).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Engine steps executed.
+    pub steps: u64,
+    /// Accumulated time per phase, in the engine's phase order.
+    pub phases: Vec<PhaseNs>,
+}
+
+impl PhaseProfile {
+    /// Total instrumented time across all phases (ns).
+    pub fn total_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.ns).sum()
+    }
+
+    /// Accumulated time of one phase by name (0 if absent).
+    pub fn phase_ns(&self, name: &str) -> u64 {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.ns)
+    }
+}
+
 /// The result of one (workload, policy) simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
@@ -71,6 +129,13 @@ pub struct RunResult {
     /// Fault/watchdog robustness accounting (all zero when nothing was
     /// injected and the watchdog was off).
     pub robustness: Robustness,
+    /// Steady-state summary of the hottest sensor over the second half
+    /// of the run (`None` for runs too short to produce a sample).
+    pub steady: Option<SteadyTempSummary>,
+    /// Per-phase engine wall-time breakdown (`None` unless the run was
+    /// profiled through an enabled `ObsHandle`, so fault-free results
+    /// stay bit-identical to unprofiled builds).
+    pub phases: Option<PhaseProfile>,
     /// Per-thread statistics.
     pub threads: Vec<ThreadStats>,
 }
@@ -158,6 +223,8 @@ mod tests {
             stalls: 0,
             energy: 5.0,
             robustness: Robustness::default(),
+            steady: None,
+            phases: None,
             threads: vec![],
         }
     }
@@ -207,5 +274,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn geomean_rejects_nonpositive() {
         geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn phase_profile_totals_and_lookup() {
+        let p = PhaseProfile {
+            steps: 100,
+            phases: vec![
+                PhaseNs {
+                    name: "microarch".into(),
+                    ns: 300,
+                },
+                PhaseNs {
+                    name: "thermal".into(),
+                    ns: 700,
+                },
+            ],
+        };
+        assert_eq!(p.total_ns(), 1_000);
+        assert_eq!(p.phase_ns("thermal"), 700);
+        assert_eq!(p.phase_ns("absent"), 0);
     }
 }

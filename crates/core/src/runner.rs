@@ -3,9 +3,11 @@
 use crate::config::{DtmConfig, SimConfig};
 use crate::engine::{SimError, ThermalTimingSim};
 use crate::metrics::RunResult;
+pub use crate::metrics::SteadyTempSummary;
 use crate::policy::PolicySpec;
 use crate::telemetry::Telemetry;
 use dtm_faults::FaultConfig;
+use dtm_obs::ObsHandle;
 use dtm_workloads::{Benchmark, TraceLibrary, Workload};
 use std::sync::Arc;
 
@@ -39,6 +41,7 @@ pub struct Experiment {
     sim: SimConfig,
     dtm: DtmConfig,
     faults: FaultConfig,
+    obs: ObsHandle,
 }
 
 impl Experiment {
@@ -56,6 +59,7 @@ impl Experiment {
             sim,
             dtm,
             faults: FaultConfig::ideal(),
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -127,6 +131,19 @@ impl Experiment {
         &self.faults
     }
 
+    /// Attaches an observability handle to every simulator this context
+    /// builds. The default (disabled) handle leaves runs unprofiled and
+    /// their results bit-identical to an uninstrumented build.
+    pub fn with_obs(mut self, obs: &ObsHandle) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// The observability handle.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
     /// Builds a simulator for one workload and policy.
     ///
     /// # Errors
@@ -145,6 +162,9 @@ impl Experiment {
         let mut sim = ThermalTimingSim::new(self.sim.clone(), self.dtm, policy, traces)?;
         if !self.faults.is_ideal() {
             sim.set_fault_config(&self.faults);
+        }
+        if self.obs.is_enabled() {
+            sim.attach_obs(&self.obs);
         }
         Ok(sim)
     }
@@ -178,28 +198,24 @@ impl Experiment {
     }
 }
 
-/// Steady-state temperature summary of one benchmark on a single core
-/// with no thermal constraint — the Table 1 reproduction primitive.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SteadyTempSummary {
-    /// Mean hottest-sensor temperature over the analysis window (°C).
-    pub mean: f64,
-    /// Minimum over the window (°C).
-    pub min: f64,
-    /// Maximum over the window (°C).
-    pub max: f64,
-}
-
-impl SteadyTempSummary {
-    /// Whether the benchmark holds a steady temperature (the paper's
-    /// Table 1a vs 1b distinction), given an oscillation tolerance (°C).
-    pub fn is_steady(&self, tolerance: f64) -> bool {
-        self.max - self.min <= tolerance
-    }
+/// The single-core unconstrained simulation configuration behind the
+/// Table 1 characterization: one core, no thermal limit, baseline
+/// policy. Exposed so sweep grids can reproduce Table 1 through the
+/// cached harness cell by cell.
+pub fn unconstrained_single_core(duration: f64) -> (SimConfig, DtmConfig) {
+    (
+        SimConfig {
+            cores: 1,
+            duration,
+            ..SimConfig::default()
+        },
+        DtmConfig::unconstrained(),
+    )
 }
 
 /// Runs `bench` alone on a single-core chip with no thermal limit and
-/// summarizes the hottest sensor over the second half of the run.
+/// summarizes the hottest sensor over the second half of the run (the
+/// engine's built-in steady-state sampling, [`RunResult::steady`]).
 ///
 /// # Errors
 ///
@@ -209,39 +225,13 @@ pub fn unconstrained_steady_temp(
     lib: &TraceLibrary,
     duration: f64,
 ) -> Result<SteadyTempSummary, SimError> {
-    let sim_cfg = SimConfig {
-        cores: 1,
-        duration,
-        ..SimConfig::default()
-    };
-    let dtm = DtmConfig::unconstrained();
+    let (sim_cfg, dtm) = unconstrained_single_core(duration);
     let trace = lib.trace(bench);
-    let mut sim = ThermalTimingSim::new(
-        sim_cfg,
-        dtm,
-        PolicySpec::baseline(),
-        vec![Arc::clone(&trace)],
-    )?;
-    sim.attach_telemetry(Telemetry::every(36)); // ~1 ms resolution
-    sim.run()?;
-    let telemetry = sim.take_telemetry().expect("attached above");
-    let records = telemetry.records();
-    let half = records.len() / 2;
-    let window = &records[half..];
-    let mut min = f64::INFINITY;
-    let mut max = f64::NEG_INFINITY;
-    let mut sum = 0.0;
-    for r in window {
-        let hot = r.sensor_temps[0][0].max(r.sensor_temps[0][1]);
-        min = min.min(hot);
-        max = max.max(hot);
-        sum += hot;
-    }
-    Ok(SteadyTempSummary {
-        mean: sum / window.len() as f64,
-        min,
-        max,
-    })
+    let mut sim = ThermalTimingSim::new(sim_cfg, dtm, PolicySpec::baseline(), vec![trace])?;
+    let result = sim.run()?;
+    Ok(result
+        .steady
+        .expect("a positive-duration run yields steady samples"))
 }
 
 #[cfg(test)]

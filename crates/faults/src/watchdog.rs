@@ -11,6 +11,7 @@
 //! integrate NaN or a 70 °C step), and drives a per-core fail-safe
 //! fallback while a core's sensors cannot be trusted.
 
+use dtm_obs::{Counter, ObsHandle};
 use serde::{Deserialize, Serialize};
 
 /// The fail-safe action taken while a core is in fallback.
@@ -108,6 +109,12 @@ pub struct Watchdog {
     entries: u64,
     exits: u64,
     flags: u64,
+    /// Mirrors of the three counters above in the observability
+    /// registry (disabled no-ops unless [`Watchdog::bind_obs`] ran), so
+    /// watchdog activity shows up in profiling dumps.
+    obs_entries: Counter,
+    obs_exits: Counter,
+    obs_flags: Counter,
 }
 
 impl Watchdog {
@@ -123,12 +130,24 @@ impl Watchdog {
             entries: 0,
             exits: 0,
             flags: 0,
+            obs_entries: Counter::disabled(),
+            obs_exits: Counter::disabled(),
+            obs_flags: Counter::disabled(),
         }
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &WatchdogConfig {
         &self.cfg
+    }
+
+    /// Mirrors this watchdog's flag/entry/exit counters into `obs`
+    /// (registered as `dtm_watchdog_{flags,entries,exits}_total`). A
+    /// disabled handle leaves the no-op counters in place.
+    pub fn bind_obs(&mut self, obs: &ObsHandle) {
+        self.obs_flags = obs.counter("dtm_watchdog_flags_total");
+        self.obs_entries = obs.counter("dtm_watchdog_entries_total");
+        self.obs_exits = obs.counter("dtm_watchdog_exits_total");
     }
 
     /// Screens this step's readings (flattened core-major, matching
@@ -165,6 +184,7 @@ impl Watchdog {
             } else {
                 plausible[i] = false;
                 self.flags += 1;
+                self.obs_flags.inc();
                 // Substitute the last plausible value; before any good
                 // reading exists the median is the best available guess.
                 readings[i] = if self.last_good[i].is_nan() {
@@ -183,12 +203,14 @@ impl Watchdog {
                 self.in_fallback[core] = true;
                 self.since[core] = time;
                 self.entries += 1;
+                self.obs_entries.inc();
             } else if core_ok
                 && self.in_fallback[core]
                 && time - self.since[core] >= self.cfg.min_hold
             {
                 self.in_fallback[core] = false;
                 self.exits += 1;
+                self.obs_exits.inc();
             }
         }
     }
@@ -315,6 +337,23 @@ mod tests {
         w.assess(1e-4 + 2e-3, &mut ok2);
         assert!(!w.in_fallback()[0]);
         assert_eq!(w.exits(), 1);
+    }
+
+    #[test]
+    fn bound_obs_counters_mirror_internal_ones() {
+        let obs = ObsHandle::enabled(16);
+        let mut w = wd();
+        w.bind_obs(&obs);
+        let mut r0 = [70.0, 71.0, 69.5, 70.5];
+        w.assess(0.0, &mut r0);
+        let mut bad = [f64::NAN, 71.0, 69.5, 70.5];
+        w.assess(1e-4, &mut bad);
+        let mut ok = [70.0, 71.0, 69.5, 70.5];
+        w.assess(1e-4 + 2e-3, &mut ok);
+        assert_eq!(obs.counter("dtm_watchdog_flags_total").get(), w.flags());
+        assert_eq!(obs.counter("dtm_watchdog_entries_total").get(), w.entries());
+        assert_eq!(obs.counter("dtm_watchdog_exits_total").get(), w.exits());
+        assert!(w.flags() > 0 && w.entries() > 0 && w.exits() > 0);
     }
 
     #[test]

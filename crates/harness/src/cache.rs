@@ -15,7 +15,7 @@
 
 use crate::codec::{result_from_json, result_to_json};
 use crate::json::Json;
-use dtm_core::{DtmConfig, FaultConfig, PolicySpec, RunResult, SimConfig};
+use dtm_core::{Counter, DtmConfig, FaultConfig, ObsHandle, PolicySpec, RunResult, SimConfig};
 use dtm_workloads::{TraceGenConfig, Workload};
 use std::path::{Path, PathBuf};
 
@@ -84,16 +84,69 @@ pub fn cell_key(
     CellKey(((hi as u128) << 64) | lo as u128)
 }
 
+/// A point-in-time snapshot of one cache's activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups attempted.
+    pub probes: u64,
+    /// Lookups that returned a usable result.
+    pub hits: u64,
+    /// Lookups that missed (absent, corrupt, or key-mismatched).
+    pub misses: u64,
+    /// Bytes of entry payload written by `store`.
+    pub bytes_written: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all probes (0 when nothing was probed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+
+    /// One-line human summary, e.g.
+    /// `cache: 24 probes, 12 hits, 12 misses (50.0% hit rate), 18432 B written`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "cache: {} probes, {} hits, {} misses ({:.1}% hit rate), {} B written",
+            self.probes,
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.bytes_written,
+        )
+    }
+}
+
 /// A directory of content-addressed cell results.
+///
+/// Activity counters (probes/hits/misses/bytes written) are always on
+/// — they are a handful of relaxed atomics — and shared across clones,
+/// so the sweep runner can report cache effectiveness for every sweep
+/// without an observability handle. [`ResultCache::bind_obs`]
+/// additionally registers them in a recorder for the Prometheus dump.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    probes: Counter,
+    hits: Counter,
+    misses: Counter,
+    bytes_written: Counter,
 }
 
 impl ResultCache {
     /// Opens (without creating) a cache rooted at `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        ResultCache { dir: dir.into() }
+        ResultCache {
+            dir: dir.into(),
+            probes: Counter::active(),
+            hits: Counter::active(),
+            misses: Counter::active(),
+            bytes_written: Counter::active(),
+        }
     }
 
     /// The standard experiment cache under `results/cache/`.
@@ -106,6 +159,27 @@ impl ResultCache {
         &self.dir
     }
 
+    /// A snapshot of this cache's activity counters (shared across
+    /// clones, so any clone reports the combined activity).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            probes: self.probes.get(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            bytes_written: self.bytes_written.get(),
+        }
+    }
+
+    /// Registers this cache's counters in `obs` (as
+    /// `dtm_cache_{probes,hits,misses,bytes_written}_total`) so they
+    /// appear in its Prometheus dump. No-op for a disabled handle.
+    pub fn bind_obs(&self, obs: &ObsHandle) {
+        obs.adopt_counter("dtm_cache_probes_total", &self.probes);
+        obs.adopt_counter("dtm_cache_hits_total", &self.hits);
+        obs.adopt_counter("dtm_cache_misses_total", &self.misses);
+        obs.adopt_counter("dtm_cache_bytes_written_total", &self.bytes_written);
+    }
+
     /// The entry path for `key`.
     pub fn path(&self, key: CellKey) -> PathBuf {
         self.dir.join(format!("{}.json", key.hex()))
@@ -115,6 +189,16 @@ impl ResultCache {
     /// or key-mismatched entries all read as a miss — the cache is
     /// purely an optimization, so damage means recompute, never fail.
     pub fn load(&self, key: CellKey) -> Option<RunResult> {
+        self.probes.inc();
+        let loaded = self.load_inner(key);
+        match loaded {
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
+        }
+        loaded
+    }
+
+    fn load_inner(&self, key: CellKey) -> Option<RunResult> {
         let text = std::fs::read_to_string(self.path(key)).ok()?;
         let v = Json::parse(&text).ok()?;
         // Verify the embedded key so a renamed/copied file can't serve
@@ -144,8 +228,9 @@ impl ResultCache {
         let tmp = self
             .dir
             .join(format!("{}.tmp.{}", key.hex(), std::process::id()));
-        if std::fs::write(&tmp, entry.emit() + "\n").is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        let payload = entry.emit() + "\n";
+        if std::fs::write(&tmp, &payload).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.bytes_written.add(payload.len() as u64);
         }
     }
 }
@@ -175,6 +260,8 @@ mod tests {
             stalls: 9,
             energy: 30.125,
             robustness: Robustness::default(),
+            steady: None,
+            phases: None,
             threads: vec![ThreadStats {
                 instructions: 1.125e9,
                 scaled_work: 0.25,
@@ -377,6 +464,49 @@ mod tests {
         // Missing entirely.
         let d3 = DtmConfig::with_threshold(96.0);
         assert!(cache.load(key_for(&SimConfig::default(), &d3)).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_track_probes_hits_misses_and_bytes() {
+        let cache = ResultCache::new(tmpdir("stats"));
+        let key = key_for(&SimConfig::default(), &DtmConfig::default());
+        assert_eq!(cache.stats(), CacheStats::default());
+
+        assert!(cache.load(key).is_none()); // cold probe
+        cache.store(key, &Json::str("stats"), &sample_result());
+        assert!(cache.load(key).is_some()); // warm probe
+
+        let s = cache.stats();
+        assert_eq!(s.probes, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(
+            s.bytes_written,
+            std::fs::metadata(cache.path(key)).unwrap().len(),
+            "bytes written should equal the entry size on disk"
+        );
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(s.summary_line().contains("50.0% hit rate"));
+
+        // Clones share the counters: the sweep runner clones the cache
+        // into its workers, and the coordinator reports the total.
+        let clone = cache.clone();
+        let _ = clone.load(key);
+        assert_eq!(cache.stats().probes, 3);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn bound_obs_exports_cache_counters() {
+        let cache = ResultCache::new(tmpdir("obs"));
+        let obs = dtm_core::ObsHandle::enabled(16);
+        cache.bind_obs(&obs);
+        let key = key_for(&SimConfig::default(), &DtmConfig::default());
+        let _ = cache.load(key);
+        let dump = obs.prometheus();
+        assert!(dump.contains("dtm_cache_probes_total 1"), "{dump}");
+        assert!(dump.contains("dtm_cache_misses_total 1"), "{dump}");
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

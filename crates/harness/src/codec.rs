@@ -4,11 +4,11 @@
 //! bit-identical to `r` — the property the result cache relies on.
 
 use crate::json::{Json, JsonError};
-use dtm_core::{Robustness, RunResult, ThreadStats};
+use dtm_core::{PhaseNs, PhaseProfile, Robustness, RunResult, SteadyTempSummary, ThreadStats};
 
 /// Encodes a run result as a JSON object.
 pub fn result_to_json(r: &RunResult) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("duration".into(), Json::f64(r.duration)),
         ("cores".into(), Json::usize(r.cores)),
         ("instructions".into(), Json::f64(r.instructions)),
@@ -67,7 +67,43 @@ pub fn result_to_json(r: &RunResult) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    // Optional fields are appended only when present, mirroring the
+    // robustness discipline: entries written by older builds simply
+    // lack them and decode to `None`.
+    if let Some(s) = &r.steady {
+        fields.push((
+            "steady".into(),
+            Json::Obj(vec![
+                ("mean".into(), Json::f64(s.mean)),
+                ("min".into(), Json::f64(s.min)),
+                ("max".into(), Json::f64(s.max)),
+            ]),
+        ));
+    }
+    if let Some(p) = &r.phases {
+        fields.push((
+            "phases".into(),
+            Json::Obj(vec![
+                ("steps".into(), Json::u64(p.steps)),
+                (
+                    "phases".into(),
+                    Json::Arr(
+                        p.phases
+                            .iter()
+                            .map(|ph| {
+                                Json::Obj(vec![
+                                    ("name".into(), Json::str(&ph.name)),
+                                    ("ns".into(), Json::u64(ph.ns)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 /// Decodes a run result from [`result_to_json`]'s layout.
@@ -105,6 +141,33 @@ pub fn result_from_json(v: &Json) -> Result<RunResult, JsonError> {
         },
         Err(_) => Robustness::default(),
     };
+    // Same back-compat discipline for the observability-era fields:
+    // absent means the entry predates them (or the run was unprofiled).
+    let steady = match v.field("steady") {
+        Ok(sv) => Some(SteadyTempSummary {
+            mean: sv.field("mean")?.as_f64()?,
+            min: sv.field("min")?.as_f64()?,
+            max: sv.field("max")?.as_f64()?,
+        }),
+        Err(_) => None,
+    };
+    let phases = match v.field("phases") {
+        Ok(pv) => Some(PhaseProfile {
+            steps: pv.field("steps")?.as_u64()?,
+            phases: pv
+                .field("phases")?
+                .as_arr()?
+                .iter()
+                .map(|ph| {
+                    Ok(PhaseNs {
+                        name: ph.field("name")?.as_str()?.to_string(),
+                        ns: ph.field("ns")?.as_u64()?,
+                    })
+                })
+                .collect::<Result<Vec<_>, JsonError>>()?,
+        }),
+        Err(_) => None,
+    };
     Ok(RunResult {
         duration: v.field("duration")?.as_f64()?,
         cores: v.field("cores")?.as_usize()?,
@@ -117,6 +180,8 @@ pub fn result_from_json(v: &Json) -> Result<RunResult, JsonError> {
         stalls: v.field("stalls")?.as_u64()?,
         energy: v.field("energy")?.as_f64()?,
         robustness,
+        steady,
+        phases,
         threads,
     })
 }
@@ -146,6 +211,24 @@ mod tests {
                 fallback_exits: 1,
                 watchdog_flags: 4_321,
             },
+            steady: Some(SteadyTempSummary {
+                mean: 83.337_5 + 1.0 / 7.0,
+                min: 82.9,
+                max: 84.125,
+            }),
+            phases: Some(PhaseProfile {
+                steps: 18_000,
+                phases: vec![
+                    PhaseNs {
+                        name: "microarch".into(),
+                        ns: 123_456_789,
+                    },
+                    PhaseNs {
+                        name: "thermal".into(),
+                        ns: 987_654_321,
+                    },
+                ],
+            }),
             threads: vec![
                 ThreadStats {
                     instructions: 1.5e9,
@@ -176,10 +259,13 @@ mod tests {
             (r.threads[0].scaled_work, back.threads[0].scaled_work),
             (r.robustness.peak_overshoot, back.robustness.peak_overshoot),
             (r.robustness.violation_time, back.robustness.violation_time),
+            (r.steady.unwrap().mean, back.steady.unwrap().mean),
         ] {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(r.robustness, back.robustness);
+        assert_eq!(r.steady, back.steady);
+        assert_eq!(r.phases, back.phases);
     }
 
     #[test]
@@ -195,6 +281,34 @@ mod tests {
         assert_eq!(back.robustness, Robustness::default());
         assert_eq!(back.duration, sample().duration);
         assert_eq!(back.threads.len(), 2);
+    }
+
+    #[test]
+    fn pre_observability_entries_decode_without_steady_or_phases() {
+        // An entry written before the observability subsystem existed:
+        // strip both new objects and check the decode yields `None`s.
+        let mut encoded = result_to_json(&sample());
+        if let Json::Obj(fields) = &mut encoded {
+            fields.retain(|(k, _)| k != "steady" && k != "phases");
+        }
+        let back = result_from_json(&Json::parse(&encoded.emit()).unwrap()).unwrap();
+        assert_eq!(back.steady, None);
+        assert_eq!(back.phases, None);
+        assert_eq!(back.robustness, sample().robustness);
+    }
+
+    #[test]
+    fn unprofiled_results_encode_without_optional_objects() {
+        let r = RunResult {
+            steady: None,
+            phases: None,
+            ..sample()
+        };
+        let text = result_to_json(&r).emit();
+        assert!(!text.contains("\"steady\""));
+        assert!(!text.contains("\"phases\""));
+        let back = result_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

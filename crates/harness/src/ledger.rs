@@ -13,6 +13,7 @@
 //!   "variant":   config-variant name, e.g. "base" or "threshold=100",
 //!   "cached":    true if served from the result cache (no simulation),
 //!   "wall_s":    wall-clock seconds spent producing the result,
+//!   "queue_s":   seconds the cell waited before execution started (0 for hits),
 //!   "worker":    worker thread id (0 for cache hits),
 //!   "result":    the full RunResult (see dtm-harness::codec)
 //! }
@@ -87,6 +88,7 @@ impl Ledger {
             ("variant".into(), Json::str(&v.name)),
             ("cached".into(), Json::Bool(outcome.cached)),
             ("wall_s".into(), Json::f64(outcome.wall.as_secs_f64())),
+            ("queue_s".into(), Json::f64(outcome.queued.as_secs_f64())),
             ("worker".into(), Json::usize(outcome.worker)),
             ("result".into(), result_to_json(&outcome.result)),
         ]);
@@ -126,10 +128,13 @@ mod tests {
                 stalls: 1,
                 energy: 2.0,
                 robustness: Robustness::default(),
+                steady: None,
+                phases: None,
                 threads: vec![],
             },
             cached: false,
             wall: Duration::from_millis(1500),
+            queued: Duration::from_millis(250),
             worker: 3,
         };
         let mut ledger = Ledger::open(&path);
@@ -155,6 +160,7 @@ mod tests {
             assert_eq!(v.field("cached").unwrap(), &Json::Bool(false));
             assert_eq!(v.field("worker").unwrap().as_usize().unwrap(), 3);
             assert!((v.field("wall_s").unwrap().as_f64().unwrap() - 1.5).abs() < 1e-9);
+            assert!((v.field("queue_s").unwrap().as_f64().unwrap() - 0.25).abs() < 1e-9);
             let r = crate::codec::result_from_json(v.field("result").unwrap()).unwrap();
             assert_eq!(r, outcome.result);
         }
@@ -187,10 +193,13 @@ mod tests {
                 stalls: 0,
                 energy: 0.0,
                 robustness: Robustness::default(),
+                steady: None,
+                phases: None,
                 threads: vec![],
             },
             cached: true,
             wall: Duration::ZERO,
+            queued: Duration::ZERO,
             worker: 0,
         };
         ledger.append(&spec, &outcome);

@@ -44,7 +44,7 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
-pub use cache::{cell_key, CellKey, ResultCache, DEFAULT_CACHE_DIR};
+pub use cache::{cell_key, CacheStats, CellKey, ResultCache, DEFAULT_CACHE_DIR};
 pub use cli::SweepArgs;
 pub use ledger::{Ledger, DEFAULT_LEDGER_PATH};
 pub use progress::Progress;

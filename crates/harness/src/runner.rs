@@ -7,11 +7,11 @@ use crate::json::Json;
 use crate::ledger::Ledger;
 use crate::progress::Progress;
 use crate::sweep::{CellOutcome, SweepResults, SweepSpec};
-use dtm_core::{Experiment, SimError};
+use dtm_core::{Experiment, ObsHandle, SimError};
 use dtm_workloads::{Benchmark, TraceGenConfig, TraceLibrary};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding the worker count.
 pub const WORKERS_ENV: &str = "DTM_WORKERS";
@@ -38,18 +38,27 @@ pub struct SweepRunner {
     cache: Option<ResultCache>,
     ledger: Option<Ledger>,
     progress: bool,
+    obs: ObsHandle,
 }
 
 impl SweepRunner {
     /// A runner over an explicit trace library, with no cache, no
     /// ledger, and no progress output — the unit-test configuration.
     pub fn bare(lib: TraceLibrary) -> Self {
+        SweepRunner::bare_shared(Arc::new(lib))
+    }
+
+    /// Like [`SweepRunner::bare`], but over an already-shared trace
+    /// library — several runners (e.g. the repeated timing passes of
+    /// `exp_profile`) can then reuse one set of pre-warmed traces.
+    pub fn bare_shared(lib: Arc<TraceLibrary>) -> Self {
         SweepRunner {
-            lib: Arc::new(lib),
+            lib,
             workers: None,
             cache: None,
             ledger: None,
             progress: false,
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -64,6 +73,7 @@ impl SweepRunner {
             cache: Some(ResultCache::default_location()),
             ledger: Some(Ledger::default_location()),
             progress: true,
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -90,6 +100,16 @@ impl SweepRunner {
     /// Disables progress reporting.
     pub fn quiet(mut self) -> Self {
         self.progress = false;
+        self
+    }
+
+    /// Attaches an observability handle. The runner then records
+    /// per-cell spans, wall/queue-wait histograms, and worker-busy
+    /// counters, binds the result cache's traffic counters for the
+    /// Prometheus export, and instruments every simulation it launches
+    /// (so results carry [`dtm_core::PhaseProfile`]s).
+    pub fn with_obs(mut self, obs: &ObsHandle) -> Self {
+        self.obs = obs.clone();
         self
     }
 
@@ -124,6 +144,13 @@ impl SweepRunner {
     /// Returns the first simulation failure; remaining in-flight cells
     /// are abandoned.
     pub fn run(mut self, spec: SweepSpec) -> Result<SweepResults, SimError> {
+        let sweep_start = Instant::now();
+        let obs = self.obs.clone();
+        if let Some(cache) = &self.cache {
+            if obs.is_enabled() {
+                cache.bind_obs(&obs);
+            }
+        }
         let cells = spec.cells();
         let version = env!("CARGO_PKG_VERSION");
         let tracegen: &TraceGenConfig = self.lib.config();
@@ -154,6 +181,7 @@ impl SweepRunner {
                         result,
                         cached: true,
                         wall: t0.elapsed(),
+                        queued: Duration::ZERO,
                         worker: 0,
                     });
                 }
@@ -194,6 +222,7 @@ impl SweepRunner {
                 .map(|v| {
                     Experiment::new_shared(self.library(), v.sim.clone(), v.dtm)
                         .with_faults(v.faults.clone())
+                        .with_obs(&obs)
                 })
                 .collect();
 
@@ -213,6 +242,7 @@ impl SweepRunner {
                     let next = &next;
                     let abort = &abort;
                     let cache = self.cache.as_ref();
+                    let obs = &obs;
                     s.spawn(move || loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
@@ -224,6 +254,8 @@ impl SweepRunner {
                         let policy = spec.policy_axis()[cell.policy];
                         let variant = &spec.variant_axis()[cell.variant];
                         let t0 = Instant::now();
+                        let queued = t0.duration_since(sweep_start);
+                        let cell_start_ns = obs.now_ns();
                         match experiments[cell.variant].run(workload, policy) {
                             Ok(result) => {
                                 if let Some(cache) = cache {
@@ -243,12 +275,29 @@ impl SweepRunner {
                                     let describe = Json::Obj(fields);
                                     cache.store(keys[i], &describe, &result);
                                 }
+                                let wall = t0.elapsed();
+                                if obs.is_enabled() {
+                                    let wall_ns = wall.as_nanos() as u64;
+                                    obs.record_span(
+                                        "harness",
+                                        format!("{}/{}", workload.display_name(), policy.name()),
+                                        cell_start_ns,
+                                        wall_ns,
+                                    );
+                                    obs.histogram("dtm_cell_wall_ns").record(wall_ns);
+                                    obs.histogram("dtm_cell_queue_ns")
+                                        .record(queued.as_nanos() as u64);
+                                    obs.counter("dtm_cells_executed_total").inc();
+                                    obs.counter(&format!("dtm_worker_{wid}_busy_ns_total"))
+                                        .add(wall_ns);
+                                }
                                 let outcome = CellOutcome {
                                     index: cell,
                                     key: keys[i].hex(),
                                     result,
                                     cached: false,
-                                    wall: t0.elapsed(),
+                                    wall,
+                                    queued,
                                     worker: wid,
                                 };
                                 if tx.send(Ok(outcome)).is_err() {
@@ -299,7 +348,11 @@ impl SweepRunner {
             .into_iter()
             .map(|o| o.expect("every cell resolved"))
             .collect();
-        Ok(SweepResults::new(spec, outcomes))
+        let mut results = SweepResults::new(spec, outcomes);
+        if let Some(cache) = &self.cache {
+            results = results.with_cache_stats(cache.stats());
+        }
+        Ok(results)
     }
 
     /// Generates (or disk-loads) the traces for `benches` across the
@@ -463,6 +516,53 @@ mod tests {
             assert_eq!(v.field("cached").unwrap(), &crate::json::Json::Bool(false));
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observed_sweep_records_cells_and_cache_traffic() {
+        let dir = tmpdir("obs");
+        let obs = dtm_core::ObsHandle::enabled_default();
+        let results = SweepRunner::bare(fast_lib())
+            .with_cache(Some(ResultCache::new(&dir)))
+            .with_workers(2)
+            .with_obs(&obs)
+            .run(tiny_spec())
+            .expect("run");
+        assert_eq!(results.executed(), 4);
+
+        // Cache traffic surfaces both in the results and the footer.
+        let stats = results.cache_stats().expect("a cache was attached");
+        assert_eq!(stats.probes, 4);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 0);
+        assert!(stats.bytes_written > 0);
+        assert!(results.summary().contains("cache: 4 probes"));
+
+        // Instrumented runs carry per-phase engine timings.
+        for o in results.outcomes() {
+            assert!(o.result.phases.is_some(), "profiled run has phase timings");
+        }
+
+        // Harness-side metrics landed on the shared handle.
+        assert_eq!(obs.counter("dtm_cells_executed_total").get(), 4);
+        assert_eq!(obs.histogram("dtm_cell_wall_ns").count(), 4);
+        assert_eq!(obs.histogram("dtm_cell_queue_ns").count(), 4);
+        assert!(obs.spans_recorded() > 0, "cell + engine spans recorded");
+        let prom = obs.prometheus();
+        assert!(prom.contains("dtm_cache_probes_total 4"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unobserved_sweep_results_stay_unprofiled() {
+        let results = SweepRunner::bare(fast_lib())
+            .with_workers(2)
+            .run(tiny_spec())
+            .expect("run");
+        assert!(results.cache_stats().is_none(), "no cache attached");
+        for o in results.outcomes() {
+            assert!(o.result.phases.is_none());
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! [`SweepResults`] the reporting code indexes by (variant, policy,
 //! workload).
 
+use crate::cache::CacheStats;
 use dtm_core::{DtmConfig, FaultConfig, PolicySpec, RunResult, SimConfig};
 use dtm_workloads::{standard_workloads, Workload};
 use std::time::Duration;
@@ -176,6 +177,9 @@ pub struct CellOutcome {
     pub cached: bool,
     /// Wall-clock time spent producing the result (≈0 for hits).
     pub wall: Duration,
+    /// Time the cell waited between sweep start and execution start
+    /// (zero for cache hits, which are served immediately).
+    pub queued: Duration,
     /// Worker thread that produced it (0 = the coordinating thread, for
     /// cache hits).
     pub worker: usize,
@@ -187,12 +191,29 @@ pub struct SweepResults {
     spec: SweepSpec,
     /// In `spec.cells()` order.
     outcomes: Vec<CellOutcome>,
+    /// Result-cache traffic for this sweep, when a cache was attached.
+    cache_stats: Option<CacheStats>,
 }
 
 impl SweepResults {
     pub(crate) fn new(spec: SweepSpec, outcomes: Vec<CellOutcome>) -> Self {
         debug_assert_eq!(spec.cells().len(), outcomes.len());
-        SweepResults { spec, outcomes }
+        SweepResults {
+            spec,
+            outcomes,
+            cache_stats: None,
+        }
+    }
+
+    pub(crate) fn with_cache_stats(mut self, stats: CacheStats) -> Self {
+        self.cache_stats = Some(stats);
+        self
+    }
+
+    /// Result-cache traffic counters (`None` when the sweep ran without
+    /// a cache).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache_stats
     }
 
     /// The spec this sweep executed.
@@ -296,15 +317,21 @@ impl SweepResults {
             .collect()
     }
 
-    /// One-line cache/parallelism summary for experiment footers.
+    /// Cache/parallelism summary for experiment footers: the classic
+    /// one-liner, plus a cache-traffic line when a cache was attached.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} cells: {} simulated on {} worker(s), {} cache hit(s)",
             self.outcomes.len(),
             self.executed(),
             self.workers_used().max(usize::from(self.executed() > 0)),
             self.cache_hits()
-        )
+        );
+        if let Some(stats) = self.cache_stats {
+            s.push('\n');
+            s.push_str(&stats.summary_line());
+        }
+        s
     }
 }
 

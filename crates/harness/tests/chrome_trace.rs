@@ -1,0 +1,53 @@
+//! The exporter contract: the chrome-trace document must be loadable by
+//! a JSON parser (the harness's own codec parser stands in for Perfetto
+//! here, since the workspace has no external JSON dependency), and the
+//! Prometheus dump must list every registered metric.
+
+use dtm_core::ObsHandle;
+use dtm_harness::json::Json;
+
+#[test]
+fn chrome_trace_round_trips_through_a_json_parser() {
+    let obs = ObsHandle::enabled_default();
+    let t0 = obs.now_ns();
+    obs.record_span("engine", "thermal", t0, 1_250);
+    obs.record_span(
+        "harness",
+        "gzip-twolf-ammp-lucas/Dist. DVFS".to_string(),
+        t0 + 2_000,
+        40_000,
+    );
+
+    let doc = obs.chrome_trace();
+    let v = Json::parse(&doc).expect("chrome trace parses as JSON");
+    assert_eq!(v.field("displayTimeUnit").unwrap().as_str().unwrap(), "ns");
+    let events = v.field("traceEvents").unwrap().as_arr().unwrap();
+    assert_eq!(events.len(), 2);
+    for e in events {
+        assert_eq!(e.field("ph").unwrap().as_str().unwrap(), "X");
+        assert!(e.field("ts").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(e.field("dur").unwrap().as_f64().unwrap() > 0.0);
+        e.field("pid").unwrap().as_u64().unwrap();
+        e.field("tid").unwrap().as_u64().unwrap();
+        assert!(!e.field("name").unwrap().as_str().unwrap().is_empty());
+        assert!(!e.field("cat").unwrap().as_str().unwrap().is_empty());
+    }
+    // Slice events survive with their durations intact.
+    let durs: Vec<f64> = events
+        .iter()
+        .map(|e| e.field("dur").unwrap().as_f64().unwrap())
+        .collect();
+    assert!((durs[0] - 1.25).abs() < 1e-9, "1250 ns is 1.25 µs");
+    assert!((durs[1] - 40.0).abs() < 1e-9, "40000 ns is 40 µs");
+}
+
+#[test]
+fn prometheus_dump_lists_registered_metrics() {
+    let obs = ObsHandle::enabled_default();
+    obs.counter("dtm_cells_executed_total").add(3);
+    obs.histogram("dtm_cell_wall_ns").record(1_000);
+    let text = obs.prometheus();
+    assert!(text.contains("dtm_cells_executed_total 3"));
+    assert!(text.contains("dtm_cell_wall_ns_count 1"));
+    assert!(text.contains("dtm_cell_wall_ns_sum 1000"));
+}

@@ -1,0 +1,165 @@
+//! Exporters: chrome://tracing JSON and Prometheus-style text.
+//!
+//! Both are plain string builders — the recorder stays dependency-free
+//! and the formats are simple enough that hand-rolled emission (with
+//! proper JSON string escaping) is clearer than pulling in a codec.
+
+use crate::metrics::{HistogramCore, N_BUCKETS};
+use crate::ring::Span;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders spans as a chrome://tracing JSON document (object format,
+/// complete "X" duration events, timestamps in microseconds). Loadable
+/// in Perfetto and `chrome://tracing`.
+pub(crate) fn chrome_trace_json(spans: &[Span]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"seq\":{}}}}}",
+            escape_json(&s.name),
+            escape_json(s.cat),
+            s.tid,
+            s.start_ns as f64 / 1_000.0,
+            s.dur_ns as f64 / 1_000.0,
+            s.seq,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders metric snapshots as Prometheus-style text exposition:
+/// counters as `<name> <value>`, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`.
+pub(crate) fn prometheus_text(
+    counters: &[(String, u64)],
+    histograms: &[(String, [u64; N_BUCKETS], u64, u64)],
+) -> String {
+    let mut out = String::new();
+    for (name, value) in counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, buckets, sum, count) in histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                HistogramCore::bucket_upper(i)
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(out, "{name}_sum {sum}");
+        let _ = writeln!(out, "{name}_count {count}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsHandle;
+    use std::borrow::Cow;
+
+    #[test]
+    fn escaping_covers_quotes_and_controls() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\n\t"), "x\\n\\t");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_events_in_microseconds() {
+        let spans = vec![Span {
+            cat: "engine",
+            name: Cow::Borrowed("thermal"),
+            start_ns: 1_500,
+            dur_ns: 250,
+            tid: 3,
+            seq: 9,
+        }];
+        let doc = chrome_trace_json(&spans);
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ns\""));
+        assert!(doc.contains("\"name\":\"thermal\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":1.500"));
+        assert!(doc.contains("\"dur\":0.250"));
+        assert!(doc.contains("\"tid\":3"));
+        assert!(doc.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_document() {
+        let doc = chrome_trace_json(&[]);
+        assert_eq!(doc, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let obs = ObsHandle::enabled(8);
+        let h = obs.histogram("dtm_phase_thermal_ns");
+        h.record(1); // bucket le="1"
+        h.record(1);
+        h.record(100); // bucket le="127"
+        let dump = obs.prometheus();
+        assert!(
+            dump.contains("# TYPE dtm_phase_thermal_ns histogram"),
+            "{dump}"
+        );
+        assert!(
+            dump.contains("dtm_phase_thermal_ns_bucket{le=\"1\"} 2"),
+            "{dump}"
+        );
+        assert!(
+            dump.contains("dtm_phase_thermal_ns_bucket{le=\"127\"} 3"),
+            "{dump}"
+        );
+        assert!(
+            dump.contains("dtm_phase_thermal_ns_bucket{le=\"+Inf\"} 3"),
+            "{dump}"
+        );
+        assert!(dump.contains("dtm_phase_thermal_ns_sum 102"), "{dump}");
+        assert!(dump.contains("dtm_phase_thermal_ns_count 3"), "{dump}");
+    }
+
+    #[test]
+    fn prometheus_counters_have_type_lines() {
+        let obs = ObsHandle::enabled(8);
+        obs.counter("dtm_cache_hits_total").add(4);
+        let dump = obs.prometheus();
+        assert!(dump.contains("# TYPE dtm_cache_hits_total counter"));
+        assert!(dump.contains("dtm_cache_hits_total 4"));
+    }
+}

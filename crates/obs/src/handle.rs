@@ -1,0 +1,292 @@
+//! [`ObsHandle`] — the one object instrumented code holds.
+//!
+//! A handle is either *disabled* (the default: a `None`, so every probe
+//! is one predictable branch and zero allocations) or *enabled* (a
+//! shared recorder: span ring + metric registry + monotonic clock).
+//! Cloning is cheap and shares the recorder, which is how the engine,
+//! watchdog, cache, and sweep workers all feed one trace.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::export;
+use crate::metrics::{Counter, Histogram, HistogramCore, N_BUCKETS};
+use crate::ring::{Span, SpanRing};
+
+/// Default span-ring capacity (spans retained, oldest evicted first).
+pub const DEFAULT_RING_CAPACITY: usize = 64 * 1024;
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static TID: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+/// Small sequential id for the calling thread (first caller gets 0).
+fn current_tid() -> u32 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != u32::MAX {
+            v
+        } else {
+            let id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+            id
+        }
+    })
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    ring: Mutex<SpanRing>,
+    seq: AtomicU64,
+    /// Name → shared cell, insertion-ordered, deduplicated by name.
+    counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+    histograms: Mutex<Vec<(String, Arc<HistogramCore>)>>,
+}
+
+/// A cloneable handle to a recorder, or the disabled no-op.
+#[derive(Debug, Clone, Default)]
+pub struct ObsHandle(Option<Arc<Inner>>);
+
+impl ObsHandle {
+    /// The disabled handle: every probe is a no-op behind one branch.
+    pub fn disabled() -> Self {
+        ObsHandle(None)
+    }
+
+    /// A live recorder retaining at most `ring_capacity` spans.
+    pub fn enabled(ring_capacity: usize) -> Self {
+        ObsHandle(Some(Arc::new(Inner {
+            epoch: Instant::now(),
+            ring: Mutex::new(SpanRing::with_capacity(ring_capacity)),
+            seq: AtomicU64::new(0),
+            counters: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+        })))
+    }
+
+    /// A live recorder with [`DEFAULT_RING_CAPACITY`].
+    pub fn enabled_default() -> Self {
+        Self::enabled(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Whether probes through this handle record anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Nanoseconds since this recorder was created (0 when disabled).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Records a completed span. `name` should be `&'static str` on hot
+    /// paths (no allocation); owned names are fine for rare spans.
+    #[inline]
+    pub fn record_span(
+        &self,
+        cat: &'static str,
+        name: impl Into<Cow<'static, str>>,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
+        if let Some(inner) = &self.0 {
+            let span = Span {
+                cat,
+                name: name.into(),
+                start_ns,
+                dur_ns,
+                tid: current_tid(),
+                seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            };
+            inner.ring.lock().unwrap().push(span);
+        }
+    }
+
+    /// A counter registered under `name` (shared if the name exists;
+    /// the disabled no-op when the handle is disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.0 {
+            None => Counter::disabled(),
+            Some(inner) => {
+                let mut list = inner.counters.lock().unwrap();
+                if let Some((_, cell)) = list.iter().find(|(n, _)| n == name) {
+                    Counter::from_cell(cell.clone())
+                } else {
+                    let cell = Arc::new(AtomicU64::new(0));
+                    list.push((name.to_string(), cell.clone()));
+                    Counter::from_cell(cell)
+                }
+            }
+        }
+    }
+
+    /// Registers an externally owned counter (e.g. the result cache's
+    /// always-on statistics) under `name` so exporters see it. A
+    /// disabled handle, or a disabled counter, is a no-op; re-adopting
+    /// a name repoints it.
+    pub fn adopt_counter(&self, name: &str, counter: &Counter) {
+        if let (Some(inner), Some(cell)) = (&self.0, counter.cell()) {
+            let mut list = inner.counters.lock().unwrap();
+            if let Some(slot) = list.iter_mut().find(|(n, _)| n == name) {
+                slot.1 = cell.clone();
+            } else {
+                list.push((name.to_string(), cell.clone()));
+            }
+        }
+    }
+
+    /// A histogram registered under `name` (shared if the name exists;
+    /// the disabled no-op when the handle is disabled).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.0 {
+            None => Histogram::disabled(),
+            Some(inner) => {
+                let mut list = inner.histograms.lock().unwrap();
+                if let Some((_, core)) = list.iter().find(|(n, _)| n == name) {
+                    Histogram::from_core(core.clone())
+                } else {
+                    let core = Arc::new(HistogramCore::new());
+                    list.push((name.to_string(), core.clone()));
+                    Histogram::from_core(core)
+                }
+            }
+        }
+    }
+
+    /// The retained spans, oldest first (empty when disabled).
+    pub fn spans(&self) -> Vec<Span> {
+        match &self.0 {
+            Some(inner) => inner.ring.lock().unwrap().snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total spans ever recorded, including ones evicted from the ring.
+    pub fn spans_recorded(&self) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.ring.lock().unwrap().total_recorded(),
+            None => 0,
+        }
+    }
+
+    /// The retained spans as a chrome://tracing JSON document
+    /// (loadable in Perfetto or `chrome://tracing`).
+    pub fn chrome_trace(&self) -> String {
+        export::chrome_trace_json(&self.spans())
+    }
+
+    /// Counters and histograms as a Prometheus-style text dump.
+    pub fn prometheus(&self) -> String {
+        let (counters, histograms) = self.metric_snapshot();
+        export::prometheus_text(&counters, &histograms)
+    }
+
+    /// Name-sorted snapshots of all registered metrics.
+    #[allow(clippy::type_complexity)]
+    fn metric_snapshot(
+        &self,
+    ) -> (
+        Vec<(String, u64)>,
+        Vec<(String, [u64; N_BUCKETS], u64, u64)>,
+    ) {
+        let Some(inner) = &self.0 else {
+            return (Vec::new(), Vec::new());
+        };
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, [u64; N_BUCKETS], u64, u64)> = inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| (n.clone(), h.bucket_counts(), h.sum(), h.count()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        (counters, histograms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = ObsHandle::disabled();
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.now_ns(), 0);
+        obs.record_span("engine", "thermal", 0, 10);
+        assert!(obs.spans().is_empty());
+        assert_eq!(obs.spans_recorded(), 0);
+        assert!(!obs.counter("c").is_enabled());
+        assert!(!obs.histogram("h").is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let obs = ObsHandle::enabled(8);
+        let obs2 = obs.clone();
+        obs.record_span("engine", "a", 0, 1);
+        obs2.record_span("engine", "b", 1, 1);
+        assert_eq!(obs.spans().len(), 2);
+        obs.counter("n").inc();
+        assert_eq!(obs2.counter("n").get(), 1);
+    }
+
+    #[test]
+    fn registry_dedupes_by_name() {
+        let obs = ObsHandle::enabled(8);
+        let a = obs.counter("same");
+        let b = obs.counter("same");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let h1 = obs.histogram("h");
+        let h2 = obs.histogram("h");
+        h1.record(3);
+        assert_eq!(h2.count(), 1);
+    }
+
+    #[test]
+    fn adopted_counters_appear_in_the_dump() {
+        let obs = ObsHandle::enabled(8);
+        let external = Counter::active();
+        external.add(7);
+        obs.adopt_counter("dtm_cache_probes_total", &external);
+        let dump = obs.prometheus();
+        assert!(dump.contains("dtm_cache_probes_total 7"), "{dump}");
+        // Disabled handles and disabled counters are silently ignored.
+        ObsHandle::disabled().adopt_counter("x", &external);
+        obs.adopt_counter("y", &Counter::disabled());
+        assert!(!obs.prometheus().contains("y "));
+    }
+
+    #[test]
+    fn monotonic_clock_and_sequence() {
+        let obs = ObsHandle::enabled(8);
+        let a = obs.now_ns();
+        let b = obs.now_ns();
+        assert!(b >= a);
+        obs.record_span("engine", "x", a, 1);
+        obs.record_span("engine", "y", b, 1);
+        let spans = obs.spans();
+        assert!(spans[0].seq < spans[1].seq);
+    }
+}

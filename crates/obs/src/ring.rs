@@ -1,0 +1,166 @@
+//! The fixed-capacity span ring buffer.
+//!
+//! Spans are pushed at simulation rates (several per 28 µs engine
+//! step), so the recorder must never allocate on the hot path and must
+//! bound its memory: a preallocated ring that overwrites the oldest
+//! span keeps the *most recent* window of execution, which is exactly
+//! the window a trace viewer wants when something goes wrong at the end
+//! of a run.
+
+use std::borrow::Cow;
+
+/// One recorded duration: a named interval on one thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Category (chrome-trace `cat`), a coarse grouping such as
+    /// `engine` or `harness`.
+    pub cat: &'static str,
+    /// Span name. Static for hot-path spans (engine phases); owned for
+    /// per-cell harness spans, which occur at most once per second.
+    pub name: Cow<'static, str>,
+    /// Start, in nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small sequential id of the recording thread.
+    pub tid: u32,
+    /// Global record sequence number (monotonic per recorder), used to
+    /// keep a stable order among spans with equal timestamps.
+    pub seq: u64,
+}
+
+/// A preallocated ring of spans. Pushing at capacity overwrites the
+/// oldest span; iteration is always oldest → newest.
+#[derive(Debug)]
+pub struct SpanRing {
+    buf: Vec<Span>,
+    /// Next write position (== `buf.len()` until the first wrap).
+    next: usize,
+    /// Total spans ever pushed (≥ `buf.len()`).
+    total: u64,
+    capacity: usize,
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans, allocated up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring capacity must be positive");
+        SpanRing {
+            buf: Vec::with_capacity(capacity),
+            next: 0,
+            total: 0,
+            capacity,
+        }
+    }
+
+    /// Records a span. Allocation-free once the ring is full (the
+    /// overwritten slot is reused in place).
+    pub fn push(&mut self, span: Span) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(span);
+        } else {
+            self.buf[self.next] = span;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total += 1;
+    }
+
+    /// Number of spans currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total spans ever pushed, including overwritten ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// The retained spans, oldest first.
+    pub fn iter_in_order(&self) -> impl Iterator<Item = &Span> {
+        let split = if self.buf.len() < self.capacity {
+            0 // not yet wrapped: buf is already oldest-first
+        } else {
+            self.next
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+
+    /// The retained spans, oldest first, as an owned vector.
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.iter_in_order().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(seq: u64) -> Span {
+        Span {
+            cat: "test",
+            name: Cow::Borrowed("s"),
+            start_ns: 10 * seq,
+            dur_ns: 5,
+            tid: 0,
+            seq,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_overwriting_oldest() {
+        let mut r = SpanRing::with_capacity(4);
+        for i in 0..4 {
+            r.push(span(i));
+        }
+        assert_eq!(r.len(), 4);
+        let seqs: Vec<u64> = r.iter_in_order().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+
+        // Two more: 0 and 1 are evicted, order stays oldest → newest.
+        r.push(span(4));
+        r.push(span(5));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_recorded(), 6);
+        let seqs: Vec<u64> = r.iter_in_order().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wraparound_never_reorders_across_many_generations() {
+        let mut r = SpanRing::with_capacity(7);
+        for i in 0..1000 {
+            r.push(span(i));
+        }
+        let seqs: Vec<u64> = r.iter_in_order().map(|s| s.seq).collect();
+        assert_eq!(seqs, (993..1000).collect::<Vec<_>>());
+        // Timestamps are monotone in retained order too.
+        let starts: Vec<u64> = r.iter_in_order().map(|s| s.start_ns).collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn partial_fill_iterates_in_push_order() {
+        let mut r = SpanRing::with_capacity(16);
+        for i in 0..5 {
+            r.push(span(i));
+        }
+        let seqs: Vec<u64> = r.snapshot().iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        SpanRing::with_capacity(0);
+    }
+}

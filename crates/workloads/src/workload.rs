@@ -3,13 +3,19 @@
 use crate::profiles::{benchmark, Benchmark, Suite};
 use serde::{Deserialize, Serialize};
 
-/// A four-process multiprogrammed workload.
+/// A multiprogrammed workload: one benchmark per initial core.
+///
+/// The study's grids use four-process mixes (Table 4); single-process
+/// workloads (e.g. the Table 1 thermal characterization, one benchmark
+/// on one core) use [`Workload::solo`]. The `Debug` representation of
+/// a `Vec<String>` is identical to the `[String; 4]` it replaced, so
+/// content-addressed cache keys for four-process cells are unchanged.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Workload {
     /// Identifier, e.g. `workload7`.
     pub id: String,
-    /// The four benchmark names, in initial core order.
-    pub benchmarks: [String; 4],
+    /// Benchmark names, in initial core order.
+    pub benchmarks: Vec<String>,
 }
 
 impl Workload {
@@ -19,23 +25,38 @@ impl Workload {
     ///
     /// Panics if any name is not in the catalog.
     pub fn new(id: impl Into<String>, names: [&str; 4]) -> Self {
+        Self::from_names(id, &names)
+    }
+
+    /// Creates a workload from any number of benchmark names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is not in the catalog, or if `names` is
+    /// empty.
+    pub fn from_names(id: impl Into<String>, names: &[&str]) -> Self {
+        assert!(!names.is_empty(), "workload needs at least one benchmark");
         for n in names {
             let _ = benchmark(n); // validate
         }
         Workload {
             id: id.into(),
-            benchmarks: names.map(|s| s.to_string()),
+            benchmarks: names.iter().map(|s| s.to_string()).collect(),
         }
     }
 
+    /// A single-process workload named after its benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is not in the catalog.
+    pub fn solo(name: &str) -> Self {
+        Self::from_names(name, &[name])
+    }
+
     /// The resolved benchmark descriptions.
-    pub fn resolve(&self) -> [Benchmark; 4] {
-        [
-            benchmark(&self.benchmarks[0]),
-            benchmark(&self.benchmarks[1]),
-            benchmark(&self.benchmarks[2]),
-            benchmark(&self.benchmarks[3]),
-        ]
+    pub fn resolve(&self) -> Vec<Benchmark> {
+        self.benchmarks.iter().map(|n| benchmark(n)).collect()
     }
 
     /// Mix label in the paper's style, e.g. `IIFF`.
@@ -121,5 +142,31 @@ mod tests {
     #[should_panic(expected = "unknown benchmark")]
     fn bad_name_rejected() {
         Workload::new("x", ["gzip", "gzip", "gzip", "quake3"]);
+    }
+
+    #[test]
+    fn solo_workload_resolves_one_benchmark() {
+        let w = Workload::solo("sixtrack");
+        assert_eq!(w.id, "sixtrack");
+        assert_eq!(w.resolve().len(), 1);
+        assert_eq!(w.mix_label(), "F");
+        assert_eq!(w.display_name(), "sixtrack");
+        assert_eq!(w.int_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_workload_rejected() {
+        Workload::from_names("x", &[]);
+    }
+
+    #[test]
+    fn vec_debug_matches_the_old_array_debug() {
+        // The result-cache canonical representation embeds
+        // `{:?}` of `benchmarks`; Vec and [String; 4] must print
+        // identically or every four-process cache key changes.
+        let v: Vec<String> = vec!["gcc".into(), "gzip".into(), "mcf".into(), "vpr".into()];
+        let a: [String; 4] = ["gcc".into(), "gzip".into(), "mcf".into(), "vpr".into()];
+        assert_eq!(format!("{v:?}"), format!("{a:?}"));
     }
 }
