@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dtm_control::ClippedPi;
 use dtm_floorplan::Floorplan;
 use dtm_microarch::{CoreConfig, CoreSim, SetAssocCache, StreamProfile};
-use dtm_thermal::{PackageConfig, ThermalModel, TransientSolver};
+use dtm_thermal::{PackageConfig, SolverBackend, ThermalModel, TransientSolver};
 use std::hint::black_box;
 
 fn thermal(c: &mut Criterion) {
@@ -18,9 +18,20 @@ fn thermal(c: &mut Criterion) {
         b.iter(|| model.steady_state(black_box(&power)).unwrap())
     });
 
+    // The default exact-propagator backend: one matvec per sample.
     c.bench_function("thermal/transient_step_27us", |b| {
         let mut sim = TransientSolver::new(model.clone(), 7e-6);
         sim.init_steady(&power).unwrap();
+        sim.prewarm(27.78e-6).unwrap();
+        b.iter(|| sim.step(black_box(&power), 27.78e-6).unwrap())
+    });
+
+    // The backward-Euler reference: ~4 LU solves per sample.
+    c.bench_function("thermal/transient_step_27us_euler", |b| {
+        let mut sim =
+            TransientSolver::new(model.clone(), 7e-6).with_backend(SolverBackend::BackwardEuler);
+        sim.init_steady(&power).unwrap();
+        sim.prewarm(27.78e-6).unwrap();
         b.iter(|| sim.step(black_box(&power), 27.78e-6).unwrap())
     });
 }

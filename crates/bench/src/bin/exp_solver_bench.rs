@@ -1,0 +1,154 @@
+//! Solver micro-benchmark: exact matrix-exponential propagator vs the
+//! backward-Euler reference, on the study's 4-core floorplan (lumped
+//! block model) and on the grid model.
+//!
+//! Reports ns/step for each backend, the one-time propagator build
+//! cost, and the speedup, then writes the numbers to
+//! `results/BENCH_solver.json` so CI can archive the comparison.
+//!
+//! Usage: `exp_solver_bench [--smoke]` — `--smoke` shrinks rep counts
+//! for CI.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dtm_floorplan::Floorplan;
+use dtm_thermal::{
+    GridConfig, GridThermalModel, GridTransient, PackageConfig, SolverBackend, ThermalModel,
+    TransientSolver,
+};
+
+/// Engine power-sample interval (s): one sample per 100k cycles at 3.6 GHz.
+const DT: f64 = 100_000.0 / 3.6e9;
+
+struct Timing {
+    euler_ns: f64,
+    prop_ns: f64,
+    build_us: f64,
+}
+
+impl Timing {
+    fn speedup(&self) -> f64 {
+        self.euler_ns / self.prop_ns
+    }
+}
+
+/// Median of per-rep mean ns/step over `reps` timed loops of `steps`
+/// calls to `step`.
+fn time_loop<F: FnMut()>(reps: usize, steps: usize, mut step: F) -> f64 {
+    let mut per_rep: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..steps {
+                step();
+            }
+            t0.elapsed().as_nanos() as f64 / steps as f64
+        })
+        .collect();
+    per_rep.sort_by(|a, b| a.total_cmp(b));
+    per_rep[reps / 2]
+}
+
+fn bench_lumped(reps: usize, steps: usize) -> Timing {
+    let fp = Floorplan::ppc_cmp(4);
+    let model = ThermalModel::new(&fp, &PackageConfig::default()).expect("model");
+    let power = vec![0.6; fp.len()];
+
+    let mut euler =
+        TransientSolver::new(model.clone(), 7e-6).with_backend(SolverBackend::BackwardEuler);
+    euler.init_steady(&power).expect("steady");
+    euler.prewarm(DT).expect("warm"); // factor the LU outside the loop
+    let euler_ns = time_loop(reps, steps, || euler.step(&power, DT).expect("step"));
+
+    let mut prop = TransientSolver::new(model, 7e-6);
+    prop.init_steady(&power).expect("steady");
+    let t0 = Instant::now();
+    prop.prewarm(DT).expect("warm"); // build E/F outside the loop
+    let build_us = t0.elapsed().as_nanos() as f64 / 1e3;
+    assert!(
+        !prop.in_fallback(),
+        "propagator must build on the study chip"
+    );
+    let prop_ns = time_loop(reps, steps, || prop.step(&power, DT).expect("step"));
+
+    Timing {
+        euler_ns,
+        prop_ns,
+        build_us,
+    }
+}
+
+fn bench_grid(reps: usize, steps: usize, cfg: GridConfig) -> Timing {
+    let fp = Floorplan::ppc_cmp(4);
+    let model = GridThermalModel::new(&fp, &PackageConfig::default(), cfg).expect("model");
+    let power = vec![0.6; fp.len()];
+
+    let mut euler =
+        GridTransient::new(model.clone(), 7e-6).with_backend(SolverBackend::BackwardEuler);
+    euler.init_steady(&power).expect("steady");
+    euler.prewarm(DT).expect("warm");
+    let euler_ns = time_loop(reps, steps, || euler.step(&power, DT).expect("step"));
+
+    let mut prop = GridTransient::new(model, 7e-6);
+    prop.init_steady(&power).expect("steady");
+    let t0 = Instant::now();
+    prop.prewarm(DT).expect("warm");
+    let build_us = t0.elapsed().as_nanos() as f64 / 1e3;
+    assert!(
+        !prop.in_fallback(),
+        "propagator must build on the grid model"
+    );
+    let prop_ns = time_loop(reps, steps, || prop.step(&power, DT).expect("step"));
+
+    Timing {
+        euler_ns,
+        prop_ns,
+        build_us,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (reps, steps) = if smoke { (5, 2_000) } else { (11, 20_000) };
+    let grid_cfg = GridConfig { cols: 16, rows: 24 };
+
+    let lumped = bench_lumped(reps, steps);
+    let grid = bench_grid(reps, steps, grid_cfg);
+
+    println!("== transient-solver step cost (median of {reps} reps x {steps} steps) ==\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>9} {:>11}",
+        "solver", "euler ns", "propagator", "speedup", "build us"
+    );
+    for (name, t) in [("lumped (4-core)", &lumped), ("grid 16x24", &grid)] {
+        println!(
+            "{:<22} {:>12.0} {:>12.0} {:>8.2}x {:>11.0}",
+            name,
+            t.euler_ns,
+            t.prop_ns,
+            t.speedup(),
+            t.build_us
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dt_s\": {DT:e},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"steps_per_rep\": {steps},");
+    for (key, t, last) in [("lumped", &lumped, false), ("grid_16x24", &grid, true)] {
+        let _ = writeln!(json, "  \"{key}\": {{");
+        let _ = writeln!(
+            json,
+            "    \"backward_euler_ns_per_step\": {:.1},",
+            t.euler_ns
+        );
+        let _ = writeln!(json, "    \"propagator_ns_per_step\": {:.1},", t.prop_ns);
+        let _ = writeln!(json, "    \"propagator_build_us\": {:.1},", t.build_us);
+        let _ = writeln!(json, "    \"speedup\": {:.3}", t.speedup());
+        let _ = writeln!(json, "  }}{}", if last { "" } else { "," });
+    }
+    json.push_str("}\n");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_solver.json", &json).expect("write json");
+    println!("\nwrote results/BENCH_solver.json");
+}

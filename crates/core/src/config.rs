@@ -2,7 +2,7 @@
 //! parameter blocks).
 
 use dtm_microarch::CoreConfig;
-use dtm_thermal::{PackageConfig, SensorSpec};
+use dtm_thermal::{PackageConfig, SensorSpec, SolverBackend};
 use serde::{Deserialize, Serialize};
 
 /// Dynamic-thermal-management parameters.
@@ -138,8 +138,15 @@ pub struct SimConfig {
     pub sensor: SensorSpec,
     /// Simulated silicon time per run (s); 0.5 s in the study.
     pub duration: f64,
-    /// Thermal-solver substep ceiling (s).
+    /// Thermal-solver substep ceiling (s); only exercised by the
+    /// backward-Euler backend (directly, or as the propagator's
+    /// fallback).
     pub thermal_substep: f64,
+    /// Transient thermal integration backend. The default exact
+    /// matrix-exponential propagator advances a whole power sample in
+    /// one matvec; `BackwardEuler` selects the substepping reference
+    /// integrator.
+    pub thermal_solver: SolverBackend,
     /// Initialization margin (°C): the package starts at the steady
     /// state whose hottest sensor sits this far below the threshold,
     /// emulating a chip that has long been running at its throttled
@@ -166,6 +173,7 @@ impl Default for SimConfig {
             sensor: SensorSpec::ideal(),
             duration: 0.5,
             thermal_substep: 7e-6,
+            thermal_solver: SolverBackend::default(),
             init_hotspot_margin: 1.0,
             seed: 0x5eed,
             core_max_scale: Vec::new(),

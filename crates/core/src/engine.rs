@@ -279,7 +279,12 @@ impl ThermalTimingSim {
 
         let floorplan = Floorplan::ppc_cmp(cfg.cores);
         let model = ThermalModel::new(&floorplan, &cfg.package)?;
-        let thermal = TransientSolver::new(model, cfg.thermal_substep);
+        let mut thermal =
+            TransientSolver::new(model, cfg.thermal_substep).with_backend(cfg.thermal_solver);
+        // The sample period is fixed for the whole run, so pay the
+        // solver's one-time per-dt construction (propagator or LU) here
+        // rather than inside the profiled step loop.
+        thermal.prewarm(dt)?;
 
         let leak_ref = leakage_reference(
             &floorplan,

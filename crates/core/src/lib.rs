@@ -65,6 +65,7 @@ pub use dtm_faults::{
     Watchdog, WatchdogConfig,
 };
 pub use dtm_obs::{Counter, Histogram, ObsHandle};
+pub use dtm_thermal::SolverBackend;
 pub use engine::{SimError, ThermalTimingSim, ENGINE_PHASES};
 pub use metrics::{
     geometric_mean, mean, PhaseNs, PhaseProfile, Robustness, RunResult, ThreadStats,

@@ -16,6 +16,7 @@
 
 use crate::linalg::{LuFactors, Matrix};
 use crate::model::ThermalError;
+use crate::propagator::{PowerMap, Propagator, SolverBackend};
 use crate::PackageConfig;
 use dtm_floorplan::Floorplan;
 
@@ -341,19 +342,27 @@ impl GridThermalModel {
         Ok(GridTemps { model: self, temps })
     }
 
-    fn rhs(&self, block_power: &[f64]) -> Result<Vec<f64>, ThermalError> {
+    /// Validates a power vector without building the right-hand side.
+    fn check_power(&self, block_power: &[f64]) -> Result<(), ThermalError> {
         if block_power.len() != self.n_blocks {
             return Err(ThermalError::PowerLength {
                 expected: self.n_blocks,
                 got: block_power.len(),
             });
         }
-        let n = self.a.rows();
-        let mut p = vec![0.0; n];
         for (b, &watts) in block_power.iter().enumerate() {
             if !watts.is_finite() || watts < 0.0 {
                 return Err(ThermalError::NotPhysical(format!("power[{b}] = {watts}")));
             }
+        }
+        Ok(())
+    }
+
+    fn rhs(&self, block_power: &[f64]) -> Result<Vec<f64>, ThermalError> {
+        self.check_power(block_power)?;
+        let n = self.a.rows();
+        let mut p = vec![0.0; n];
+        for (b, &watts) in block_power.iter().enumerate() {
             for &(cell, frac) in &self.weights[b] {
                 p[cell] += watts * frac;
             }
@@ -365,20 +374,31 @@ impl GridThermalModel {
     }
 }
 
-/// Transient integrator for the grid model (backward Euler with a cached
-/// LU factorization, mirroring [`crate::TransientSolver`]). Intended for
-/// validation studies; the DTM simulations use the much cheaper block
-/// model.
+/// Transient integrator for the grid model, mirroring
+/// [`crate::TransientSolver`]: the exact matrix-exponential propagator
+/// by default (with the block→cell power weights folded into the input
+/// matrix, so a step takes one dense matvec), backward Euler with a
+/// cached LU factorization as the reference/fallback backend. Intended
+/// for validation studies; the DTM simulations use the much cheaper
+/// block model.
 #[derive(Debug, Clone)]
 pub struct GridTransient {
     model: GridThermalModel,
     temps: Vec<f64>,
     max_substep: f64,
+    backend: SolverBackend,
+    /// Latched when propagator construction failed (see
+    /// [`crate::propagator`] for the fallback conditions).
+    prop_fallback: bool,
     cached: Option<(f64, LuFactors)>,
+    prop: Option<Propagator>,
+    xbuf: Vec<f64>,
+    sol_buf: Vec<f64>,
 }
 
 impl GridTransient {
-    /// Creates a transient solver at ambient temperature.
+    /// Creates a transient solver at ambient temperature with the
+    /// default exact-propagator backend.
     ///
     /// # Panics
     ///
@@ -393,8 +413,30 @@ impl GridTransient {
             model,
             temps,
             max_substep,
+            backend: SolverBackend::default(),
+            prop_fallback: false,
             cached: None,
+            prop: None,
+            xbuf: Vec::new(),
+            sol_buf: Vec::new(),
         }
+    }
+
+    /// Selects the integration backend (builder style).
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend this solver was configured with.
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
+    }
+
+    /// Whether a propagator-backend solver has permanently fallen back
+    /// to backward Euler.
+    pub fn in_fallback(&self) -> bool {
+        self.prop_fallback
     }
 
     /// The underlying grid model.
@@ -420,16 +462,55 @@ impl GridTransient {
         Ok(())
     }
 
-    /// Advances by `dt` seconds at constant per-block power.
+    /// Prebuilds the per-`dt` caches the active backend needs (the
+    /// propagator, or the backward-Euler LU), so the first `step` at
+    /// that `dt` doesn't pay construction cost inside a timed loop.
+    /// Stepping without prewarming is numerically identical.
     ///
     /// # Errors
     ///
-    /// Fails on bad inputs or a singular system.
-    pub fn step(&mut self, block_power: &[f64], dt: f64) -> Result<(), ThermalError> {
+    /// Fails on a non-physical `dt` or a singular system; a propagator
+    /// construction failure latches the fallback instead of erroring.
+    pub fn prewarm(&mut self, dt: f64) -> Result<(), ThermalError> {
         if !(dt.is_finite() && dt > 0.0) {
             return Err(ThermalError::NotPhysical(format!("dt = {dt}")));
         }
-        let p = self.model.rhs(block_power)?;
+        if self.backend == SolverBackend::Propagator && !self.prop_fallback {
+            self.ensure_propagator(dt);
+        }
+        if self.backend == SolverBackend::BackwardEuler || self.prop_fallback {
+            self.ensure_lu(dt)?;
+        }
+        Ok(())
+    }
+
+    /// Builds (or rebuilds, after a `dt` change) the cached propagator,
+    /// folding the block→cell weights into `F`; on failure latches the
+    /// permanent backward-Euler fallback.
+    fn ensure_propagator(&mut self, dt: f64) {
+        let needs_build = match &self.prop {
+            Some(p) => (p.dt() - dt).abs() > 1e-15,
+            None => true,
+        };
+        if needs_build {
+            match Propagator::new(
+                &self.model.a,
+                &self.model.cap,
+                &self.model.g_amb,
+                self.model.ambient,
+                self.model.n_blocks,
+                PowerMap::Weighted(&self.model.weights),
+                dt,
+            ) {
+                Ok(p) => self.prop = Some(p),
+                Err(_) => self.prop_fallback = true,
+            }
+        }
+    }
+
+    /// Factors (or re-factors, after a `dt` change) the backward-Euler
+    /// LU cache; returns the substep count and length for `dt`.
+    fn ensure_lu(&mut self, dt: f64) -> Result<(usize, f64), ThermalError> {
         let n_sub = (dt / self.max_substep).ceil().max(1.0) as usize;
         let h = dt / n_sub as f64;
         let needs_factor = match &self.cached {
@@ -444,6 +525,34 @@ impl GridTransient {
             }
             self.cached = Some((h, m.lu()?));
         }
+        Ok((n_sub, h))
+    }
+
+    /// Advances by `dt` seconds at constant per-block power.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad inputs or a singular system.
+    pub fn step(&mut self, block_power: &[f64], dt: f64) -> Result<(), ThermalError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(ThermalError::NotPhysical(format!("dt = {dt}")));
+        }
+        if self.backend == SolverBackend::Propagator && !self.prop_fallback {
+            self.model.check_power(block_power)?;
+            self.ensure_propagator(dt);
+            if !self.prop_fallback {
+                let p = self.prop.as_ref().expect("propagator built above");
+                p.advance(
+                    &mut self.temps,
+                    block_power,
+                    &mut self.xbuf,
+                    &mut self.sol_buf,
+                );
+                return Ok(());
+            }
+        }
+        let p = self.model.rhs(block_power)?;
+        let (n_sub, h) = self.ensure_lu(dt)?;
         let (_, lu) = self.cached.as_ref().expect("factor cached above");
         for _ in 0..n_sub {
             let rhs: Vec<f64> = self
@@ -572,6 +681,51 @@ mod tests {
         }
         let after = sim.temps().block_max(rf);
         assert!(after > before + 1.0, "before {before} after {after}");
+    }
+
+    #[test]
+    fn grid_propagator_cache_invalidates_on_dt_change() {
+        let (fp, pkg) = setup();
+        let model = GridThermalModel::new(&fp, &pkg, GridConfig { cols: 6, rows: 8 }).unwrap();
+        let p = vec![0.5; fp.len()];
+        let (dt1, dt2) = (27.78e-6, 83.34e-6);
+
+        let mut a = GridTransient::new(model.clone(), 7e-6);
+        a.init_steady(&vec![0.2; fp.len()]).unwrap();
+        for _ in 0..3 {
+            a.step(&p, dt1).unwrap();
+        }
+        assert!((a.prop.as_ref().unwrap().dt() - dt1).abs() < 1e-18);
+        // A fresh solver resumed from A's mid-run state, never having
+        // seen dt1, must match bitwise once both step at dt2.
+        let mut b = GridTransient::new(model, 7e-6);
+        b.temps = a.temps.clone();
+        for _ in 0..3 {
+            a.step(&p, dt2).unwrap();
+            b.step(&p, dt2).unwrap();
+        }
+        assert!((a.prop.as_ref().unwrap().dt() - dt2).abs() < 1e-18);
+        assert_eq!(a.temps, b.temps);
+    }
+
+    #[test]
+    fn grid_backends_agree_on_a_transient() {
+        let (fp, pkg) = setup();
+        let model = GridThermalModel::new(&fp, &pkg, GridConfig { cols: 6, rows: 8 }).unwrap();
+        let p = vec![0.6; fp.len()];
+        let mut exact = GridTransient::new(model.clone(), 7e-6);
+        let mut euler = GridTransient::new(model, 7e-6).with_backend(SolverBackend::BackwardEuler);
+        exact.init_steady(&vec![0.2; fp.len()]).unwrap();
+        euler.init_steady(&vec![0.2; fp.len()]).unwrap();
+        for _ in 0..20 {
+            exact.step(&p, 27.78e-6).unwrap();
+            euler.step(&p, 27.78e-6).unwrap();
+        }
+        assert!(!exact.in_fallback());
+        assert!(exact.cached.is_none(), "propagator path must not factor LU");
+        for (x, y) in exact.temps.iter().zip(&euler.temps) {
+            assert!((x - y).abs() < 0.05, "exact {x} vs euler {y}");
+        }
     }
 
     #[test]

@@ -42,10 +42,12 @@ mod leakage;
 pub mod linalg;
 mod model;
 mod package;
+mod propagator;
 mod sensor;
 
 pub use grid::{GridConfig, GridTemps, GridThermalModel, GridTransient};
 pub use leakage::LeakageModel;
 pub use model::{ThermalError, ThermalModel, TransientSolver};
 pub use package::PackageConfig;
+pub use propagator::SolverBackend;
 pub use sensor::{SensorBank, SensorSpec};

@@ -3,11 +3,52 @@
 //! Thermal RC networks in this study are small (tens of nodes), so a dense
 //! LU factorization with partial pivoting is simpler and faster than
 //! pulling in a sparse solver. The factorization is cached by the
-//! transient solver, which re-solves with a new right-hand side every
-//! substep.
+//! transient solver for the backward-Euler path; the default transient
+//! path instead precomputes a matrix exponential ([`Matrix::expm`]) and
+//! advances with the flat row-major kernel [`affine_matvec`].
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Flat row-major affine matrix–vector kernel:
+/// `y[i] = bias[i] + Σ_j a[i·cols + j] · x[j]`.
+///
+/// This is the single hot kernel shared by the block- and grid-model
+/// propagators: one contiguous streaming pass over `a` with an
+/// independent dot product per row (no cross-iteration dependency, so
+/// the compiler can vectorize it), unlike the serial triangular solves
+/// of the LU path. Accumulation order within a row is fixed (four
+/// strided partial sums), so results are bit-reproducible run to run.
+///
+/// # Panics
+///
+/// Panics if `a.len() != y.len() * cols`, `x.len() != cols`, or
+/// `bias.len() != y.len()`.
+pub fn affine_matvec(cols: usize, a: &[f64], bias: &[f64], x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), cols, "input length mismatch");
+    assert_eq!(a.len(), y.len() * cols, "matrix shape mismatch");
+    assert_eq!(bias.len(), y.len(), "bias length mismatch");
+    for (i, out) in y.iter_mut().enumerate() {
+        let row = &a[i * cols..(i + 1) * cols];
+        // Four strided accumulators break the single-chain dependency
+        // and map onto SIMD lanes; the tail is folded in afterwards.
+        let chunks = cols / 4;
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+        for k in 0..chunks {
+            let r = &row[4 * k..4 * k + 4];
+            let v = &x[4 * k..4 * k + 4];
+            s0 += r[0] * v[0];
+            s1 += r[1] * v[1];
+            s2 += r[2] * v[2];
+            s3 += r[3] * v[3];
+        }
+        let mut acc = (s0 + s1) + (s2 + s3);
+        for j in 4 * chunks..cols {
+            acc += row[j] * x[j];
+        }
+        *out = bias[i] + acc;
+    }
+}
 
 /// Error produced when a linear system cannot be solved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -93,6 +134,117 @@ impl Matrix {
             y[i] = acc;
         }
         y
+    }
+
+    /// The row-major backing storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j order keeps the inner loop contiguous over both the
+        // output row and the rhs row.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += aik * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Infinity norm: the maximum absolute row sum.
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Matrix exponential `exp(self)` by scaling-and-squaring with a
+    /// diagonal Padé(6,6) approximant (Golub & Van Loan, Algorithm
+    /// 11.3-1). The matrix is scaled by `2⁻ʲ` until its infinity norm
+    /// is at most ½, the Padé approximant is evaluated there, and the
+    /// result is squared `j` times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for non-square input
+    /// and [`LinalgError::Singular`] if the Padé denominator cannot be
+    /// inverted or the input contains non-finite entries.
+    pub fn expm(&self) -> Result<Matrix, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.rows;
+        let norm = self.inf_norm();
+        if !norm.is_finite() {
+            return Err(LinalgError::Singular);
+        }
+        // Scale so the Padé expansion point has norm ≤ 1/2.
+        let j = if norm > 0.5 {
+            (norm / 0.5).log2().ceil() as u32
+        } else {
+            0
+        };
+        let mut a = self.clone();
+        let scale = (0.5f64).powi(j as i32);
+        for v in &mut a.data {
+            *v *= scale;
+        }
+
+        const Q: u32 = 6;
+        let mut num = Matrix::identity(n); // Σ c_k A^k
+        let mut den = Matrix::identity(n); // Σ c_k (−A)^k
+        let mut power = Matrix::identity(n); // A^k
+        let mut c = 1.0;
+        for k in 1..=Q {
+            c *= (Q - k + 1) as f64 / (k * (2 * Q - k + 1)) as f64;
+            power = a.matmul(&power);
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            for ((nv, dv), pv) in num.data.iter_mut().zip(&mut den.data).zip(&power.data) {
+                *nv += c * pv;
+                *dv += sign * c * pv;
+            }
+        }
+        let mut f = den.lu()?.solve_matrix(&num);
+        for _ in 0..j {
+            f = f.matmul(&f);
+        }
+        if f.data.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::Singular);
+        }
+        Ok(f)
+    }
+
+    /// The matrix inverse via LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// See [`Matrix::lu`].
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        Ok(self.lu()?.solve_matrix(&Matrix::identity(self.rows)))
     }
 
     /// LU factorization with partial pivoting.
@@ -214,6 +366,28 @@ impl LuFactors {
                 acc -= self.lu[i * n + j] * x[j];
             }
             x[i] = acc / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Solves `A·X = B` column by column using the cached factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.n()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows, self.n, "rhs row count mismatch");
+        let mut x = Matrix::zeros(b.rows, b.cols);
+        let mut col = vec![0.0; self.n];
+        let mut sol = Vec::with_capacity(self.n);
+        for j in 0..b.cols {
+            for i in 0..b.rows {
+                col[i] = b[(i, j)];
+            }
+            self.solve_into(&col, &mut sol);
+            for i in 0..b.rows {
+                x[(i, j)] = sol[i];
+            }
         }
         x
     }
@@ -354,5 +528,124 @@ mod tests {
     #[should_panic(expected = "row-major data length mismatch")]
     fn from_vec_checks_length() {
         Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_against_hand_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_vec(2, 2, vec![1.5, -2.0, 0.25, 3.0]);
+        assert_eq!(a.matmul(&Matrix::identity(2)), a);
+        assert_eq!(Matrix::identity(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn inf_norm_is_max_row_sum() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, 0.5]);
+        assert_eq!(a.inf_norm(), 3.5);
+    }
+
+    #[test]
+    fn affine_matvec_matches_mul_vec_plus_bias() {
+        let n = 11; // odd size exercises the unroll tail
+        let a = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|k| ((k * 7919) % 13) as f64 - 6.0).collect(),
+        );
+        let x: Vec<f64> = (0..n).map(|k| 0.1 * k as f64 - 0.4).collect();
+        let bias: Vec<f64> = (0..n).map(|k| k as f64).collect();
+        let mut y = vec![0.0; n];
+        affine_matvec(n, a.as_slice(), &bias, &x, &mut y);
+        let expect = a.mul_vec(&x);
+        for i in 0..n {
+            assert!((y[i] - (expect[i] + bias[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_inverts_column_by_column() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 5.0, 2.0, 0.5, 2.0, 6.0]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let e = Matrix::zeros(3, 3).expm().unwrap();
+        assert_eq!(e, Matrix::identity(3));
+    }
+
+    #[test]
+    fn expm_of_diagonal_exponentiates_entries() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = -2.0;
+        a[(1, 1)] = 0.5;
+        a[(2, 2)] = -7.0; // norm > 1/2 exercises scaling-and-squaring
+        let e = a.expm().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { a[(i, i)].exp() } else { 0.0 };
+                assert!(
+                    (e[(i, j)] - expect).abs() < 1e-12,
+                    "({i},{j}): {} vs {expect}",
+                    e[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expm_matches_series_on_nilpotent_matrix() {
+        // Strictly upper-triangular: exp(A) = I + A + A²/2 exactly.
+        let a = Matrix::from_vec(3, 3, vec![0.0, 2.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0]);
+        let e = a.expm().unwrap();
+        let mut expect = Matrix::identity(3);
+        let a2 = a.matmul(&a);
+        for (idx, v) in expect.data.iter_mut().enumerate() {
+            *v += a.data[idx] + 0.5 * a2.data[idx];
+        }
+        for (x, y) in e.data.iter().zip(&expect.data) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn expm_semigroup_property_holds() {
+        // exp(A)·exp(A) = exp(2A) for the 2×2 stiff test matrix.
+        let a = Matrix::from_vec(2, 2, vec![-3.0, 1.0, 0.5, -8.0]);
+        let e1 = a.expm().unwrap();
+        let mut a2 = a.clone();
+        for v in &mut a2.data {
+            *v *= 2.0;
+        }
+        let e2 = a2.expm().unwrap();
+        let prod = e1.matmul(&e1);
+        for (x, y) in prod.data.iter().zip(&e2.data) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn expm_rejects_non_square_and_non_finite() {
+        assert!(matches!(
+            Matrix::zeros(2, 3).expm(),
+            Err(LinalgError::DimensionMismatch)
+        ));
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(a.expm(), Err(LinalgError::Singular)));
     }
 }

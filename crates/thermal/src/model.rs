@@ -15,11 +15,16 @@
 //!   C dT/dt = P + g_amb·T_amb − A·T
 //! ```
 //!
-//! Steady state solves `A·T = P + g_amb·T_amb`; transients use backward
-//! Euler with a cached LU factorization (unconditionally stable, so the
-//! stiff package nodes cannot destabilize the integration).
+//! Steady state solves `A·T = P + g_amb·T_amb`. Transients default to
+//! the exact matrix-exponential propagator (`T ← E·T + F·P`, see
+//! [`crate::propagator`]) cached per step size, and fall back to
+//! backward Euler with a cached LU factorization (unconditionally
+//! stable, so the stiff package nodes cannot destabilize the
+//! integration) when the propagator cannot be built or when the
+//! reference integrator is selected explicitly.
 
 use crate::linalg::{LinalgError, LuFactors, Matrix};
+use crate::propagator::{PowerMap, Propagator, SolverBackend};
 use crate::PackageConfig;
 use dtm_floorplan::Floorplan;
 use std::fmt;
@@ -338,20 +343,27 @@ impl ThermalModel {
             .collect())
     }
 
-    fn rhs(&self, block_power: &[f64]) -> Result<Vec<f64>, ThermalError> {
+    /// Validates a power vector (length, finiteness, non-negativity)
+    /// without building the right-hand side.
+    fn check_power(&self, block_power: &[f64]) -> Result<(), ThermalError> {
         if block_power.len() != self.n_blocks {
             return Err(ThermalError::PowerLength {
                 expected: self.n_blocks,
                 got: block_power.len(),
             });
         }
-        let mut p = vec![0.0; self.n_nodes];
         for (i, &w) in block_power.iter().enumerate() {
             if !w.is_finite() || w < 0.0 {
                 return Err(ThermalError::NotPhysical(format!("power[{i}] = {w}")));
             }
-            p[i] = w;
         }
+        Ok(())
+    }
+
+    fn rhs(&self, block_power: &[f64]) -> Result<Vec<f64>, ThermalError> {
+        self.check_power(block_power)?;
+        let mut p = vec![0.0; self.n_nodes];
+        p[..self.n_blocks].copy_from_slice(block_power);
         for i in 0..self.n_nodes {
             p[i] += self.g_amb[i] * self.ambient;
         }
@@ -418,29 +430,43 @@ impl ThermalModel {
     }
 }
 
-/// Transient thermal integrator using backward Euler with a cached LU
-/// factorization.
+/// Transient thermal integrator.
 ///
-/// The solver owns its temperature state. Substep size is fixed at
-/// construction; [`TransientSolver::step`] divides an arbitrary `dt` into
-/// equal substeps no longer than the configured maximum.
+/// The default backend ([`SolverBackend::Propagator`]) advances the
+/// whole step with the precomputed exact propagator `T ← E·T + F·p`
+/// (one dense matvec, no substeps), rebuilding `E`/`F` only when `dt`
+/// changes. The reference backend ([`SolverBackend::BackwardEuler`])
+/// divides `dt` into equal substeps no longer than the configured
+/// maximum and re-solves a cached LU factorization per substep; it is
+/// also the automatic fallback when the propagator cannot be built
+/// (singular or ill-conditioned `A`).
+///
+/// The solver owns its temperature state.
 #[derive(Debug, Clone)]
 pub struct TransientSolver {
     model: ThermalModel,
     temps: Vec<f64>,
     fast_delta: Vec<f64>,
     max_substep: f64,
+    backend: SolverBackend,
+    /// Latched when propagator construction failed: the solver then
+    /// runs backward Euler for the rest of its life (see
+    /// [`crate::propagator`] for the fallback conditions).
+    prop_fallback: bool,
     cached: Option<(f64, LuFactors)>,
+    prop: Option<Propagator>,
     rhs_buf: Vec<f64>,
     sol_buf: Vec<f64>,
 }
 
 impl TransientSolver {
-    /// Creates a solver starting at ambient temperature everywhere.
+    /// Creates a solver starting at ambient temperature everywhere,
+    /// using the default exact-propagator backend.
     ///
-    /// `max_substep` is the longest backward-Euler substep (s); 7 µs gives
-    /// ~4 substeps per 27.8 µs power sample, resolving the fastest silicon
-    /// time constants well.
+    /// `max_substep` is the longest backward-Euler substep (s), used by
+    /// the reference/fallback backend; 7 µs gives ~4 substeps per
+    /// 27.8 µs power sample, resolving the fastest silicon time
+    /// constants well.
     ///
     /// # Panics
     ///
@@ -457,10 +483,33 @@ impl TransientSolver {
             temps,
             fast_delta,
             max_substep,
+            backend: SolverBackend::default(),
+            prop_fallback: false,
             cached: None,
+            prop: None,
             rhs_buf: Vec::new(),
             sol_buf: Vec::new(),
         }
+    }
+
+    /// Selects the integration backend (builder style).
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend this solver was configured with. Note that a
+    /// [`SolverBackend::Propagator`] solver may still be running
+    /// backward Euler if construction fell back; see
+    /// [`TransientSolver::in_fallback`].
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
+    }
+
+    /// Whether a propagator-backend solver has permanently fallen back
+    /// to backward Euler because `E`/`F` could not be built.
+    pub fn in_fallback(&self) -> bool {
+        self.prop_fallback
     }
 
     /// The underlying model.
@@ -523,20 +572,60 @@ impl TransientSolver {
         Ok(())
     }
 
-    /// Advances the state by `dt` seconds with constant per-block power
-    /// (W) over the interval.
+    /// Prebuilds the per-`dt` caches the active backend needs — the
+    /// propagator's `E`/`F`, or backward Euler's LU factorization — so
+    /// the first `step` at that `dt` doesn't pay one-time construction
+    /// cost inside a timed loop. Stepping without prewarming is
+    /// numerically identical; the caches are built on demand.
     ///
     /// # Errors
     ///
-    /// Fails on bad power vectors or a singular system.
-    pub fn step(&mut self, block_power: &[f64], dt: f64) -> Result<(), ThermalError> {
+    /// Fails on a non-physical `dt` or a singular system. A propagator
+    /// construction failure is not an error here: it latches the
+    /// documented fallback and factors the backward-Euler LU instead.
+    pub fn prewarm(&mut self, dt: f64) -> Result<(), ThermalError> {
         if !(dt.is_finite() && dt > 0.0) {
             return Err(ThermalError::NotPhysical(format!("dt = {dt}")));
         }
-        let p = self.model.rhs(block_power)?;
+        if self.backend == SolverBackend::Propagator && !self.prop_fallback {
+            self.ensure_propagator(dt);
+        }
+        if self.backend == SolverBackend::BackwardEuler || self.prop_fallback {
+            self.ensure_lu(dt)?;
+        }
+        Ok(())
+    }
+
+    /// Builds (or rebuilds, after a `dt` change) the cached propagator;
+    /// on failure latches the permanent backward-Euler fallback.
+    fn ensure_propagator(&mut self, dt: f64) {
+        let needs_build = match &self.prop {
+            Some(p) => (p.dt() - dt).abs() > 1e-15,
+            None => true,
+        };
+        if needs_build {
+            match Propagator::new(
+                &self.model.a,
+                &self.model.cap,
+                &self.model.g_amb,
+                self.model.ambient,
+                self.model.n_blocks,
+                PowerMap::Direct,
+                dt,
+            ) {
+                Ok(p) => self.prop = Some(p),
+                // Documented fallback: ill-conditioned or singular A.
+                // Latch and run backward Euler from here on.
+                Err(_) => self.prop_fallback = true,
+            }
+        }
+    }
+
+    /// Factors (or re-factors, after a `dt` change) the backward-Euler
+    /// LU cache; returns the substep count and length for `dt`.
+    fn ensure_lu(&mut self, dt: f64) -> Result<(usize, f64), ThermalError> {
         let n_sub = (dt / self.max_substep).ceil().max(1.0) as usize;
         let h = dt / n_sub as f64;
-
         let needs_factor = match &self.cached {
             Some((cached_h, _)) => (cached_h - h).abs() > 1e-15,
             None => true,
@@ -549,6 +638,37 @@ impl TransientSolver {
             }
             self.cached = Some((h, m.lu()?));
         }
+        Ok((n_sub, h))
+    }
+
+    /// Advances the state by `dt` seconds with constant per-block power
+    /// (W) over the interval.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad power vectors or a singular system.
+    pub fn step(&mut self, block_power: &[f64], dt: f64) -> Result<(), ThermalError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(ThermalError::NotPhysical(format!("dt = {dt}")));
+        }
+        if self.backend == SolverBackend::Propagator && !self.prop_fallback {
+            self.model.check_power(block_power)?;
+            self.ensure_propagator(dt);
+            if !self.prop_fallback {
+                let p = self.prop.as_ref().expect("propagator built above");
+                p.advance(
+                    &mut self.temps,
+                    block_power,
+                    &mut self.rhs_buf,
+                    &mut self.sol_buf,
+                );
+                self.step_fast_mode(block_power, dt);
+                return Ok(());
+            }
+        }
+
+        let p = self.model.rhs(block_power)?;
+        let (n_sub, h) = self.ensure_lu(dt)?;
         let (_, lu) = self.cached.as_ref().expect("factorization cached above");
 
         for _ in 0..n_sub {
@@ -564,8 +684,14 @@ impl TransientSolver {
             std::mem::swap(&mut self.temps, &mut self.sol_buf);
         }
 
-        // Sub-block fast mode: first-order relaxation toward r·P with an
-        // exact exponential update over the full step.
+        self.step_fast_mode(block_power, dt);
+        Ok(())
+    }
+
+    /// Sub-block fast mode: first-order relaxation toward `r·P` with an
+    /// exact exponential update over the full step (shared by both
+    /// backends).
+    fn step_fast_mode(&mut self, block_power: &[f64], dt: f64) {
         let decay = (-dt / self.model.fast_tau).exp();
         for ((delta, &r), &pw) in self
             .fast_delta
@@ -576,7 +702,6 @@ impl TransientSolver {
             let target = r * pw;
             *delta = target + (*delta - target) * decay;
         }
-        Ok(())
     }
 }
 
@@ -770,12 +895,78 @@ mod tests {
     fn substep_refactor_happens_once_for_constant_dt() {
         let m = model4();
         let nb = m.n_blocks();
-        let mut sim = TransientSolver::new(m, 7e-6);
+        let mut sim = TransientSolver::new(m, 7e-6).with_backend(SolverBackend::BackwardEuler);
         let p = vec![0.3; nb];
         sim.step(&p, 27.78e-6).unwrap();
         let cached_h = sim.cached.as_ref().unwrap().0;
         sim.step(&p, 27.78e-6).unwrap();
         assert_eq!(sim.cached.as_ref().unwrap().0, cached_h);
+    }
+
+    #[test]
+    fn propagator_is_the_default_backend_and_builds_once() {
+        let m = model4();
+        let nb = m.n_blocks();
+        let mut sim = TransientSolver::new(m, 7e-6);
+        assert_eq!(sim.backend(), SolverBackend::Propagator);
+        let p = vec![0.3; nb];
+        sim.step(&p, 27.78e-6).unwrap();
+        assert!(!sim.in_fallback());
+        assert!(sim.cached.is_none(), "propagator path must not factor LU");
+        let dt0 = sim.prop.as_ref().unwrap().dt();
+        sim.step(&p, 27.78e-6).unwrap();
+        assert_eq!(sim.prop.as_ref().unwrap().dt(), dt0);
+    }
+
+    #[test]
+    fn propagator_cache_invalidates_on_dt_change() {
+        // Changing dt mid-run must recompute E/F (mirroring the LU
+        // `cached` path) and produce exactly the trajectory a fresh
+        // solver produces from the same state.
+        let m = model4();
+        let nb = m.n_blocks();
+        let p = vec![0.6; nb];
+        let (dt1, dt2) = (27.78e-6, 55.56e-6);
+
+        let mut a = TransientSolver::new(m.clone(), 7e-6);
+        a.init_steady(&vec![0.2; nb]).unwrap();
+        for _ in 0..5 {
+            a.step(&p, dt1).unwrap();
+        }
+        assert!((a.prop.as_ref().unwrap().dt() - dt1).abs() < 1e-18);
+
+        // A fresh solver resumed from A's mid-run state, never having
+        // seen dt1.
+        let mut b = TransientSolver::new(m, 7e-6);
+        b.temps = a.temps.clone();
+        b.fast_delta = a.fast_delta.clone();
+
+        for _ in 0..5 {
+            a.step(&p, dt2).unwrap();
+            b.step(&p, dt2).unwrap();
+        }
+        assert!((a.prop.as_ref().unwrap().dt() - dt2).abs() < 1e-18);
+        // Bit-identical: a stale E(dt1) would diverge immediately.
+        assert_eq!(a.node_temps(), b.node_temps());
+        assert_eq!(a.fast_excess(), b.fast_excess());
+    }
+
+    #[test]
+    fn backends_agree_on_a_transient() {
+        let m = model4();
+        let nb = m.n_blocks();
+        let p = vec![0.8; nb];
+        let mut exact = TransientSolver::new(m.clone(), 7e-6);
+        let mut euler = TransientSolver::new(m, 7e-6).with_backend(SolverBackend::BackwardEuler);
+        exact.init_steady(&vec![0.2; nb]).unwrap();
+        euler.init_steady(&vec![0.2; nb]).unwrap();
+        for _ in 0..40 {
+            exact.step(&p, 27.78e-6).unwrap();
+            euler.step(&p, 27.78e-6).unwrap();
+        }
+        for (x, y) in exact.block_temps().iter().zip(euler.block_temps()) {
+            assert!((x - y).abs() < 0.05, "exact {x} vs euler {y}");
+        }
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Golden-band tolerance checks: the exact-propagator thermal backend
+//! must reproduce the backward-Euler reference's headline metrics —
+//! peak temperature, duty cycle (throttling), throughput — within a
+//! stated band, for both throttle kinds of the study's taxonomy.
+//!
+//! The band (see EXPERIMENTS.md, "Solver equivalence") is deliberately
+//! wider than the raw integrator divergence (< 0.05 °C): threshold
+//! comparisons in the DTM controllers can turn a sub-0.01 °C
+//! temperature difference into a slightly shifted throttling decision,
+//! which then perturbs duty cycle and BIPS. The band caps how far that
+//! amplification may carry the headline numbers apart.
+
+use dtm_core::{
+    MigrationKind, PolicySpec, RunResult, Scope, SimConfig, SolverBackend, ThrottleKind,
+};
+use dtm_tests::{assert_sane, fast_experiment, mixed_workload};
+
+/// Peak-temperature agreement band (°C).
+const TEMP_TOL: f64 = 0.10;
+/// Duty-cycle (throttling) agreement band (absolute fraction).
+const DUTY_TOL: f64 = 0.02;
+/// Relative throughput agreement band.
+const BIPS_TOL: f64 = 0.02;
+
+fn run_with_backend(backend: SolverBackend, policy: PolicySpec) -> RunResult {
+    let exp = fast_experiment().clone();
+    let sim = SimConfig {
+        thermal_solver: backend,
+        ..exp.sim_config().clone()
+    };
+    exp.with_sim(sim)
+        .run(&mixed_workload(), policy)
+        .expect("simulation")
+}
+
+fn assert_within_band(policy: PolicySpec) {
+    let exact = run_with_backend(SolverBackend::Propagator, policy);
+    let euler = run_with_backend(SolverBackend::BackwardEuler, policy);
+    assert_sane(&exact);
+    assert_sane(&euler);
+
+    let dtemp = (exact.max_temp - euler.max_temp).abs();
+    assert!(
+        dtemp < TEMP_TOL,
+        "{policy:?}: peak temp {:.4} vs {:.4} C (|d| = {dtemp:.4})",
+        exact.max_temp,
+        euler.max_temp
+    );
+    let dduty = (exact.duty_cycle - euler.duty_cycle).abs();
+    assert!(
+        dduty < DUTY_TOL,
+        "{policy:?}: duty {:.5} vs {:.5} (|d| = {dduty:.5})",
+        exact.duty_cycle,
+        euler.duty_cycle
+    );
+    let dbips = (exact.bips() / euler.bips() - 1.0).abs();
+    assert!(
+        dbips < BIPS_TOL,
+        "{policy:?}: bips {:.4} vs {:.4} (rel d = {dbips:.5})",
+        exact.bips(),
+        euler.bips()
+    );
+    // Shown under --nocapture; the observed deltas are recorded in
+    // EXPERIMENTS.md next to the band.
+    eprintln!(
+        "{policy:?}: |d peak| = {dtemp:.4} C, |d duty| = {dduty:.5}, rel |d bips| = {dbips:.5}"
+    );
+}
+
+#[test]
+fn propagator_matches_euler_headlines_under_stop_go() {
+    assert_within_band(PolicySpec::baseline());
+}
+
+#[test]
+fn propagator_matches_euler_headlines_under_dvfs() {
+    assert_within_band(PolicySpec::new(
+        ThrottleKind::Dvfs,
+        Scope::Distributed,
+        MigrationKind::None,
+    ));
+}
