@@ -1,0 +1,416 @@
+//! `dtm_loadgen` — fixed-rate load generator for the `dtm_serve`
+//! service.
+//!
+//! ```text
+//! dtm_loadgen --addr HOST:PORT [--smoke] [--conns N]
+//!             [--cold-n N] [--cold-rate R] [--cold-duration S]
+//!             [--warm-n N] [--warm-rate R]
+//!             [--out PATH] [--shutdown] [--json]
+//! ```
+//!
+//! Drives two phases against a running server and prints a
+//! latency/throughput table:
+//!
+//! - **cold**: every request carries a unique sensor-noise seed, so
+//!   every admitted request is a full simulation on the server's
+//!   worker pool;
+//! - **warm**: every request names the same cell (pre-touched once
+//!   before timing), so the server answers from its in-memory memo.
+//!
+//! Arrivals are open-loop at a fixed rate on a deterministic schedule:
+//! request *i* is due at `start + i/rate`, connections round-robin the
+//! indices, and a connection that falls behind sends immediately —
+//! no randomness, so a run is exactly reproducible. Latency is
+//! measured client-side around each call. Results are appended to
+//! `results/BENCH_serve.json` (overwritten each run) and, with
+//! `--shutdown`, the server is asked to drain afterwards.
+
+use dtm_harness::json::Json;
+use dtm_harness::Table;
+use dtm_serve::{Client, Response, SimRequest};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct Args {
+    addr: String,
+    conns: usize,
+    cold_n: u64,
+    cold_rate: f64,
+    cold_duration: f64,
+    warm_n: u64,
+    warm_rate: f64,
+    out: String,
+    shutdown: bool,
+    json: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: String::new(),
+            conns: 8,
+            cold_n: 600,
+            cold_rate: 250.0,
+            cold_duration: 0.005,
+            warm_n: 20_000,
+            warm_rate: 10_000.0,
+            out: "results/BENCH_serve.json".into(),
+            shutdown: false,
+            json: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dtm_loadgen --addr HOST:PORT [--smoke] [--conns N] \
+         [--cold-n N] [--cold-rate R] [--cold-duration S] \
+         [--warm-n N] [--warm-rate R] [--out PATH] [--shutdown] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    fn value(args: &[String], i: &mut usize, name: &str) -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        })
+    }
+    let mut a = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => a.addr = value(&argv, &mut i, "--addr"),
+            "--smoke" => {
+                a.conns = 2;
+                a.cold_n = 20;
+                a.cold_rate = 50.0;
+                a.warm_n = 300;
+                a.warm_rate = 1_000.0;
+            }
+            "--conns" => {
+                a.conns = value(&argv, &mut i, "--conns")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--cold-n" => {
+                a.cold_n = value(&argv, &mut i, "--cold-n")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--cold-rate" => {
+                a.cold_rate = value(&argv, &mut i, "--cold-rate")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--cold-duration" => {
+                a.cold_duration = value(&argv, &mut i, "--cold-duration")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--warm-n" => {
+                a.warm_n = value(&argv, &mut i, "--warm-n")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--warm-rate" => {
+                a.warm_rate = value(&argv, &mut i, "--warm-rate")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--out" => a.out = value(&argv, &mut i, "--out"),
+            "--shutdown" => a.shutdown = true,
+            "--json" => a.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if a.addr.is_empty() {
+        eprintln!("--addr is required");
+        usage();
+    }
+    if a.conns == 0 || a.cold_rate <= 0.0 || a.warm_rate <= 0.0 {
+        usage();
+    }
+    a
+}
+
+/// Outcome tallies and latency stats of one phase.
+#[derive(Debug, Default, Clone)]
+struct PhaseResult {
+    name: String,
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    timeouts: u64,
+    errors: u64,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    mean_us: f64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs one open-loop phase: `n` requests at `rate`/s across `conns`
+/// connections, request `i` built by `make_req(i)`.
+fn run_phase(
+    addr: &str,
+    name: &str,
+    n: u64,
+    rate: f64,
+    conns: usize,
+    make_req: impl Fn(u64) -> SimRequest + Send + Sync,
+) -> PhaseResult {
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let start = Instant::now();
+    let make_req = &make_req;
+
+    let merged: Vec<(PhaseResult, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns as u64)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut tally = PhaseResult::default();
+                    let mut latencies = Vec::new();
+                    let mut client = match Client::connect(addr) {
+                        Ok(cl) => cl,
+                        Err(e) => {
+                            eprintln!("dtm_loadgen: connect failed: {e}");
+                            return (tally, latencies);
+                        }
+                    };
+                    let mut i = c;
+                    while i < n {
+                        let due = start + interval.mul_f64(i as f64);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let t0 = Instant::now();
+                        match client.simulate(make_req(i)) {
+                            Ok(Response::Result(_)) => {
+                                tally.ok += 1;
+                                latencies.push(t0.elapsed().as_micros() as u64);
+                            }
+                            Ok(Response::Overloaded { .. }) => tally.rejected += 1,
+                            Ok(Response::Timeout { .. }) => tally.timeouts += 1,
+                            Ok(_) => tally.errors += 1,
+                            Err(e) => {
+                                eprintln!("dtm_loadgen: request failed: {e}");
+                                tally.errors += 1;
+                            }
+                        }
+                        tally.sent += 1;
+                        i += conns as u64;
+                    }
+                    (tally, latencies)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut out = PhaseResult {
+        name: name.to_string(),
+        elapsed_s: elapsed,
+        ..PhaseResult::default()
+    };
+    let mut latencies = Vec::new();
+    for (tally, lats) in merged {
+        out.sent += tally.sent;
+        out.ok += tally.ok;
+        out.rejected += tally.rejected;
+        out.timeouts += tally.timeouts;
+        out.errors += tally.errors;
+        latencies.extend(lats);
+    }
+    latencies.sort_unstable();
+    out.throughput_rps = if elapsed > 0.0 {
+        out.ok as f64 / elapsed
+    } else {
+        0.0
+    };
+    out.p50_us = percentile(&latencies, 0.50);
+    out.p95_us = percentile(&latencies, 0.95);
+    out.p99_us = percentile(&latencies, 0.99);
+    out.mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    out
+}
+
+fn phase_to_json(p: &PhaseResult) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::str(&p.name)),
+        ("sent".into(), Json::u64(p.sent)),
+        ("ok".into(), Json::u64(p.ok)),
+        ("rejected".into(), Json::u64(p.rejected)),
+        ("timeouts".into(), Json::u64(p.timeouts)),
+        ("errors".into(), Json::u64(p.errors)),
+        ("elapsed_s".into(), Json::f64(p.elapsed_s)),
+        ("throughput_rps".into(), Json::f64(p.throughput_rps)),
+        ("p50_us".into(), Json::u64(p.p50_us)),
+        ("p95_us".into(), Json::u64(p.p95_us)),
+        ("p99_us".into(), Json::u64(p.p99_us)),
+        ("mean_us".into(), Json::f64(p.mean_us)),
+    ])
+}
+
+/// Extracts the numeric `dtm_serve_*` samples from a Prometheus dump.
+fn serve_metrics_json(text: &str) -> Json {
+    let mut fields = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') || !line.starts_with("dtm_serve_") {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(' ') {
+            // Histogram bucket lines carry label braces; keep only the
+            // plain counter/gauge samples (quantiles ride in via the
+            // summary-style *_p50/_p95/_p99 names if exported).
+            if name.contains('{') {
+                continue;
+            }
+            if value.parse::<f64>().is_ok() {
+                fields.push((name.to_string(), Json::Num(value.to_string())));
+            }
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Liveness gate: fail fast and loud if nothing is listening.
+    match Client::connect(&args.addr) {
+        Ok(mut c) => {
+            if let Err(e) = c.ping() {
+                eprintln!("dtm_loadgen: server at {} not healthy: {e}", args.addr);
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("dtm_loadgen: cannot connect to {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    }
+
+    // Cold phase: unique seeds force a full simulation per request.
+    let cold_duration = args.cold_duration;
+    let cold = run_phase(
+        &args.addr,
+        "cold",
+        args.cold_n,
+        args.cold_rate,
+        args.conns,
+        |i| SimRequest {
+            duration_s: Some(cold_duration),
+            seed: Some(0xC01D_0000 + i),
+            ..SimRequest::standard("workload1", "dvfs/dist/sensor")
+        },
+    );
+
+    // Warm phase: one fixed cell, touched once so even the first timed
+    // request hits the memo.
+    let warm_cell = || SimRequest {
+        duration_s: Some(cold_duration),
+        seed: Some(0x3A3A),
+        ..SimRequest::standard("workload1", "dvfs/dist/sensor")
+    };
+    {
+        let mut c = Client::connect(&args.addr).expect("connect for warm-up");
+        let _ = c.simulate(warm_cell());
+    }
+    let warm = run_phase(
+        &args.addr,
+        "warm",
+        args.warm_n,
+        args.warm_rate,
+        args.conns,
+        |_| warm_cell(),
+    );
+
+    // Server-side view, for the benchmark artifact.
+    let metrics_text = Client::connect(&args.addr)
+        .and_then(|mut c| c.metrics())
+        .unwrap_or_default();
+
+    let mut table = Table::new([
+        "phase", "sent", "ok", "rejected", "timeout", "error", "rps", "p50 ms", "p95 ms", "p99 ms",
+    ])
+    .with_title("dtm_serve under fixed-rate load");
+    for p in [&cold, &warm] {
+        table.row([
+            p.name.clone(),
+            p.sent.to_string(),
+            p.ok.to_string(),
+            p.rejected.to_string(),
+            p.timeouts.to_string(),
+            p.errors.to_string(),
+            format!("{:.0}", p.throughput_rps),
+            format!("{:.2}", p.p50_us as f64 / 1e3),
+            format!("{:.2}", p.p95_us as f64 / 1e3),
+            format!("{:.2}", p.p99_us as f64 / 1e3),
+        ]);
+    }
+    table.print(args.json);
+
+    let doc = Json::Obj(vec![
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("addr".into(), Json::str(&args.addr)),
+                ("conns".into(), Json::usize(args.conns)),
+                ("cold_rate_rps".into(), Json::f64(args.cold_rate)),
+                ("warm_rate_rps".into(), Json::f64(args.warm_rate)),
+                ("cold_duration_s".into(), Json::f64(args.cold_duration)),
+            ]),
+        ),
+        (
+            "phases".into(),
+            Json::Arr(vec![phase_to_json(&cold), phase_to_json(&warm)]),
+        ),
+        ("server_metrics".into(), serve_metrics_json(&metrics_text)),
+    ]);
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&args.out, format!("{}\n", doc.emit())) {
+        Ok(()) => eprintln!("dtm_loadgen: wrote {}", args.out),
+        Err(e) => {
+            eprintln!("dtm_loadgen: cannot write {}: {e}", args.out);
+            std::process::exit(1);
+        }
+    }
+
+    if args.shutdown {
+        match Client::connect(&args.addr).and_then(|mut c| c.shutdown()) {
+            Ok(()) => eprintln!("dtm_loadgen: server asked to drain"),
+            Err(e) => {
+                eprintln!("dtm_loadgen: shutdown request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if cold.errors + warm.errors > 0 {
+        std::process::exit(1);
+    }
+}

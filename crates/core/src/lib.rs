@@ -64,7 +64,7 @@ pub use dtm_faults::{
     FallbackKind, FaultConfig, FaultEvent, FaultKind, FaultScenario, FaultState, FaultTarget,
     Watchdog, WatchdogConfig,
 };
-pub use dtm_obs::{Counter, Histogram, ObsHandle};
+pub use dtm_obs::{Counter, Gauge, Histogram, ObsHandle};
 pub use dtm_thermal::SolverBackend;
 pub use engine::{SimError, ThermalTimingSim, ENGINE_PHASES};
 pub use metrics::{

@@ -95,6 +95,63 @@ impl PolicySpec {
         v
     }
 
+    /// Compact machine-readable spelling for wire protocols and CLIs:
+    /// `throttle/scope/migration`, e.g. `dvfs/dist/sensor`. The inverse
+    /// of [`PolicySpec::parse_wire`].
+    pub fn wire_name(&self) -> String {
+        let throttle = match self.throttle {
+            ThrottleKind::StopGo => "stopgo",
+            ThrottleKind::Dvfs => "dvfs",
+        };
+        let scope = match self.scope {
+            Scope::Global => "global",
+            Scope::Distributed => "dist",
+        };
+        let migration = match self.migration {
+            MigrationKind::None => "none",
+            MigrationKind::CounterBased => "counter",
+            MigrationKind::SensorBased => "sensor",
+        };
+        format!("{throttle}/{scope}/{migration}")
+    }
+
+    /// Parses the [`PolicySpec::wire_name`] spelling
+    /// (`throttle/scope/migration`). This is how untrusted input — a
+    /// network request, a CLI flag — names a policy, so unknown axes
+    /// are an `Err`, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Describes the unrecognized segment.
+    pub fn parse_wire(s: &str) -> Result<Self, String> {
+        let mut parts = s.split('/');
+        let (Some(t), Some(sc), Some(m), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "policy `{s}` is not of the form throttle/scope/migration \
+                 (e.g. `dvfs/dist/sensor`)"
+            ));
+        };
+        let throttle = match t {
+            "stopgo" => ThrottleKind::StopGo,
+            "dvfs" => ThrottleKind::Dvfs,
+            other => return Err(format!("unknown throttle `{other}` (stopgo|dvfs)")),
+        };
+        let scope = match sc {
+            "global" => Scope::Global,
+            "dist" => Scope::Distributed,
+            other => return Err(format!("unknown scope `{other}` (global|dist)")),
+        };
+        let migration = match m {
+            "none" => MigrationKind::None,
+            "counter" => MigrationKind::CounterBased,
+            "sensor" => MigrationKind::SensorBased,
+            other => return Err(format!("unknown migration `{other}` (none|counter|sensor)")),
+        };
+        Ok(PolicySpec::new(throttle, scope, migration))
+    }
+
     /// Short name in the paper's style, e.g. `Dist. DVFS + sensor-based
     /// migration`.
     pub fn name(&self) -> String {
@@ -167,6 +224,31 @@ mod tests {
             .name(),
             "Global DVFS + counter-based migration"
         );
+    }
+
+    #[test]
+    fn wire_names_round_trip() {
+        for p in PolicySpec::all() {
+            let wire = p.wire_name();
+            assert_eq!(PolicySpec::parse_wire(&wire), Ok(p), "{wire}");
+        }
+        assert_eq!(PolicySpec::best().wire_name(), "dvfs/dist/sensor");
+        assert_eq!(PolicySpec::baseline().wire_name(), "stopgo/dist/none");
+    }
+
+    #[test]
+    fn malformed_wire_names_are_errors() {
+        for bad in [
+            "",
+            "dvfs",
+            "dvfs/dist",
+            "dvfs/dist/sensor/extra",
+            "turbo/dist/none",
+            "dvfs/chip/none",
+            "dvfs/dist/teleport",
+        ] {
+            assert!(PolicySpec::parse_wire(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

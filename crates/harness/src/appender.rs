@@ -1,0 +1,135 @@
+//! A shared, line-atomic JSONL appender.
+//!
+//! Every `results/ledger.jsonl` row — whether it comes from a sweep in
+//! this process, a second sweep in another process, or the simulation
+//! server — goes through a [`LineAppender`]: the file is opened in
+//! `O_APPEND` mode and each row is written **with a single `write`
+//! call** (one buffer holding the row plus its newline). On POSIX
+//! filesystems an `O_APPEND` write is atomic with respect to other
+//! appenders, so interleaved writers can interleave *rows* but never
+//! *bytes within a row* — a reader always sees whole JSONL lines.
+//!
+//! Clones share one file handle behind an `Arc`, so one opened ledger
+//! can be handed to many threads (sweep coordinator, server workers)
+//! without reopening the file.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A cloneable handle appending whole lines to one file.
+///
+/// Open failures are tolerated (the appender goes inert) — matching
+/// the ledger's observability-not-correctness discipline.
+#[derive(Debug, Clone)]
+pub struct LineAppender {
+    path: PathBuf,
+    file: Option<Arc<Mutex<std::fs::File>>>,
+}
+
+impl LineAppender {
+    /// Opens (creating parent directories as needed) an appender at
+    /// `path`. The file is opened once in append mode; failures leave
+    /// the appender inert.
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .ok()
+            .map(|f| Arc::new(Mutex::new(f)));
+        LineAppender { path, file }
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether the file opened (an inert appender drops every row).
+    pub fn is_open(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// Appends `line` (which must not itself contain `\n`) plus a
+    /// newline in one `write` call. I/O errors are swallowed.
+    pub fn append_line(&self, line: &str) {
+        debug_assert!(!line.contains('\n'), "a row must be a single line");
+        let Some(file) = &self.file else {
+            return;
+        };
+        // One buffer, one write_all: with O_APPEND the kernel applies
+        // the whole row at the end of the file atomically with respect
+        // to other appenders (same process or not).
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        let mut f = file.lock().unwrap();
+        let _ = f.write_all(&buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dtm-appender-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d.join("rows.jsonl")
+    }
+
+    #[test]
+    fn interleaved_writers_produce_only_whole_rows() {
+        let path = tmpfile("interleave");
+        // Several appenders over the same file — as a sweep and a
+        // server running simultaneously would hold — plus clones
+        // within each, hammered from many threads.
+        let appenders: Vec<LineAppender> = (0..4).map(|_| LineAppender::open(&path)).collect();
+        const ROWS_PER_WRITER: usize = 200;
+        std::thread::scope(|s| {
+            for (w, a) in appenders.iter().enumerate() {
+                let a = a.clone();
+                s.spawn(move || {
+                    for i in 0..ROWS_PER_WRITER {
+                        // Rows long enough that a torn write would be
+                        // visible, with writer-identifying content.
+                        let row = Json::Obj(vec![
+                            ("writer".into(), Json::usize(w)),
+                            ("row".into(), Json::usize(i)),
+                            ("pad".into(), Json::str("x".repeat(256 + w * 17))),
+                        ]);
+                        a.append_line(&row.emit());
+                    }
+                });
+            }
+        });
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4 * ROWS_PER_WRITER);
+        let mut seen = vec![0usize; 4];
+        for line in lines {
+            let v = Json::parse(line).expect("every row is whole JSON");
+            let w = v.field("writer").unwrap().as_usize().unwrap();
+            let pad = v.field("pad").unwrap().as_str().unwrap();
+            assert_eq!(pad.len(), 256 + w * 17, "payload tied to its writer");
+            seen[w] += 1;
+        }
+        assert_eq!(seen, vec![ROWS_PER_WRITER; 4], "no rows lost");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn unopenable_appender_is_inert() {
+        // A directory path can't be opened as a file.
+        let a = LineAppender::open(std::env::temp_dir());
+        assert!(!a.is_open());
+        a.append_line("{\"dropped\":true}");
+    }
+}

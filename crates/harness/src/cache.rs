@@ -18,6 +18,12 @@ use crate::json::Json;
 use dtm_core::{Counter, DtmConfig, FaultConfig, ObsHandle, PolicySpec, RunResult, SimConfig};
 use dtm_workloads::{TraceGenConfig, Workload};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide uniquifier for temp-file names: two worker threads
+/// share a process id, so the pid alone cannot keep their in-flight
+/// temp files apart.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The default cache directory, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "results/cache";
@@ -213,8 +219,10 @@ impl ResultCache {
     /// Best-effort: I/O failures (read-only media, races) are swallowed
     /// — the worst case is recomputation. The write is
     /// temp-then-rename, so readers and concurrent writers never see a
-    /// partial entry; the temp name includes the process id so two
-    /// processes never collide on it.
+    /// partial entry; the temp name includes the process id *and* a
+    /// process-wide sequence number, so neither two processes nor two
+    /// threads of one process can ever be writing the same temp file —
+    /// every published entry is some writer's complete payload.
     pub fn store(&self, key: CellKey, describe: &Json, result: &RunResult) {
         let entry = Json::Obj(vec![
             ("key".into(), Json::str(key.hex())),
@@ -225,12 +233,19 @@ impl ResultCache {
             return;
         }
         let path = self.path(key);
-        let tmp = self
-            .dir
-            .join(format!("{}.tmp.{}", key.hex(), std::process::id()));
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let payload = entry.emit() + "\n";
-        if std::fs::write(&tmp, &payload).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+        let published =
+            std::fs::write(&tmp, &payload).is_ok() && std::fs::rename(&tmp, &path).is_ok();
+        if published {
             self.bytes_written.add(payload.len() as u64);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 }
@@ -530,6 +545,59 @@ mod tests {
             }
         });
         assert_eq!(cache.load(key).expect("final state is a hit"), r);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn racing_writers_with_distinct_payloads_never_tear() {
+        // The sharper variant of the race above: every writer stores a
+        // *different* (valid) payload under the same key, so a torn
+        // entry — bytes of one writer's file spliced into another's —
+        // would either fail to parse (a miss, caught by the final
+        // assertion) or decode to a result no writer produced. Models a
+        // server and a sweep publishing the same cell simultaneously.
+        let cache = ResultCache::new(tmpdir("tear"));
+        let key = key_for(&SimConfig::default(), &DtmConfig::default());
+        let payload_for = |w: usize| {
+            let mut r = sample_result();
+            // Writer-identifying, with enough irrational digits that a
+            // byte splice cannot masquerade as another writer's value.
+            r.instructions = 1e9 + w as f64 / 7.0;
+            r.energy = 30.0 + w as f64 / 11.0;
+            r.migrations = w as u64;
+            r
+        };
+        const WRITERS: usize = 8;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let cache = &cache;
+                let payload = payload_for(w);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        cache.store(key, &Json::usize(w), &payload);
+                        if let Some(back) = cache.load(key) {
+                            let w_back = back.migrations as usize;
+                            assert!(w_back < WRITERS, "foreign writer id {w_back}");
+                            assert_eq!(
+                                back,
+                                payload_for(w_back),
+                                "entry mixes bytes from several writers"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let final_entry = cache.load(key).expect("final state is a hit");
+        assert_eq!(final_entry, payload_for(final_entry.migrations as usize));
+        // No orphaned temp files: every writer either published its
+        // rename or cleaned up after itself.
+        let stray: Vec<_> = std::fs::read_dir(cache.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "orphaned temp files: {stray:?}");
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

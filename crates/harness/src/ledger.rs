@@ -22,22 +22,27 @@
 //! The file is append-only history: every sweep adds records, cached or
 //! not, so the ledger doubles as a provenance trail for any number that
 //! ends up in a table.
+//!
+//! All appends route through one shared [`LineAppender`]: each row is a
+//! single `O_APPEND` `write`, so a sweep and a simulation server
+//! appending to the same ledger concurrently can interleave rows but
+//! never tear one (see `crate::appender`).
 
+use crate::appender::LineAppender;
 use crate::codec::result_to_json;
 use crate::json::Json;
 use crate::sweep::CellOutcome;
 use crate::SweepSpec;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// The default ledger path, relative to the working directory.
 pub const DEFAULT_LEDGER_PATH: &str = "results/ledger.jsonl";
 
-/// An append-only JSONL run ledger.
-#[derive(Debug)]
+/// An append-only JSONL run ledger. Clones share the underlying
+/// appender (and thus one file handle).
+#[derive(Debug, Clone)]
 pub struct Ledger {
-    path: PathBuf,
-    file: Option<std::fs::File>,
+    appender: LineAppender,
 }
 
 impl Ledger {
@@ -45,16 +50,9 @@ impl Ledger {
     /// Failures to open are tolerated — the ledger is observability,
     /// not a correctness dependency — and disable appends.
     pub fn open(path: impl Into<PathBuf>) -> Self {
-        let path = path.into();
-        if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
+        Ledger {
+            appender: LineAppender::open(path),
         }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .ok();
-        Ledger { path, file }
     }
 
     /// The standard experiment ledger at `results/ledger.jsonl`.
@@ -64,14 +62,22 @@ impl Ledger {
 
     /// The ledger path.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.appender.path()
+    }
+
+    /// The shared line appender, for co-writers (the simulation
+    /// server) that build their own row layouts.
+    pub fn appender(&self) -> &LineAppender {
+        &self.appender
+    }
+
+    /// Appends an arbitrary record as one whole JSONL row.
+    pub fn append_record(&self, rec: &Json) {
+        self.appender.append_line(&rec.emit());
     }
 
     /// Appends one cell record.
-    pub fn append(&mut self, spec: &SweepSpec, outcome: &CellOutcome) {
-        let Some(file) = self.file.as_mut() else {
-            return;
-        };
+    pub fn append(&self, spec: &SweepSpec, outcome: &CellOutcome) {
         let w = &spec.workload_axis()[outcome.index.workload];
         let p = spec.policy_axis()[outcome.index.policy];
         let v = &spec.variant_axis()[outcome.index.variant];
@@ -92,7 +98,7 @@ impl Ledger {
             ("worker".into(), Json::usize(outcome.worker)),
             ("result".into(), result_to_json(&outcome.result)),
         ]);
-        let _ = writeln!(file, "{}", rec.emit());
+        self.append_record(&rec);
     }
 }
 
@@ -137,9 +143,9 @@ mod tests {
             queued: Duration::from_millis(250),
             worker: 3,
         };
-        let mut ledger = Ledger::open(&path);
+        let ledger = Ledger::open(&path);
         ledger.append(&spec, &outcome);
-        ledger.append(&spec, &outcome);
+        ledger.clone().append(&spec, &outcome);
         drop(ledger);
 
         let text = std::fs::read_to_string(&path).unwrap();
@@ -172,7 +178,7 @@ mod tests {
         // A directory path can't be opened as a file; appends must be
         // silently dropped, not panic.
         let dir = std::env::temp_dir();
-        let mut ledger = Ledger::open(&dir);
+        let ledger = Ledger::open(&dir);
         let spec = SweepSpec::standard(0.05).policies([PolicySpec::baseline()]);
         let outcome = CellOutcome {
             index: CellIndex {

@@ -34,6 +34,7 @@
 //! // …render tables from `results` via dtm_harness::report…
 //! ```
 
+pub mod appender;
 pub mod cache;
 pub mod cli;
 pub mod codec;
@@ -44,6 +45,7 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use appender::LineAppender;
 pub use cache::{cell_key, CacheStats, CellKey, ResultCache, DEFAULT_CACHE_DIR};
 pub use cli::SweepArgs;
 pub use ledger::{Ledger, DEFAULT_LEDGER_PATH};

@@ -143,7 +143,7 @@ impl SweepRunner {
     ///
     /// Returns the first simulation failure; remaining in-flight cells
     /// are abandoned.
-    pub fn run(mut self, spec: SweepSpec) -> Result<SweepResults, SimError> {
+    pub fn run(self, spec: SweepSpec) -> Result<SweepResults, SimError> {
         let sweep_start = Instant::now();
         let obs = self.obs.clone();
         if let Some(cache) = &self.cache {
@@ -195,7 +195,7 @@ impl SweepRunner {
         let mut progress = Progress::new(cells.len(), self.progress);
         for o in outcomes.iter().flatten() {
             progress.record_hit();
-            if let Some(ledger) = self.ledger.as_mut() {
+            if let Some(ledger) = self.ledger.as_ref() {
                 ledger.append(&spec, o);
             }
         }
@@ -318,7 +318,7 @@ impl SweepRunner {
                     match msg {
                         Ok(outcome) => {
                             progress.record_executed(outcome.wall);
-                            if let Some(ledger) = self.ledger.as_mut() {
+                            if let Some(ledger) = self.ledger.as_ref() {
                                 ledger.append(&spec, &outcome);
                             }
                             let i = outcome.index.workload

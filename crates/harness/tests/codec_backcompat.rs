@@ -1,0 +1,94 @@
+//! Ledger/codec back-compatibility, pinned by literal fixture rows.
+//!
+//! The ledger is append-only history spanning every era of the schema:
+//! rows written by the PR 2 (robustness) build have no `queue_s` field
+//! and no `steady`/`phases` objects in their result; PR 3 rows carry
+//! all of them. These fixtures are copies of real rows from those
+//! builds (doctored only in digits) — if either stops decoding, old
+//! ledgers and warm cache entries silently die, so the strings are
+//! pinned here verbatim.
+
+use dtm_harness::codec::{result_from_json, result_to_json};
+use dtm_harness::json::Json;
+
+/// A ledger row as the PR 2 (fault-subsystem era) binaries wrote it:
+/// robustness present, no `queue_s`, no `steady`/`phases`.
+const PR2_ROW: &str = r#"{"ts":1738000123,"key":"9c41b7f02ad65e83d1f4a6b8c0e2d493","workload":"gzip-twolf-ammp-lucas","mix":"IIFF","policy":"Dist. DVFS + sensor-based migration","variant":"base","cached":false,"wall_s":2.3125,"worker":3,"result":{"duration":0.5,"cores":4,"instructions":5471250000.0,"duty_cycle":0.9278515625,"max_temp":84.19921875,"emergency_time":0.0,"migrations":14,"dvfs_transitions":8532,"stalls":0,"energy":31.40625,"robustness":{"violation_time":0.0125,"peak_overshoot":1.375,"false_throttle_time":0.03125,"fallback_time":0.25,"fallback_entries":2,"fallback_exits":1,"watchdog_flags":4321},"threads":[{"instructions":1367812500.0,"scaled_work":0.23046875,"migrations":4},{"instructions":1367812500.0,"scaled_work":0.25,"migrations":3},{"instructions":1367812500.0,"scaled_work":0.26953125,"migrations":4},{"instructions":1367812500.0,"scaled_work":0.25,"migrations":3}]}}"#;
+
+/// A ledger row as the PR 3 (observability era) binaries wrote it:
+/// `queue_s` in the row, `steady` and `phases` in the result.
+const PR3_ROW: &str = r#"{"ts":1741000456,"key":"04d9e2c7b1f83a65092c4de6f7a8b501","workload":"mcf-ammp-art-mesa","mix":"IIFF","policy":"Global stop-go","variant":"threshold=100","cached":false,"wall_s":1.84375,"queue_s":0.109375,"worker":1,"result":{"duration":0.5,"cores":4,"instructions":4218750000.0,"duty_cycle":0.814453125,"max_temp":99.599609375,"emergency_time":0.001953125,"migrations":0,"dvfs_transitions":0,"stalls":27,"energy":28.578125,"robustness":{"violation_time":0.0,"peak_overshoot":0.0,"false_throttle_time":0.0,"fallback_time":0.0,"fallback_entries":0,"fallback_exits":0,"watchdog_flags":0},"threads":[{"instructions":1054687500.0,"scaled_work":0.203125,"migrations":0},{"instructions":1054687500.0,"scaled_work":0.203125,"migrations":0},{"instructions":1054687500.0,"scaled_work":0.296875,"migrations":0},{"instructions":1054687500.0,"scaled_work":0.296875,"migrations":0}],"steady":{"mean":83.3376953125,"min":82.900390625,"max":84.125},"phases":{"steps":17857,"phases":[{"name":"microarch","ns":123456789},{"name":"thermal","ns":53571000}]}}}"#;
+
+#[test]
+fn pr2_era_row_decodes_and_round_trips() {
+    let row = Json::parse(PR2_ROW).expect("fixture parses");
+    // Row-level schema of the era: queue_s had not been added yet.
+    assert!(row.field("queue_s").is_err(), "PR2 rows predate queue_s");
+    assert_eq!(row.field("worker").unwrap().as_usize().unwrap(), 3);
+    assert_eq!(
+        row.field("policy").unwrap().as_str().unwrap(),
+        "Dist. DVFS + sensor-based migration"
+    );
+
+    let r = result_from_json(row.field("result").unwrap()).expect("PR2 result decodes");
+    assert_eq!(r.cores, 4);
+    assert_eq!(r.migrations, 14);
+    assert!((r.robustness.violation_time - 0.0125).abs() < 1e-15);
+    assert_eq!(r.robustness.watchdog_flags, 4321);
+    assert_eq!(r.steady, None, "PR2 results predate steady summaries");
+    assert_eq!(r.phases, None, "PR2 results predate phase profiles");
+    assert_eq!(r.threads.len(), 4);
+
+    // Round-trip through today's encoder: bit-identical floats, equal
+    // struct, and no spurious optional objects materialized.
+    let re = result_to_json(&r);
+    let back = result_from_json(&Json::parse(&re.emit()).unwrap()).unwrap();
+    assert_eq!(r, back);
+    assert_eq!(r.duty_cycle.to_bits(), back.duty_cycle.to_bits());
+    assert_eq!(r.instructions.to_bits(), back.instructions.to_bits());
+    assert!(!re.emit().contains("\"steady\""));
+    assert!(!re.emit().contains("\"phases\""));
+}
+
+#[test]
+fn pr3_era_row_decodes_and_round_trips() {
+    let row = Json::parse(PR3_ROW).expect("fixture parses");
+    assert!((row.field("queue_s").unwrap().as_f64().unwrap() - 0.109375).abs() < 1e-15);
+    assert_eq!(
+        row.field("variant").unwrap().as_str().unwrap(),
+        "threshold=100"
+    );
+
+    let r = result_from_json(row.field("result").unwrap()).expect("PR3 result decodes");
+    let steady = r.steady.expect("PR3 results carry steady summaries");
+    assert!((steady.mean - 83.3376953125).abs() < 1e-15);
+    let phases = r.phases.as_ref().expect("PR3 results carry phase profiles");
+    assert_eq!(phases.steps, 17857);
+    assert_eq!(phases.phases[1].name, "thermal");
+    assert_eq!(phases.phases[1].ns, 53_571_000);
+
+    let re = result_to_json(&r);
+    let back = result_from_json(&Json::parse(&re.emit()).unwrap()).unwrap();
+    assert_eq!(r, back);
+    assert_eq!(r.max_temp.to_bits(), back.max_temp.to_bits());
+    assert_eq!(
+        r.steady.unwrap().mean.to_bits(),
+        back.steady.unwrap().mean.to_bits()
+    );
+    assert_eq!(r.phases, back.phases);
+}
+
+#[test]
+fn both_eras_coexist_in_one_ledger_file() {
+    // A ledger that lived through both eras: every line must parse and
+    // every embedded result must decode, whichever era wrote it.
+    let text = format!("{PR2_ROW}\n{PR3_ROW}\n");
+    let mut decoded = 0;
+    for line in text.lines() {
+        let row = Json::parse(line).expect("row parses");
+        let r = result_from_json(row.field("result").unwrap()).expect("result decodes");
+        assert!(r.duration > 0.0);
+        decoded += 1;
+    }
+    assert_eq!(decoded, 2);
+}

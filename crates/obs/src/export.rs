@@ -54,15 +54,20 @@ pub(crate) fn chrome_trace_json(spans: &[Span]) -> String {
 }
 
 /// Renders metric snapshots as Prometheus-style text exposition:
-/// counters as `<name> <value>`, histograms as cumulative
+/// counters and gauges as `<name> <value>`, histograms as cumulative
 /// `_bucket{le="..."}` series plus `_sum` and `_count`.
 pub(crate) fn prometheus_text(
     counters: &[(String, u64)],
+    gauges: &[(String, i64)],
     histograms: &[(String, [u64; N_BUCKETS], u64, u64)],
 ) -> String {
     let mut out = String::new();
     for (name, value) in counters {
         let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {value}");
     }
     for (name, buckets, sum, count) in histograms {

@@ -13,7 +13,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::export;
-use crate::metrics::{Counter, Histogram, HistogramCore, N_BUCKETS};
+use crate::metrics::{Counter, Gauge, GaugeCore, Histogram, HistogramCore, N_BUCKETS};
 use crate::ring::{Span, SpanRing};
 
 /// Default span-ring capacity (spans retained, oldest evicted first).
@@ -46,6 +46,7 @@ struct Inner {
     seq: AtomicU64,
     /// Name → shared cell, insertion-ordered, deduplicated by name.
     counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+    gauges: Mutex<Vec<(String, Arc<GaugeCore>)>>,
     histograms: Mutex<Vec<(String, Arc<HistogramCore>)>>,
 }
 
@@ -66,6 +67,7 @@ impl ObsHandle {
             ring: Mutex::new(SpanRing::with_capacity(ring_capacity)),
             seq: AtomicU64::new(0),
             counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
             histograms: Mutex::new(Vec::new()),
         })))
     }
@@ -146,6 +148,37 @@ impl ObsHandle {
         }
     }
 
+    /// A gauge registered under `name` (shared if the name exists; the
+    /// disabled no-op when the handle is disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.0 {
+            None => Gauge::disabled(),
+            Some(inner) => {
+                let mut list = inner.gauges.lock().unwrap();
+                if let Some((_, core)) = list.iter().find(|(n, _)| n == name) {
+                    Gauge::from_core(core.clone())
+                } else {
+                    let core = Arc::new(GaugeCore::new());
+                    list.push((name.to_string(), core.clone()));
+                    Gauge::from_core(core)
+                }
+            }
+        }
+    }
+
+    /// Registers an externally owned gauge under `name` so exporters
+    /// see it — the gauge analogue of [`ObsHandle::adopt_counter`].
+    pub fn adopt_gauge(&self, name: &str, gauge: &Gauge) {
+        if let (Some(inner), Some(core)) = (&self.0, gauge.core()) {
+            let mut list = inner.gauges.lock().unwrap();
+            if let Some(slot) = list.iter_mut().find(|(n, _)| n == name) {
+                slot.1 = core.clone();
+            } else {
+                list.push((name.to_string(), core.clone()));
+            }
+        }
+    }
+
     /// A histogram registered under `name` (shared if the name exists;
     /// the disabled no-op when the handle is disabled).
     pub fn histogram(&self, name: &str) -> Histogram {
@@ -186,10 +219,10 @@ impl ObsHandle {
         export::chrome_trace_json(&self.spans())
     }
 
-    /// Counters and histograms as a Prometheus-style text dump.
+    /// Counters, gauges, and histograms as a Prometheus-style text dump.
     pub fn prometheus(&self) -> String {
-        let (counters, histograms) = self.metric_snapshot();
-        export::prometheus_text(&counters, &histograms)
+        let (counters, gauges, histograms) = self.metric_snapshot();
+        export::prometheus_text(&counters, &gauges, &histograms)
     }
 
     /// Name-sorted snapshots of all registered metrics.
@@ -198,10 +231,11 @@ impl ObsHandle {
         &self,
     ) -> (
         Vec<(String, u64)>,
+        Vec<(String, i64)>,
         Vec<(String, [u64; N_BUCKETS], u64, u64)>,
     ) {
         let Some(inner) = &self.0 else {
-            return (Vec::new(), Vec::new());
+            return (Vec::new(), Vec::new(), Vec::new());
         };
         let mut counters: Vec<(String, u64)> = inner
             .counters
@@ -211,6 +245,14 @@ impl ObsHandle {
             .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
             .collect();
         counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, i64)> = inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, g)| (n.clone(), g.load()))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
         let mut histograms: Vec<(String, [u64; N_BUCKETS], u64, u64)> = inner
             .histograms
             .lock()
@@ -219,7 +261,7 @@ impl ObsHandle {
             .map(|(n, h)| (n.clone(), h.bucket_counts(), h.sum(), h.count()))
             .collect();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
-        (counters, histograms)
+        (counters, gauges, histograms)
     }
 }
 
@@ -262,6 +304,35 @@ mod tests {
         let h2 = obs.histogram("h");
         h1.record(3);
         assert_eq!(h2.count(), 1);
+    }
+
+    #[test]
+    fn gauges_register_and_export() {
+        let obs = ObsHandle::enabled(8);
+        let depth = obs.gauge("dtm_serve_queue_depth");
+        depth.add(3);
+        obs.gauge("dtm_serve_queue_depth").dec();
+        assert_eq!(depth.get(), 2, "same name shares the cell");
+        let dump = obs.prometheus();
+        assert!(
+            dump.contains("# TYPE dtm_serve_queue_depth gauge"),
+            "{dump}"
+        );
+        assert!(dump.contains("dtm_serve_queue_depth 2"), "{dump}");
+        assert!(!ObsHandle::disabled().gauge("g").is_enabled());
+    }
+
+    #[test]
+    fn adopted_gauges_appear_in_the_dump() {
+        let obs = ObsHandle::enabled(8);
+        let external = Gauge::active();
+        external.set(-4);
+        obs.adopt_gauge("dtm_serve_inflight", &external);
+        let dump = obs.prometheus();
+        assert!(dump.contains("dtm_serve_inflight -4"), "{dump}");
+        ObsHandle::disabled().adopt_gauge("x", &external);
+        obs.adopt_gauge("y", &Gauge::disabled());
+        assert!(!obs.prometheus().contains("y "));
     }
 
     #[test]

@@ -63,6 +63,88 @@ impl Counter {
     }
 }
 
+/// Shared gauge storage: the value is an `i64` stored as its `u64` bit
+/// pattern so updates stay single relaxed atomics.
+#[derive(Debug)]
+pub(crate) struct GaugeCore(AtomicU64);
+
+impl GaugeCore {
+    pub(crate) fn new() -> Self {
+        GaugeCore(AtomicU64::new(0))
+    }
+
+    pub(crate) fn load(&self) -> i64 {
+        self.0.load(Ordering::Relaxed) as i64
+    }
+}
+
+/// An instantaneous level — queue depth, in-flight requests, open
+/// connections — that moves both ways, unlike a [`Counter`].
+///
+/// Handles are cheap to clone (they share one atomic); the default is
+/// the disabled no-op, matching the counter/histogram discipline.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    /// The disabled no-op gauge.
+    pub fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    /// A live standalone gauge (always tracks, adoptable into a
+    /// registry later — see [`crate::ObsHandle::adopt_gauge`]).
+    pub fn active() -> Self {
+        Gauge(Some(Arc::new(GaugeCore::new())))
+    }
+
+    pub(crate) fn from_core(core: Arc<GaugeCore>) -> Self {
+        Gauge(Some(core))
+    }
+
+    pub(crate) fn core(&self) -> Option<&Arc<GaugeCore>> {
+        self.0.as_ref()
+    }
+
+    /// Whether the gauge actually tracks.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` (which may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.0.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.0.store(v as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// The current level (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load())
+    }
+}
+
 /// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
 /// holds values in `[2^(i-1), 2^i)`. 64 value buckets cover all of
 /// `u64`.
@@ -231,6 +313,29 @@ mod tests {
         c2.add(4);
         assert_eq!(c.get(), 5);
         assert_eq!(c2.get(), 5);
+    }
+
+    #[test]
+    fn disabled_gauge_is_inert() {
+        let g = Gauge::disabled();
+        g.inc();
+        g.add(10);
+        g.set(7);
+        assert_eq!(g.get(), 0);
+        assert!(!g.is_enabled());
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_shares_on_clone() {
+        let g = Gauge::active();
+        let g2 = g.clone();
+        g.add(5);
+        g2.dec();
+        assert_eq!(g.get(), 4);
+        g.add(-10);
+        assert_eq!(g2.get(), -6, "gauges may go negative");
+        g2.set(42);
+        assert_eq!(g.get(), 42);
     }
 
     #[test]

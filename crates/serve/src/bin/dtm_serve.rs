@@ -1,0 +1,111 @@
+//! `dtm_serve` — the networked simulation service.
+//!
+//! ```text
+//! dtm_serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!           [--fast-traces] [--cache | --no-cache] [--ledger]
+//!           [--port-file PATH]
+//! ```
+//!
+//! Binds (port 0 = ephemeral), prints the bound address on stdout, and
+//! serves until a client sends the `shutdown` verb, then drains
+//! gracefully and exits 0 (non-zero if the drain accounting fails).
+//! `--port-file` writes the bound port to a file so scripts (the CI
+//! smoke job) can discover an ephemeral port race-free.
+
+use dtm_harness::{Ledger, ResultCache};
+use dtm_serve::{Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dtm_serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--fast-traces] [--no-cache] [--ledger] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut use_cache = true;
+    let mut use_ledger = false;
+    let mut port_file: Option<String> = None;
+
+    fn value(args: &[String], i: &mut usize, name: &str) -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        })
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => cfg.addr = value(&args, &mut i, "--addr"),
+            "--workers" => {
+                cfg.workers = value(&args, &mut i, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--queue" => {
+                cfg.queue_capacity = value(&args, &mut i, "--queue")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--fast-traces" => {
+                cfg.tracegen = dtm_workloads::TraceGenConfig::fast_test();
+                cfg.base_sim = dtm_core::SimConfig::fast_test();
+            }
+            "--cache" => use_cache = true,
+            "--no-cache" => use_cache = false,
+            "--ledger" => use_ledger = true,
+            "--port-file" => port_file = Some(value(&args, &mut i, "--port-file")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    if use_cache {
+        cfg.cache = Some(ResultCache::default_location());
+    }
+    if use_ledger {
+        cfg.ledger = Some(Ledger::default_location());
+    }
+
+    let handle = match Server::spawn(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("dtm_serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr();
+    println!("dtm_serve listening on {addr}");
+    if let Some(path) = port_file {
+        // Written atomically (temp + rename) so a polling script never
+        // reads a half-written port number.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, format!("{}\n", addr.port())).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    while !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("dtm_serve: shutdown requested, draining…");
+    let report = handle.shutdown();
+    eprintln!(
+        "dtm_serve: drained — accepted {} rejected {} completed {} timeouts {}",
+        report.accepted, report.rejected, report.completed, report.timeouts
+    );
+    if !report.fully_drained() {
+        eprintln!("dtm_serve: drain accounting violated");
+        std::process::exit(1);
+    }
+}

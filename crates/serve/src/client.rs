@@ -1,0 +1,126 @@
+//! A minimal blocking client for the serve protocol.
+//!
+//! One [`Client`] wraps one TCP connection and drives the strict
+//! request → response alternation the protocol defines. The load
+//! generator opens many of these (one per concurrent connection), and
+//! the integration suite uses them to script exact scenarios.
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::request::SimRequest;
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connects with a bounded connect timeout (first resolved address).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and connection failures.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+        })?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a mid-response hangup, or an undecodable response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server hung up before responding",
+            )
+        })?;
+        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Convenience: one simulate round-trip.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn simulate(&mut self, req: SimRequest) -> io::Result<Response> {
+        self.call(&Request::Simulate(req))
+    }
+
+    /// Convenience: fetches the Prometheus metrics dump.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`]; also errors if the server answers with
+    /// anything but a metrics payload.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected metrics, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Convenience: liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`]; errors unless the server answers `pong`.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected pong, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Convenience: requests a server shutdown.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`]; errors unless the server acknowledges.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected shutdown ack, got {other:?}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! A bounded MPMC job queue with explicit admission control.
+//!
+//! The server's central invariant — memory stays bounded no matter the
+//! offered load — lives here: [`BoundedQueue::push`] never blocks and
+//! never grows the queue past its capacity; it *rejects*, and the
+//! caller turns the rejection into an `overloaded` response. Workers
+//! block in [`BoundedQueue::pop`]. Closing the queue wakes every
+//! blocked worker once the backlog is drained, which is exactly the
+//! graceful-drain handshake: already-admitted jobs still come out,
+//! nothing new goes in.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue has been closed (server draining).
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A capacity-bounded FIFO shared by connection handlers (producers)
+/// and simulation workers (consumers).
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current backlog.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the backlog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to admit a job without blocking. On success returns the
+    /// resulting depth; on failure hands the job back with the reason.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    #[allow(clippy::result_large_err)] // the Err intentionally carries T back
+    pub fn push(&self, item: T) -> Result<usize, (T, PushError)> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err((item, PushError::Closed));
+        }
+        if st.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        drop(st);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next job. Returns `None` once the queue is closed
+    /// *and* drained — the worker-exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.available.wait(st).unwrap();
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail, already-queued jobs
+    /// still drain, and blocked poppers wake (immediately if the
+    /// backlog is already empty).
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admission_is_bounded_and_fifo() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1).unwrap(), 1);
+        assert_eq!(q.push(2).unwrap(), 2);
+        let (back, why) = q.push(3).unwrap_err();
+        assert_eq!((back, why), (3, PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3).unwrap(), 2);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_releases_all_poppers() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.push(10).unwrap();
+        q.push(11).unwrap();
+        q.close();
+        let (b, why) = q.push(12).unwrap_err();
+        assert_eq!((b, why), (12, PushError::Closed));
+
+        // Admitted items drain even after close; then every popper
+        // (including ones that block after the drain) gets None.
+        let mut seen = vec![];
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = vec![];
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            seen.extend(h.join().unwrap());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![10, 11]);
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_arrives() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(99).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn contended_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut admitted = 0u64;
+                    for i in 0..500 {
+                        if q.push(p * 1000 + i).is_ok() {
+                            admitted += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    admitted
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut popped = 0u64;
+                    while q.pop().is_some() {
+                        popped += 1;
+                    }
+                    popped
+                })
+            })
+            .collect();
+        let admitted: u64 = producers.into_iter().map(|h| h.join().unwrap()).sum();
+        q.close();
+        let popped: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(admitted, popped, "every admitted item is consumed");
+    }
+}

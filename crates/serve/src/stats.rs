@@ -1,0 +1,90 @@
+//! The server's observability surface.
+//!
+//! Every instrument lives in one `dtm-obs` registry so a single
+//! `metrics` request dumps the whole picture in Prometheus text
+//! exposition format: request-flow counters (accepted / rejected /
+//! timed-out / completed / failed), the queue-depth gauge admission
+//! control steers by, and the request-latency histogram whose log₂
+//! buckets yield the p50/p95/p99 the load generator reports.
+
+use dtm_obs::{Counter, Gauge, Histogram, ObsHandle};
+
+/// Instrument bundle threaded through every server component.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Connections accepted by the listener.
+    pub connections: Counter,
+    /// Simulate requests admitted to the queue.
+    pub accepted: Counter,
+    /// Simulate requests refused by admission control (queue full or
+    /// draining).
+    pub rejected: Counter,
+    /// Admitted requests abandoned because their deadline elapsed
+    /// before a worker started them.
+    pub timeouts: Counter,
+    /// Admitted requests completed with a result.
+    pub completed: Counter,
+    /// Requests answered with an error (malformed, unmappable, or
+    /// failed simulation).
+    pub errors: Counter,
+    /// Current queue backlog.
+    pub queue_depth: Gauge,
+    /// Accept-to-response latency of completed requests (ns).
+    pub latency: Histogram,
+    /// Queue-wait of completed requests (ns).
+    pub queue_wait: Histogram,
+}
+
+impl ServeStats {
+    /// Registers the full instrument set on `obs` (all instruments are
+    /// inert if the handle is disabled).
+    pub fn new(obs: &ObsHandle) -> Self {
+        ServeStats {
+            connections: obs.counter("dtm_serve_connections_total"),
+            accepted: obs.counter("dtm_serve_accepted_total"),
+            rejected: obs.counter("dtm_serve_rejected_total"),
+            timeouts: obs.counter("dtm_serve_timeout_total"),
+            completed: obs.counter("dtm_serve_completed_total"),
+            errors: obs.counter("dtm_serve_error_total"),
+            queue_depth: obs.gauge("dtm_serve_queue_depth"),
+            latency: obs.histogram("dtm_serve_request_latency_ns"),
+            queue_wait: obs.histogram("dtm_serve_queue_wait_ns"),
+        }
+    }
+
+    /// Accounting identity the drain test pins down: every admitted
+    /// request is eventually answered exactly once.
+    pub fn answered(&self) -> u64 {
+        self.completed.get() + self.timeouts.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_surface_in_the_prometheus_dump() {
+        let obs = ObsHandle::enabled_default();
+        let stats = ServeStats::new(&obs);
+        stats.accepted.add(3);
+        stats.completed.add(2);
+        stats.timeouts.inc();
+        stats.queue_depth.set(5);
+        stats.latency.record(1_500_000);
+        let text = obs.prometheus();
+        assert!(text.contains("dtm_serve_accepted_total 3"));
+        assert!(text.contains("dtm_serve_queue_depth 5"));
+        assert!(text.contains("dtm_serve_request_latency_ns"));
+        assert_eq!(stats.answered(), 3);
+    }
+
+    #[test]
+    fn disabled_handle_makes_every_instrument_inert() {
+        let stats = ServeStats::new(&ObsHandle::disabled());
+        stats.accepted.inc();
+        stats.queue_depth.set(9);
+        assert_eq!(stats.accepted.get(), 0);
+        assert_eq!(stats.queue_depth.get(), 0);
+    }
+}

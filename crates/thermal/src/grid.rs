@@ -391,7 +391,7 @@ pub struct GridTransient {
     /// [`crate::propagator`] for the fallback conditions).
     prop_fallback: bool,
     cached: Option<(f64, LuFactors)>,
-    prop: Option<Propagator>,
+    prop: Option<std::sync::Arc<Propagator>>,
     xbuf: Vec<f64>,
     sol_buf: Vec<f64>,
 }
@@ -493,7 +493,9 @@ impl GridTransient {
             None => true,
         };
         if needs_build {
-            match Propagator::new(
+            // Served from the process-wide cache when an identical
+            // grid configuration already built one (bit-identical).
+            match Propagator::shared(
                 &self.model.a,
                 &self.model.cap,
                 &self.model.g_amb,

@@ -97,6 +97,11 @@ pub struct ThermalModel {
     fast_r: Vec<f64>,
     /// Time constant of the sub-block mode (s).
     fast_tau: f64,
+    /// LU factors of `a`, computed once so the many steady-state solves
+    /// (leakage fixed-point iterations inside the initialization binary
+    /// search) pay factorization once instead of per call. Identical to
+    /// what [`Matrix::solve`] computes, so results are bit-identical.
+    steady_lu: LuFactors,
 }
 
 impl ThermalModel {
@@ -275,6 +280,7 @@ impl ThermalModel {
             .map(|b| package.local_constriction / b.area())
             .collect();
 
+        let steady_lu = a.lu()?;
         Ok(ThermalModel {
             n_blocks: nb,
             n_nodes: n,
@@ -285,6 +291,7 @@ impl ThermalModel {
             node_names,
             fast_r,
             fast_tau: package.local_tau,
+            steady_lu,
         })
     }
 
@@ -379,7 +386,7 @@ impl ThermalModel {
     /// or non-finite entries, or if the system is singular.
     pub fn steady_state(&self, block_power: &[f64]) -> Result<Vec<f64>, ThermalError> {
         let p = self.rhs(block_power)?;
-        Ok(self.a.solve(&p)?)
+        Ok(self.steady_lu.solve(&p))
     }
 
     /// Consistency checks: the system matrix must be a symmetric
@@ -454,7 +461,7 @@ pub struct TransientSolver {
     /// [`crate::propagator`] for the fallback conditions).
     prop_fallback: bool,
     cached: Option<(f64, LuFactors)>,
-    prop: Option<Propagator>,
+    prop: Option<std::sync::Arc<Propagator>>,
     rhs_buf: Vec<f64>,
     sol_buf: Vec<f64>,
 }
@@ -604,7 +611,9 @@ impl TransientSolver {
             None => true,
         };
         if needs_build {
-            match Propagator::new(
+            // Served from the process-wide cache when an identical
+            // thermal configuration already built one (bit-identical).
+            match Propagator::shared(
                 &self.model.a,
                 &self.model.cap,
                 &self.model.g_amb,

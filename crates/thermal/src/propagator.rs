@@ -45,6 +45,7 @@
 
 use crate::linalg::{affine_matvec, LinalgError, Matrix};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Tolerance on `‖E‖_∞ − 1` before the propagator is declared
 /// non-physical: exact row sums are ≤ 1 for a network with ambient
@@ -88,7 +89,112 @@ pub(crate) struct Propagator {
     bias: Vec<f64>,
 }
 
+/// Process-wide propagator cache, keyed by a content hash of every
+/// numeric input to [`Propagator::new`].
+///
+/// Building `E = expm(−C⁻¹·A·dt)` is by far the most expensive part of
+/// constructing a simulator — tens of ms for the block model — and it
+/// depends only on the thermal network and `dt`, not on the workload,
+/// policy, or sensor seed. A sweep (or a simulation server) therefore
+/// rebuilds the *same* propagator for almost every cell; this cache
+/// makes each distinct thermal configuration pay `expm` once per
+/// process. Entries are immutable (`advance` is `&self`) and shared by
+/// `Arc`, so cached reuse is bit-identical to a fresh build.
+const PROPAGATOR_CACHE_CAP: usize = 32;
+
+type CacheEntries = Vec<(u128, Arc<Propagator>)>;
+
+fn cache() -> &'static Mutex<CacheEntries> {
+    static CACHE: OnceLock<Mutex<CacheEntries>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Double-lane FNV-1a (the result cache's construction) over the raw
+/// bit patterns of every input, so any numeric difference — a single
+/// conductance, the ambient, `dt` — yields a different key.
+fn content_key(
+    a: &Matrix,
+    cap: &[f64],
+    g_amb: &[f64],
+    ambient: f64,
+    n_inputs: usize,
+    map: &PowerMap<'_>,
+    dt: f64,
+) -> u128 {
+    let mut bytes: Vec<u8> = Vec::with_capacity((a.as_slice().len() + cap.len()) * 8 + 64);
+    let mut push = |v: f64| bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    push(dt);
+    push(ambient);
+    push(a.rows() as f64);
+    push(n_inputs as f64);
+    for &v in a.as_slice() {
+        push(v);
+    }
+    for &v in cap {
+        push(v);
+    }
+    for &v in g_amb {
+        push(v);
+    }
+    match map {
+        PowerMap::Direct => push(f64::from_bits(1)),
+        PowerMap::Weighted(weights) => {
+            push(f64::from_bits(2));
+            for w in weights.iter() {
+                push(w.len() as f64);
+                for &(node, frac) in w {
+                    push(node as f64);
+                    push(frac);
+                }
+            }
+        }
+    }
+    let fnv = |seed: u64, data: &[u8]| {
+        data.iter().fold(seed, |h, &b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    };
+    let lo = fnv(0xcbf2_9ce4_8422_2325, &bytes);
+    bytes.reverse();
+    let hi = fnv(0x6c62_272e_07bb_0142, &bytes);
+    ((hi as u128) << 64) | lo as u128
+}
+
 impl Propagator {
+    /// Returns the cached propagator for these exact inputs, building
+    /// and caching it on a miss. Failures are not cached (they latch a
+    /// permanent fallback in the caller anyway).
+    ///
+    /// # Errors
+    ///
+    /// See [`Propagator::new`].
+    pub(crate) fn shared(
+        a: &Matrix,
+        cap: &[f64],
+        g_amb: &[f64],
+        ambient: f64,
+        n_inputs: usize,
+        map: PowerMap<'_>,
+        dt: f64,
+    ) -> Result<Arc<Propagator>, LinalgError> {
+        let key = content_key(a, cap, g_amb, ambient, n_inputs, &map, dt);
+        if let Some((_, p)) = cache().lock().unwrap().iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(p));
+        }
+        let built = Arc::new(Propagator::new(a, cap, g_amb, ambient, n_inputs, map, dt)?);
+        let mut guard = cache().lock().unwrap();
+        // A racing builder may have inserted the same key; keep theirs
+        // (the contents are identical by construction).
+        if let Some((_, p)) = guard.iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(p));
+        }
+        if guard.len() >= PROPAGATOR_CACHE_CAP {
+            guard.remove(0); // FIFO: oldest distinct configuration
+        }
+        guard.push((key, Arc::clone(&built)));
+        Ok(built)
+    }
+
     /// Builds `E`/`F` for the system `C·dT/dt = p − A·T` at step `dt`,
     /// with `n_inputs` power inputs mapped onto nodes by `map`.
     pub(crate) fn new(
@@ -273,6 +379,24 @@ mod tests {
         for (x, y) in t1.iter().zip(&t2) {
             assert!((x - y).abs() < 1e-12, "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn shared_cache_returns_the_same_instance_for_identical_inputs() {
+        let (a, cap, g_amb) = two_node();
+        let p1 = Propagator::shared(&a, &cap, &g_amb, 45.0, 1, PowerMap::Direct, 1e-3).unwrap();
+        let p2 = Propagator::shared(&a, &cap, &g_amb, 45.0, 1, PowerMap::Direct, 1e-3).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "identical inputs must share");
+        // Any numeric difference — here dt — must miss the cache.
+        let p3 = Propagator::shared(&a, &cap, &g_amb, 45.0, 1, PowerMap::Direct, 2e-3).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3), "different dt must not share");
+        // The shared instance behaves exactly like a fresh build.
+        let fresh = Propagator::new(&a, &cap, &g_amb, 45.0, 1, PowerMap::Direct, 1e-3).unwrap();
+        let (mut ta, mut tb) = (vec![50.0, 47.0], vec![50.0, 47.0]);
+        let (mut xbuf, mut out) = (Vec::new(), Vec::new());
+        p1.advance(&mut ta, &[0.8], &mut xbuf, &mut out);
+        fresh.advance(&mut tb, &[0.8], &mut xbuf, &mut out);
+        assert_eq!(ta, tb, "cached reuse must be bit-identical");
     }
 
     #[test]

@@ -54,6 +54,39 @@ impl Workload {
         Self::from_names(name, &[name])
     }
 
+    /// Non-panicking [`Workload::from_names`] for untrusted input (a
+    /// network request naming benchmarks): unknown names and empty
+    /// lists are `Err`s describing the problem.
+    ///
+    /// # Errors
+    ///
+    /// Names the first benchmark missing from the catalog.
+    pub fn try_from_names(id: impl Into<String>, names: &[String]) -> Result<Self, String> {
+        if names.is_empty() {
+            return Err("workload needs at least one benchmark".into());
+        }
+        for n in names {
+            if !crate::profiles::all_benchmarks()
+                .iter()
+                .any(|b| &b.name == n)
+            {
+                return Err(format!("unknown benchmark `{n}`"));
+            }
+        }
+        Ok(Workload {
+            id: id.into(),
+            benchmarks: names.to_vec(),
+        })
+    }
+
+    /// Looks up one of the study's 12 standard workloads by id
+    /// (`workload1` … `workload12`) or by hyphenated display name.
+    pub fn standard(name: &str) -> Option<Self> {
+        standard_workloads()
+            .into_iter()
+            .find(|w| w.id == name || w.display_name() == name)
+    }
+
     /// The resolved benchmark descriptions.
     pub fn resolve(&self) -> Vec<Benchmark> {
         self.benchmarks.iter().map(|n| benchmark(n)).collect()
@@ -114,6 +147,24 @@ mod tests {
         for (w, e) in standard_workloads().iter().zip(expected) {
             assert_eq!(w.mix_label(), e, "{}", w.id);
         }
+    }
+
+    #[test]
+    fn try_from_names_rejects_unknown_benchmarks() {
+        let ok = Workload::try_from_names("w", &["gzip".to_string(), "mcf".to_string()]).unwrap();
+        assert_eq!(ok.resolve().len(), 2);
+        assert!(Workload::try_from_names("w", &[]).is_err());
+        let err = Workload::try_from_names("w", &["quake3".to_string()]).unwrap_err();
+        assert!(err.contains("quake3"), "{err}");
+    }
+
+    #[test]
+    fn standard_lookup_by_id_and_display_name() {
+        let by_id = Workload::standard("workload7").unwrap();
+        assert_eq!(by_id.display_name(), "gzip-twolf-ammp-lucas");
+        let by_name = Workload::standard("gzip-twolf-ammp-lucas").unwrap();
+        assert_eq!(by_id, by_name);
+        assert!(Workload::standard("workload13").is_none());
     }
 
     #[test]
