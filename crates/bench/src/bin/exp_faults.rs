@@ -19,9 +19,8 @@ use dtm_core::{
     DtmConfig, FaultConfig, FaultEvent, FaultKind, FaultScenario, FaultTarget, MigrationKind,
     PolicySpec, RunResult, Scope, SimConfig, ThrottleKind, WatchdogConfig,
 };
-use dtm_harness::{
-    run_standard, ConfigVariant, Ledger, ResultCache, SweepArgs, SweepRunner, SweepSpec, Table,
-};
+use dtm_dist::run_with_args;
+use dtm_harness::{ConfigVariant, Ledger, ResultCache, SweepArgs, SweepRunner, SweepSpec, Table};
 use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary};
 
 /// The scenario axis: what breaks at `0.2 × duration` (drift/spike
@@ -171,7 +170,10 @@ fn main() {
             spec.add_variant(v)
         };
     }
-    let results = run_standard(spec, &args).expect("sweep");
+    // Distributable: `--dist host:port,...` shards the fault matrix
+    // across remote dtm-serve workers (cells whose fault scenario has
+    // no wire preset fall back to local execution automatically).
+    let results = run_with_args(spec, &args).expect("sweep");
 
     // Table 1: every scenario under the paper's best policy.
     let best = PolicySpec::best();

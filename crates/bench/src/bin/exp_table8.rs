@@ -3,12 +3,15 @@
 
 use dtm_bench::mean_bips;
 use dtm_core::{MigrationKind, PolicySpec, Scope, ThrottleKind};
-use dtm_harness::{report, run_standard, SweepArgs, SweepSpec, Table};
+use dtm_dist::run_with_args;
+use dtm_harness::{report, SweepArgs, SweepSpec, Table};
 
 fn main() {
     let args = SweepArgs::from_env();
     let spec = SweepSpec::standard(args.duration).policies(PolicySpec::all());
-    let results = run_standard(spec, &args).expect("sweep");
+    // `--dist host:port,...` shards the grid across remote dtm-serve
+    // workers; without it this is the classic local sweep.
+    let results = run_with_args(spec, &args).expect("sweep");
     let base = mean_bips(&results.policy_runs(PolicySpec::baseline()));
 
     let mut table = Table::new([

@@ -1,0 +1,110 @@
+//! `dtm_worker` — a `dtm-serve` worker process with the isolation
+//! flags a distributed test (or CI smoke job) needs: explicit cache
+//! and ledger paths instead of the shared default locations, so
+//! parallel fleets never share on-disk state by accident.
+//!
+//! ```text
+//! dtm_worker [--addr HOST:PORT] [--workers N] [--queue N]
+//!            [--fast-traces] [--cache-dir PATH] [--ledger-file PATH]
+//!            [--port-file PATH]
+//! ```
+//!
+//! Caching defaults to **off** (unlike `dtm_serve`): a worker fleet is
+//! usually pointed at disposable state, and the coordinator maintains
+//! the authoritative sweep cache itself.
+
+use dtm_harness::{Ledger, ResultCache};
+use dtm_serve::{Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dtm_worker [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--fast-traces] [--cache-dir PATH] [--ledger-file PATH] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig {
+        cache: None,
+        ledger: None,
+        ..ServerConfig::default()
+    };
+    let mut port_file: Option<String> = None;
+
+    fn value(args: &[String], i: &mut usize, name: &str) -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        })
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => cfg.addr = value(&args, &mut i, "--addr"),
+            "--workers" => {
+                cfg.workers = value(&args, &mut i, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--queue" => {
+                cfg.queue_capacity = value(&args, &mut i, "--queue")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--fast-traces" => {
+                cfg.tracegen = dtm_workloads::TraceGenConfig::fast_test();
+                cfg.base_sim = dtm_core::SimConfig::fast_test();
+            }
+            "--cache-dir" => {
+                cfg.cache = Some(ResultCache::new(value(&args, &mut i, "--cache-dir")))
+            }
+            "--ledger-file" => {
+                cfg.ledger = Some(Ledger::open(value(&args, &mut i, "--ledger-file")))
+            }
+            "--port-file" => port_file = Some(value(&args, &mut i, "--port-file")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let handle = match Server::spawn(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("dtm_worker: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr();
+    println!("dtm_worker listening on {addr}");
+    if let Some(path) = port_file {
+        // Written atomically (temp + rename) so a polling script never
+        // reads a half-written port number.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, format!("{}\n", addr.port())).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    while !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("dtm_worker: shutdown requested, draining…");
+    let report = handle.shutdown();
+    eprintln!(
+        "dtm_worker: drained — accepted {} rejected {} completed {} timeouts {}",
+        report.accepted, report.rejected, report.completed, report.timeouts
+    );
+    if !report.fully_drained() {
+        eprintln!("dtm_worker: drain accounting violated");
+        std::process::exit(1);
+    }
+}

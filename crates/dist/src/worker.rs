@@ -1,0 +1,227 @@
+//! The coordinator's view of a `dtm-serve` worker fleet: per-worker
+//! identity, handshake verification, health tracking
+//! (alive → suspect → dead), and the per-worker statistics the
+//! dispatch summary reports.
+
+use dtm_serve::ServerInfo;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Consecutive failures after which a worker is declared dead.
+pub const DEATH_THRESHOLD: u32 = 3;
+
+/// A worker's liveness as the coordinator currently believes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Handshook and recently responsive.
+    Alive,
+    /// At least one recent failure; still being retried.
+    Suspect,
+    /// Unreachable at handshake, or failed [`DEATH_THRESHOLD`]
+    /// consecutive times. Its queued work is re-dispatched elsewhere.
+    Dead,
+}
+
+impl Health {
+    /// Fixed-width display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Health::Alive => "alive",
+            Health::Suspect => "suspect",
+            Health::Dead => "dead",
+        }
+    }
+}
+
+/// Monotonic per-worker tallies, updated lock-free by the dispatch
+/// lanes and read once at the end for the summary (and mirrored into
+/// obs counters when observability is enabled).
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Requests sent (first attempts + retries + speculation).
+    pub dispatched: AtomicU64,
+    /// Successful simulate responses.
+    pub completed: AtomicU64,
+    /// Attempts that failed and were requeued.
+    pub retried: AtomicU64,
+    /// Deadline expiries (client-side timeouts).
+    pub timeouts: AtomicU64,
+    /// Sum of round-trip times, µs.
+    pub rtt_us_sum: AtomicU64,
+    /// Results the server reported as freshly simulated.
+    pub src_sim: AtomicU64,
+    /// Results served from the server's in-memory memo.
+    pub src_memo: AtomicU64,
+    /// Results served from the server's on-disk cache.
+    pub src_disk: AtomicU64,
+}
+
+impl WorkerStats {
+    /// Mean observed round-trip in µs (0 when nothing completed).
+    pub fn mean_rtt_us(&self) -> u64 {
+        self.rtt_us_sum
+            .load(Ordering::Relaxed)
+            .checked_div(self.completed.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// One remote worker: address, verified capabilities, health, stats.
+#[derive(Debug)]
+pub struct Worker {
+    /// `host:port` as given on the command line.
+    pub addr: String,
+    /// Stable index (order of the `--workers` list), used in metric
+    /// names and outcome worker ids.
+    pub idx: usize,
+    /// Concurrent request lanes this worker is driven with.
+    pub window: usize,
+    /// Capabilities from the handshake (`None` when unreachable at
+    /// startup).
+    pub info: Option<ServerInfo>,
+    health: Mutex<Health>,
+    consecutive_failures: AtomicUsize,
+    /// Per-worker dispatch tallies.
+    pub stats: WorkerStats,
+}
+
+impl Worker {
+    /// A handshook, alive worker driven with `window` lanes.
+    pub fn alive(addr: String, idx: usize, window: usize, info: ServerInfo) -> Self {
+        Worker {
+            addr,
+            idx,
+            window,
+            info: Some(info),
+            health: Mutex::new(Health::Alive),
+            consecutive_failures: AtomicUsize::new(0),
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// A worker that was unreachable at handshake: tolerated, but
+    /// starts dead and gets no lanes.
+    pub fn dead(addr: String, idx: usize) -> Self {
+        Worker {
+            addr,
+            idx,
+            window: 0,
+            info: None,
+            health: Mutex::new(Health::Dead),
+            consecutive_failures: AtomicUsize::new(DEATH_THRESHOLD as usize),
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// Current health.
+    pub fn health(&self) -> Health {
+        *self.health.lock().unwrap()
+    }
+
+    /// Whether the worker is declared dead.
+    pub fn is_dead(&self) -> bool {
+        self.health() == Health::Dead
+    }
+
+    /// Records a successful interaction: failures reset, health back
+    /// to alive (a dead worker stays dead — lanes have already left).
+    pub fn note_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        let mut h = self.health.lock().unwrap();
+        if *h == Health::Suspect {
+            *h = Health::Alive;
+        }
+    }
+
+    /// Records a failed interaction; after [`DEATH_THRESHOLD`]
+    /// consecutive failures the worker is declared dead. Returns the
+    /// resulting health.
+    pub fn note_failure(&self) -> Health {
+        let n = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut h = self.health.lock().unwrap();
+        if *h != Health::Dead {
+            *h = if n >= DEATH_THRESHOLD as usize {
+                Health::Dead
+            } else {
+                Health::Suspect
+            };
+        }
+        *h
+    }
+
+    /// Declares the worker dead immediately (connection refused —
+    /// the process is gone, no point counting to the threshold).
+    pub fn mark_dead(&self) {
+        *self.health.lock().unwrap() = Health::Dead;
+    }
+}
+
+/// The fleet, plus a cached count of living members.
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// All configured workers, in `--workers` order.
+    pub workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Wraps the handshook fleet.
+    pub fn new(workers: Vec<Worker>) -> Self {
+        WorkerPool { workers }
+    }
+
+    /// Workers not currently declared dead.
+    pub fn alive_count(&self) -> usize {
+        self.workers.iter().filter(|w| !w.is_dead()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> ServerInfo {
+        ServerInfo {
+            version: "0".into(),
+            workers: 2,
+            cache: false,
+            base_sim: "sim".into(),
+            tracegen: "tg".into(),
+        }
+    }
+
+    #[test]
+    fn three_consecutive_failures_kill_a_worker() {
+        let w = Worker::alive("h:1".into(), 0, 2, info());
+        assert_eq!(w.health(), Health::Alive);
+        assert_eq!(w.note_failure(), Health::Suspect);
+        assert_eq!(w.note_failure(), Health::Suspect);
+        assert_eq!(w.note_failure(), Health::Dead);
+        // Death is sticky: a late success cannot resurrect it.
+        w.note_success();
+        assert!(w.is_dead());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let w = Worker::alive("h:1".into(), 0, 2, info());
+        w.note_failure();
+        w.note_failure();
+        w.note_success();
+        assert_eq!(w.health(), Health::Alive);
+        // The streak restarts from zero.
+        assert_eq!(w.note_failure(), Health::Suspect);
+        assert_eq!(w.note_failure(), Health::Suspect);
+        assert_eq!(w.note_failure(), Health::Dead);
+    }
+
+    #[test]
+    fn pool_counts_the_living() {
+        let pool = WorkerPool::new(vec![
+            Worker::alive("a:1".into(), 0, 1, info()),
+            Worker::dead("b:2".into(), 1),
+        ]);
+        assert_eq!(pool.alive_count(), 1);
+        pool.workers[0].mark_dead();
+        assert_eq!(pool.alive_count(), 0);
+    }
+}

@@ -23,6 +23,18 @@ pub struct SweepArgs {
     pub json: bool,
     /// Bypass the result cache (always simulate).
     pub no_cache: bool,
+    /// Remote `dtm-serve` worker addresses (`--dist host:port,...`).
+    /// When set, binaries that support it run the sweep through the
+    /// distributed backend instead of the local pool.
+    pub dist_workers: Vec<String>,
+    /// Local threads to mix in alongside remote workers
+    /// (`--dist-local N`; default 0 = pure remote).
+    pub dist_local: usize,
+    /// Per-cell remote deadline in seconds (`--dist-deadline S`).
+    pub dist_deadline: f64,
+    /// Remote retry budget per cell before falling back to local
+    /// execution (`--dist-retries N`).
+    pub dist_retries: u32,
 }
 
 impl Default for SweepArgs {
@@ -32,6 +44,10 @@ impl Default for SweepArgs {
             workers: None,
             json: false,
             no_cache: false,
+            dist_workers: Vec::new(),
+            dist_local: 0,
+            dist_deadline: 30.0,
+            dist_retries: 2,
         }
     }
 }
@@ -60,6 +76,24 @@ impl SweepArgs {
                         None => usage(&format!("{a} requires a positive integer")),
                     }
                 }
+                "--dist" => match args.next() {
+                    Some(list) => out
+                        .dist_workers
+                        .extend(list.split(',').filter(|s| !s.is_empty()).map(String::from)),
+                    None => usage("--dist requires host:port[,host:port...]"),
+                },
+                "--dist-local" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => out.dist_local = n,
+                    None => usage("--dist-local requires an integer"),
+                },
+                "--dist-deadline" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                    Some(d) if d > 0.0 => out.dist_deadline = d,
+                    _ => usage("--dist-deadline requires positive seconds"),
+                },
+                "--dist-retries" => match args.next().and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) => out.dist_retries = n,
+                    None => usage("--dist-retries requires an integer"),
+                },
                 "--help" | "-h" => usage(""),
                 other => match other.parse::<f64>() {
                     Ok(d) if d > 0.0 => out.duration = d,
@@ -75,7 +109,10 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: <exp> [DURATION_SECONDS] [--workers N | -j N] [--json] [--no-cache]");
+    eprintln!(
+        "usage: <exp> [DURATION_SECONDS] [--workers N | -j N] [--json] [--no-cache]\n\
+         \x20          [--dist host:port,...] [--dist-local N] [--dist-deadline S] [--dist-retries N]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -113,5 +150,28 @@ mod tests {
     #[test]
     fn zero_workers_clamps_to_one() {
         assert_eq!(parse(&["--workers", "0"]).workers, Some(1));
+    }
+
+    #[test]
+    fn dist_flags_parse() {
+        let a = parse(&[
+            "--dist",
+            "10.0.0.1:4000,10.0.0.2:4000",
+            "--dist-local",
+            "2",
+            "--dist-deadline",
+            "12.5",
+            "--dist-retries",
+            "5",
+        ]);
+        assert_eq!(a.dist_workers, vec!["10.0.0.1:4000", "10.0.0.2:4000"]);
+        assert_eq!(a.dist_local, 2);
+        assert!((a.dist_deadline - 12.5).abs() < 1e-12);
+        assert_eq!(a.dist_retries, 5);
+        // Repeated --dist accumulates.
+        let b = parse(&["--dist", "a:1", "--dist", "b:2"]);
+        assert_eq!(b.dist_workers, vec!["a:1", "b:2"]);
+        // Default is a purely local run.
+        assert!(parse(&[]).dist_workers.is_empty());
     }
 }

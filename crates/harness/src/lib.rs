@@ -51,5 +51,7 @@ pub use cli::SweepArgs;
 pub use ledger::{Ledger, DEFAULT_LEDGER_PATH};
 pub use progress::Progress;
 pub use report::Table;
-pub use runner::{run_standard, SweepRunner, WORKERS_ENV};
+pub use runner::{
+    run_standard, Backend, BackendCtx, LocalBackend, LocalExec, SweepRunner, WORKERS_ENV,
+};
 pub use sweep::{CellIndex, CellOutcome, ConfigVariant, SweepResults, SweepSpec};

@@ -1,12 +1,20 @@
 //! The parallel sweep executor: a worker pool over the cells of a
 //! [`SweepSpec`], fed by the content-addressed [`ResultCache`] and
 //! observed through the run [`Ledger`] and a progress reporter.
+//!
+//! Execution is delegated to a [`Backend`]: the built-in
+//! [`LocalBackend`] is the classic in-process worker pool, while
+//! `dtm-dist` provides a remote backend that dispatches cells to a
+//! fleet of `dtm-serve` workers over TCP (and can mix in local
+//! threads). The runner itself owns everything backend-independent —
+//! the cache pass, the ledger, progress reporting, and outcome
+//! collection — so every backend produces byte-identical bookkeeping.
 
 use crate::cache::{cell_key, CellKey, ResultCache};
 use crate::json::Json;
 use crate::ledger::Ledger;
 use crate::progress::Progress;
-use crate::sweep::{CellOutcome, SweepResults, SweepSpec};
+use crate::sweep::{CellIndex, CellOutcome, SweepResults, SweepSpec};
 use dtm_core::{Experiment, ObsHandle, SimError};
 use dtm_workloads::{Benchmark, TraceGenConfig, TraceLibrary};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -15,6 +23,221 @@ use std::time::{Duration, Instant};
 
 /// Environment variable overriding the worker count.
 pub const WORKERS_ENV: &str = "DTM_WORKERS";
+
+/// Everything a [`Backend`] needs to execute the missed cells of one
+/// sweep: the spec and its flattened cells/keys, which cells missed the
+/// cache, and the shared infrastructure handles.
+pub struct BackendCtx<'a> {
+    /// The sweep being executed.
+    pub spec: &'a SweepSpec,
+    /// All cells of the spec, in canonical order.
+    pub cells: &'a [CellIndex],
+    /// Content address of each cell (parallel to `cells`).
+    pub keys: &'a [CellKey],
+    /// Indexes into `cells` that missed the cache and must be executed.
+    pub misses: &'a [usize],
+    /// The shared trace library.
+    pub lib: &'a Arc<TraceLibrary>,
+    /// The result cache to publish fresh results into (if any).
+    pub cache: Option<&'a ResultCache>,
+    /// Observability handle (disabled by default).
+    pub obs: &'a ObsHandle,
+    /// When the sweep started (queue-wait baseline).
+    pub sweep_start: Instant,
+    /// The runner's resolved worker count.
+    pub workers: usize,
+}
+
+impl BackendCtx<'_> {
+    /// Publishes a finished cell's result into the sweep's cache (if
+    /// one is attached), with the same canonical describe record
+    /// regardless of which backend produced the result — so cache
+    /// contents are bit-identical across local and remote execution.
+    pub fn publish(&self, i: usize, result: &dtm_core::RunResult) {
+        let Some(cache) = self.cache else { return };
+        let cell = self.cells[i];
+        let workload = &self.spec.workload_axis()[cell.workload];
+        let policy = self.spec.policy_axis()[cell.policy];
+        let variant = &self.spec.variant_axis()[cell.variant];
+        let mut fields = vec![
+            ("workload".into(), Json::str(workload.display_name())),
+            ("mix".into(), Json::str(workload.mix_label())),
+            ("policy".into(), Json::str(policy.name())),
+            ("variant".into(), Json::str(&variant.name)),
+            ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+        ];
+        if !variant.faults.is_ideal() {
+            fields.push(("faults".into(), Json::str(&variant.faults.scenario.name)));
+        }
+        cache.store(self.keys[i], &Json::Obj(fields), result);
+    }
+
+    /// Generates (or disk-loads) the traces every benchmark in `subset`
+    /// (indexes into `cells`) needs, across `workers` threads — so
+    /// executors replay traces instead of racing to generate them.
+    pub fn prewarm(&self, subset: &[usize], workers: usize) {
+        let mut benches: Vec<Benchmark> = Vec::new();
+        for &i in subset {
+            for b in self.spec.workload_axis()[self.cells[i].workload].resolve() {
+                if !benches.iter().any(|x| x.name == b.name) {
+                    benches.push(b);
+                }
+            }
+        }
+        let next = AtomicUsize::new(0);
+        let lib = self.lib;
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(benches.len()).max(1) {
+                s.spawn(|| loop {
+                    let j = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(b) = benches.get(j) else { break };
+                    let _ = lib.trace(b);
+                });
+            }
+        });
+    }
+}
+
+/// Executes one cell at a time, in-process — the shared machinery
+/// behind [`LocalBackend`] and any mixed/fallback local execution a
+/// remote backend performs. Holds one [`Experiment`] per config
+/// variant over the shared trace library, so repeated cells of one
+/// variant reuse prewarmed solver state.
+pub struct LocalExec {
+    experiments: Vec<Experiment>,
+}
+
+impl LocalExec {
+    /// Builds the per-variant experiments (instrumented when the
+    /// context's obs handle is enabled).
+    pub fn new(ctx: &BackendCtx<'_>) -> Self {
+        let experiments = ctx
+            .spec
+            .variant_axis()
+            .iter()
+            .map(|v| {
+                Experiment::new_shared(Arc::clone(ctx.lib), v.sim.clone(), v.dtm)
+                    .with_faults(v.faults.clone())
+                    .with_obs(ctx.obs)
+            })
+            .collect();
+        LocalExec { experiments }
+    }
+
+    /// Simulates cell `i` (an index into `ctx.cells`) as worker `wid`,
+    /// publishes the result to the cache, and records the runner's
+    /// per-cell observability (span, wall/queue histograms, worker-busy
+    /// counter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulation failure.
+    pub fn run_cell(
+        &self,
+        ctx: &BackendCtx<'_>,
+        i: usize,
+        wid: usize,
+    ) -> Result<CellOutcome, SimError> {
+        let cell = ctx.cells[i];
+        let spec = ctx.spec;
+        let workload = &spec.workload_axis()[cell.workload];
+        let policy = spec.policy_axis()[cell.policy];
+        let obs = ctx.obs;
+        let t0 = Instant::now();
+        let queued = t0.duration_since(ctx.sweep_start);
+        let cell_start_ns = obs.now_ns();
+        let result = self.experiments[cell.variant].run(workload, policy)?;
+        ctx.publish(i, &result);
+        let wall = t0.elapsed();
+        if obs.is_enabled() {
+            let wall_ns = wall.as_nanos() as u64;
+            obs.record_span(
+                "harness",
+                format!("{}/{}", workload.display_name(), policy.name()),
+                cell_start_ns,
+                wall_ns,
+            );
+            obs.histogram("dtm_cell_wall_ns").record(wall_ns);
+            obs.histogram("dtm_cell_queue_ns")
+                .record(queued.as_nanos() as u64);
+            obs.counter("dtm_cells_executed_total").inc();
+            obs.counter(&format!("dtm_worker_{wid}_busy_ns_total"))
+                .add(wall_ns);
+        }
+        Ok(CellOutcome {
+            index: cell,
+            key: ctx.keys[i].hex(),
+            result,
+            cached: false,
+            wall,
+            queued,
+            worker: wid,
+        })
+    }
+}
+
+/// A sweep execution strategy: given the missed cells of one sweep,
+/// produce one [`CellOutcome`] per cell (in any order) on `tx`.
+///
+/// Contract: exactly one `Ok(outcome)` per entry of `ctx.misses`
+/// (duplicates from speculative execution must be reconciled away by
+/// the backend), or at least one `Err` after which remaining cells may
+/// be abandoned. `run_cells` blocks until done; the runner collects
+/// outcomes concurrently from its own thread.
+pub trait Backend: Send + Sync + std::fmt::Debug {
+    /// Executes the missed cells, sending outcomes over `tx`.
+    fn run_cells(&self, ctx: &BackendCtx<'_>, tx: &mpsc::Sender<Result<CellOutcome, SimError>>);
+
+    /// One-line description for progress/log output.
+    fn label(&self) -> String;
+}
+
+/// The classic in-process worker pool: `ctx.workers` threads pulling
+/// cells off a shared index, one prewarmed [`Experiment`] per config
+/// variant.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalBackend;
+
+impl Backend for LocalBackend {
+    fn run_cells(&self, ctx: &BackendCtx<'_>, tx: &mpsc::Sender<Result<CellOutcome, SimError>>) {
+        let workers = ctx.workers.min(ctx.misses.len().max(1));
+        ctx.prewarm(ctx.misses, workers);
+        let exec = LocalExec::new(ctx);
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for wid in 1..=workers {
+                let tx = tx.clone();
+                let exec = &exec;
+                let next = &next;
+                let abort = &abort;
+                s.spawn(move || loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let j = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(&i) = ctx.misses.get(j) else { break };
+                    match exec.run_cell(ctx, i, wid) {
+                        Ok(outcome) => {
+                            if tx.send(Ok(outcome)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            abort.store(true, Ordering::Relaxed);
+                            let _ = tx.send(Err(e));
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    fn label(&self) -> String {
+        "local".into()
+    }
+}
 
 /// Executes sweep grids in parallel with caching and a run ledger.
 ///
@@ -39,6 +262,7 @@ pub struct SweepRunner {
     ledger: Option<Ledger>,
     progress: bool,
     obs: ObsHandle,
+    backend: Arc<dyn Backend>,
 }
 
 impl SweepRunner {
@@ -59,6 +283,7 @@ impl SweepRunner {
             ledger: None,
             progress: false,
             obs: ObsHandle::disabled(),
+            backend: Arc::new(LocalBackend),
         }
     }
 
@@ -74,6 +299,7 @@ impl SweepRunner {
             ledger: Some(Ledger::default_location()),
             progress: true,
             obs: ObsHandle::disabled(),
+            backend: Arc::new(LocalBackend),
         }
     }
 
@@ -100,6 +326,12 @@ impl SweepRunner {
     /// Disables progress reporting.
     pub fn quiet(mut self) -> Self {
         self.progress = false;
+        self
+    }
+
+    /// Replaces the execution backend (default: [`LocalBackend`]).
+    pub fn with_backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -136,8 +368,8 @@ impl SweepRunner {
     }
 
     /// Executes every cell of `spec` — cache hits served without
-    /// simulation, misses fanned out across the worker pool — and
-    /// returns the indexed results.
+    /// simulation, misses handed to the backend — and returns the
+    /// indexed results.
     ///
     /// # Errors
     ///
@@ -190,7 +422,6 @@ impl SweepRunner {
         let misses: Vec<usize> = (0..cells.len())
             .filter(|&i| outcomes[i].is_none())
             .collect();
-        let workers = self.worker_count().min(misses.len().max(1));
 
         let mut progress = Progress::new(cells.len(), self.progress);
         for o in outcomes.iter().flatten() {
@@ -201,119 +432,25 @@ impl SweepRunner {
         }
 
         if !misses.is_empty() {
-            // Pre-warm the trace library so workers replay traces
-            // instead of racing to generate them. Only benchmarks that
-            // a missing cell actually needs are generated.
-            let mut benches: Vec<Benchmark> = Vec::new();
-            for &i in &misses {
-                for b in spec.workload_axis()[cells[i].workload].resolve() {
-                    if !benches.iter().any(|x| x.name == b.name) {
-                        benches.push(b);
-                    }
-                }
-            }
-            self.parallel_prewarm(&benches, workers);
-
-            // One shared Experiment per config variant, all over the
-            // same Arc'd trace library.
-            let experiments: Vec<Experiment> = spec
-                .variant_axis()
-                .iter()
-                .map(|v| {
-                    Experiment::new_shared(self.library(), v.sim.clone(), v.dtm)
-                        .with_faults(v.faults.clone())
-                        .with_obs(&obs)
-                })
-                .collect();
-
-            let next = AtomicUsize::new(0);
-            let abort = AtomicBool::new(false);
+            let ctx = BackendCtx {
+                spec: &spec,
+                cells: &cells,
+                keys: &keys,
+                misses: &misses,
+                lib: &self.lib,
+                cache: self.cache.as_ref(),
+                obs: &obs,
+                sweep_start,
+                workers: self.worker_count(),
+            };
             let (tx, rx) = mpsc::channel::<Result<CellOutcome, SimError>>();
             let mut first_error: Option<SimError> = None;
-
+            let backend = &self.backend;
             std::thread::scope(|s| {
-                for wid in 1..=workers {
-                    let tx = tx.clone();
-                    let spec = &spec;
-                    let cells = &cells;
-                    let keys = &keys;
-                    let misses = &misses;
-                    let experiments = &experiments;
-                    let next = &next;
-                    let abort = &abort;
-                    let cache = self.cache.as_ref();
-                    let obs = &obs;
-                    s.spawn(move || loop {
-                        if abort.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let j = next.fetch_add(1, Ordering::SeqCst);
-                        let Some(&i) = misses.get(j) else { break };
-                        let cell = cells[i];
-                        let workload = &spec.workload_axis()[cell.workload];
-                        let policy = spec.policy_axis()[cell.policy];
-                        let variant = &spec.variant_axis()[cell.variant];
-                        let t0 = Instant::now();
-                        let queued = t0.duration_since(sweep_start);
-                        let cell_start_ns = obs.now_ns();
-                        match experiments[cell.variant].run(workload, policy) {
-                            Ok(result) => {
-                                if let Some(cache) = cache {
-                                    let mut fields = vec![
-                                        ("workload".into(), Json::str(workload.display_name())),
-                                        ("mix".into(), Json::str(workload.mix_label())),
-                                        ("policy".into(), Json::str(policy.name())),
-                                        ("variant".into(), Json::str(&variant.name)),
-                                        ("version".into(), Json::str(version)),
-                                    ];
-                                    if !variant.faults.is_ideal() {
-                                        fields.push((
-                                            "faults".into(),
-                                            Json::str(&variant.faults.scenario.name),
-                                        ));
-                                    }
-                                    let describe = Json::Obj(fields);
-                                    cache.store(keys[i], &describe, &result);
-                                }
-                                let wall = t0.elapsed();
-                                if obs.is_enabled() {
-                                    let wall_ns = wall.as_nanos() as u64;
-                                    obs.record_span(
-                                        "harness",
-                                        format!("{}/{}", workload.display_name(), policy.name()),
-                                        cell_start_ns,
-                                        wall_ns,
-                                    );
-                                    obs.histogram("dtm_cell_wall_ns").record(wall_ns);
-                                    obs.histogram("dtm_cell_queue_ns")
-                                        .record(queued.as_nanos() as u64);
-                                    obs.counter("dtm_cells_executed_total").inc();
-                                    obs.counter(&format!("dtm_worker_{wid}_busy_ns_total"))
-                                        .add(wall_ns);
-                                }
-                                let outcome = CellOutcome {
-                                    index: cell,
-                                    key: keys[i].hex(),
-                                    result,
-                                    cached: false,
-                                    wall,
-                                    queued,
-                                    worker: wid,
-                                };
-                                if tx.send(Ok(outcome)).is_err() {
-                                    break;
-                                }
-                            }
-                            Err(e) => {
-                                abort.store(true, Ordering::Relaxed);
-                                let _ = tx.send(Err(e));
-                                break;
-                            }
-                        }
-                    });
-                }
-                drop(tx);
-
+                s.spawn(move || backend.run_cells(&ctx, &tx));
+                // `tx` is moved into (and dropped by) the backend
+                // thread, so this loop ends exactly when the backend
+                // returns.
                 for msg in rx {
                     match msg {
                         Ok(outcome) => {
@@ -328,7 +465,6 @@ impl SweepRunner {
                             outcomes[i] = Some(outcome);
                         }
                         Err(e) => {
-                            abort.store(true, Ordering::Relaxed);
                             if first_error.is_none() {
                                 first_error = Some(e);
                             }
@@ -353,22 +489,6 @@ impl SweepRunner {
             results = results.with_cache_stats(cache.stats());
         }
         Ok(results)
-    }
-
-    /// Generates (or disk-loads) the traces for `benches` across the
-    /// worker pool.
-    fn parallel_prewarm(&self, benches: &[Benchmark], workers: usize) {
-        let next = AtomicUsize::new(0);
-        let lib = &self.lib;
-        std::thread::scope(|s| {
-            for _ in 0..workers.min(benches.len()).max(1) {
-                s.spawn(|| loop {
-                    let j = next.fetch_add(1, Ordering::SeqCst);
-                    let Some(b) = benches.get(j) else { break };
-                    let _ = lib.trace(b);
-                });
-            }
-        });
     }
 }
 
@@ -612,5 +732,52 @@ mod tests {
             "expected >1 worker on 12 cells, saw {}",
             results.workers_used()
         );
+    }
+
+    /// A backend that serves every missed cell through [`LocalExec`]
+    /// one at a time — exercises the Backend seam itself.
+    #[derive(Debug)]
+    struct SerialBackend;
+
+    impl Backend for SerialBackend {
+        fn run_cells(
+            &self,
+            ctx: &BackendCtx<'_>,
+            tx: &mpsc::Sender<Result<CellOutcome, SimError>>,
+        ) {
+            ctx.prewarm(ctx.misses, 1);
+            let exec = LocalExec::new(ctx);
+            for &i in ctx.misses {
+                let r = exec.run_cell(ctx, i, 7);
+                let failed = r.is_err();
+                let _ = tx.send(r);
+                if failed {
+                    break;
+                }
+            }
+        }
+
+        fn label(&self) -> String {
+            "serial-test".into()
+        }
+    }
+
+    #[test]
+    fn custom_backend_produces_identical_results() {
+        let spec = tiny_spec();
+        let local = SweepRunner::bare(fast_lib())
+            .with_workers(2)
+            .run(spec.clone())
+            .expect("local run");
+        let custom = SweepRunner::bare(fast_lib())
+            .with_backend(Arc::new(SerialBackend))
+            .run(spec)
+            .expect("custom-backend run");
+        assert_eq!(custom.executed(), 4);
+        for (a, b) in local.outcomes().iter().zip(custom.outcomes()) {
+            assert_eq!(a.result, b.result, "backend changed a result");
+            assert_eq!(a.result.duty_cycle.to_bits(), b.result.duty_cycle.to_bits());
+            assert_eq!(b.worker, 7, "custom backend's worker id is preserved");
+        }
     }
 }

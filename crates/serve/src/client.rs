@@ -2,71 +2,178 @@
 //!
 //! One [`Client`] wraps one TCP connection and drives the strict
 //! request → response alternation the protocol defines. The load
-//! generator opens many of these (one per concurrent connection), and
-//! the integration suite uses them to script exact scenarios.
+//! generator opens many of these (one per concurrent connection), the
+//! integration suite uses them to script exact scenarios, and the
+//! `dtm-dist` coordinator builds its per-worker channels out of them —
+//! which is why the client carries its own connect/read timeouts and a
+//! `try_clone`-free [`Client::reconnect`] path: a retry loop must never
+//! block forever on a half-dead TCP peer.
 
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{write_frame, FrameReader, ReadOutcome, Request, Response, ServerInfo};
 use crate::request::SimRequest;
-use std::io::{self, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// A connected protocol client.
+///
+/// The single `TcpStream` serves both directions ([`write_frame`]
+/// issues one `write_all`, so no write buffering is needed), which
+/// keeps the client cloneless: reconnecting replaces the stream
+/// outright instead of hunting down `try_clone` twins.
 #[derive(Debug)]
 pub struct Client {
-    reader: TcpStream,
-    writer: BufWriter<TcpStream>,
+    stream: TcpStream,
+    reader: FrameReader,
+    /// The address dialed, for [`Client::reconnect`].
+    addr: SocketAddr,
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server (no timeouts: reads block indefinitely).
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
+    /// Propagates resolution and connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addr = resolve(addr)?;
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let reader = stream.try_clone()?;
         Ok(Client {
-            reader,
-            writer: BufWriter::new(stream),
+            stream,
+            reader: FrameReader::new(),
+            addr,
+            connect_timeout: None,
+            read_timeout: None,
         })
     }
 
-    /// Connects with a bounded connect timeout (first resolved address).
+    /// Connects with a bounded connect timeout (first resolved
+    /// address), remembered for later [`Client::reconnect`] calls.
     ///
     /// # Errors
     ///
     /// Propagates resolution and connection failures.
     pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
-        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
-        })?;
+        let addr = resolve(addr)?;
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_nodelay(true)?;
-        let reader = stream.try_clone()?;
         Ok(Client {
-            reader,
-            writer: BufWriter::new(stream),
+            stream,
+            reader: FrameReader::new(),
+            addr,
+            connect_timeout: Some(timeout),
+            read_timeout: None,
         })
     }
 
-    /// Sends one request and blocks for its response.
+    /// Bounds every subsequent response wait: a [`Client::call`] whose
+    /// reply does not arrive within `timeout` fails with
+    /// `io::ErrorKind::TimedOut` instead of blocking forever.
     ///
     /// # Errors
     ///
-    /// I/O errors, a mid-response hangup, or an undecodable response.
+    /// Propagates the socket option failure.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> io::Result<Client> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.read_timeout = Some(timeout);
+        Ok(self)
+    }
+
+    /// The peer address this client dials.
+    pub fn peer(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drops the current connection and dials the remembered address
+    /// again, discarding any half-received frame. The coordinator calls
+    /// this between retries so one wedged connection cannot poison the
+    /// next attempt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (the old stream is already gone).
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = match self.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(&self.addr, t)?,
+            None => TcpStream::connect(self.addr)?,
+        };
+        stream.set_nodelay(true)?;
+        if let Some(t) = self.read_timeout {
+            stream.set_read_timeout(Some(t))?;
+        }
+        self.stream = stream;
+        self.reader = FrameReader::new();
+        Ok(())
+    }
+
+    /// Sends one request and blocks for its response, honoring the
+    /// configured read timeout (if any).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, `TimedOut` when the read timeout elapses, a
+    /// mid-response hangup, or an undecodable response.
     pub fn call(&mut self, request: &Request) -> io::Result<Response> {
-        write_frame(&mut self.writer, &request.encode())?;
-        self.writer.flush()?;
-        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server hung up before responding",
-            )
-        })?;
-        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        self.call_inner(request, self.read_timeout)
+    }
+
+    /// Like [`Client::call`], but with an explicit overall deadline for
+    /// this one exchange (overriding the configured read timeout).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn call_deadline(&mut self, request: &Request, deadline: Duration) -> io::Result<Response> {
+        let prev = self.stream.read_timeout()?;
+        let out = self.call_inner(request, Some(deadline));
+        // Restore the standing timeout whatever happened.
+        let _ = self.stream.set_read_timeout(prev);
+        out
+    }
+
+    fn call_inner(&mut self, request: &Request, budget: Option<Duration>) -> io::Result<Response> {
+        (&mut &self.stream).write_all(&frame_bytes(&request.encode())?)?;
+        let start = Instant::now();
+        loop {
+            if let Some(budget) = budget {
+                let remaining = budget
+                    .checked_sub(start.elapsed())
+                    .unwrap_or(Duration::ZERO);
+                if remaining.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("no response within {budget:?}"),
+                    ));
+                }
+                self.stream.set_read_timeout(Some(remaining))?;
+            }
+            match self.reader.read(&mut &self.stream)? {
+                ReadOutcome::Frame(payload) => {
+                    return Response::decode(&payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+                }
+                ReadOutcome::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server hung up before responding",
+                    ));
+                }
+                ReadOutcome::TimedOut => {
+                    // With an explicit budget the loop re-checks the
+                    // remaining time; with only a standing read timeout
+                    // the timeout IS the budget.
+                    if budget.is_none() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "no response within the read timeout",
+                        ));
+                    }
+                }
+            }
+        }
     }
 
     /// Convenience: one simulate round-trip.
@@ -100,8 +207,18 @@ impl Client {
     ///
     /// See [`Client::call`]; errors unless the server answers `pong`.
     pub fn ping(&mut self) -> io::Result<()> {
+        self.ping_info().map(|_| ())
+    }
+
+    /// Liveness probe returning the server's version/capability
+    /// payload — `None` when the server predates the handshake.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`]; errors unless the server answers `pong`.
+    pub fn ping_info(&mut self) -> io::Result<Option<ServerInfo>> {
         match self.call(&Request::Ping)? {
-            Response::Pong => Ok(()),
+            Response::Pong { info } => Ok(info),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected pong, got {other:?}"),
@@ -122,5 +239,108 @@ impl Client {
                 format!("expected shutdown ack, got {other:?}"),
             )),
         }
+    }
+}
+
+fn resolve(addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing"))
+}
+
+/// Encodes one frame into a standalone buffer (header + payload), so a
+/// call site without a buffered writer still sends it in one
+/// `write_all`.
+fn frame_bytes(payload: &[u8]) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    write_frame(&mut buf, payload)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn read_timeout_fires_against_a_silent_listener() {
+        // A listener that accepts and then says nothing — the shape of
+        // a half-dead peer. The client must fail with TimedOut in
+        // bounded time instead of hanging.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            // Keep the accepted socket alive long enough for the
+            // client to time out (dropping it would EOF instead).
+            let (sock, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+            drop(sock);
+        });
+
+        let t0 = Instant::now();
+        let mut client = Client::connect_timeout(addr, Duration::from_secs(1))
+            .unwrap()
+            .with_read_timeout(Duration::from_millis(100))
+            .unwrap();
+        let err = client.ping().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "timed out promptly, not after {:?}",
+            t0.elapsed()
+        );
+
+        // An explicit per-call deadline works too, and overrides the
+        // standing timeout.
+        let t1 = Instant::now();
+        let err = client
+            .call_deadline(&Request::Ping, Duration::from_millis(300))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        let waited = t1.elapsed();
+        assert!(
+            waited >= Duration::from_millis(250) && waited < Duration::from_secs(1),
+            "deadline governed the wait: {waited:?}"
+        );
+        hold.join().unwrap();
+    }
+
+    #[test]
+    fn reconnect_dials_the_same_peer_with_a_fresh_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Accept two connections; answer a ping only on the second.
+            let (first, _) = listener.accept().unwrap();
+            drop(first); // hang up on the first connection immediately
+            let (second, _) = listener.accept().unwrap();
+            let mut fr = FrameReader::new();
+            let mut s = &second;
+            loop {
+                match fr.read(&mut s).unwrap() {
+                    ReadOutcome::Frame(p) => {
+                        assert_eq!(Request::decode(&p).unwrap(), Request::Ping);
+                        let resp = Response::Pong { info: None }.encode();
+                        write_frame(&mut s, &resp).unwrap();
+                        break;
+                    }
+                    ReadOutcome::Eof => panic!("client hung up early"),
+                    ReadOutcome::TimedOut => continue,
+                }
+            }
+        });
+
+        let mut client = Client::connect_timeout(addr, Duration::from_secs(1))
+            .unwrap()
+            .with_read_timeout(Duration::from_millis(500))
+            .unwrap();
+        // First connection is dead: the call fails one way or another
+        // (EOF or reset, depending on timing).
+        assert!(client.ping().is_err());
+        // Reconnect and succeed.
+        client.reconnect().unwrap();
+        assert_eq!(client.ping_info().unwrap(), None);
+        assert_eq!(client.peer(), addr);
+        server.join().unwrap();
     }
 }

@@ -43,7 +43,7 @@ pub mod server;
 pub mod stats;
 
 pub use client::Client;
-pub use protocol::{Request, Response, ResultSource, SimResponse};
+pub use protocol::{ProtocolError, Request, Response, ResultSource, ServerInfo, SimResponse};
 pub use request::SimRequest;
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownReport};
 pub use stats::ServeStats;

@@ -24,6 +24,53 @@ use std::io::{self, Read, Write};
 /// server's memory.
 pub const MAX_FRAME: u32 = 4 * 1024 * 1024;
 
+/// A typed framing violation, carried as the source of the `io::Error`
+/// the codec functions return. Callers that need to distinguish "the
+/// peer is speaking garbage" (drop the worker) from transient socket
+/// errors (retry) classify with [`ProtocolError::classify`] instead of
+/// string-matching error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A length prefix (or outgoing payload) exceeded [`MAX_FRAME`].
+    Oversize {
+        /// The offending length, in bytes.
+        len: u64,
+    },
+    /// The connection closed mid-frame (torn header or short payload).
+    Truncated,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Oversize { len } => {
+                write!(f, "frame of {len} B exceeds MAX_FRAME ({MAX_FRAME} B)")
+            }
+            ProtocolError::Truncated => write!(f, "connection closed mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl ProtocolError {
+    /// Extracts the protocol violation behind an `io::Error`, if that
+    /// is what it wraps.
+    pub fn classify(e: &io::Error) -> Option<ProtocolError> {
+        e.get_ref()
+            .and_then(|inner| inner.downcast_ref::<ProtocolError>())
+            .copied()
+    }
+
+    fn oversize(len: u64) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, ProtocolError::Oversize { len })
+    }
+
+    fn truncated() -> io::Error {
+        io::Error::new(io::ErrorKind::UnexpectedEof, ProtocolError::Truncated)
+    }
+}
+
 /// Writes one frame as a single buffered `write_all` (header and
 /// payload in one syscall on the happy path).
 ///
@@ -32,10 +79,7 @@ pub const MAX_FRAME: u32 = 4 * 1024 * 1024;
 /// Propagates I/O errors; refuses payloads over [`MAX_FRAME`].
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     if payload.len() > MAX_FRAME as usize {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!("frame of {} B exceeds MAX_FRAME", payload.len()),
-        ));
+        return Err(ProtocolError::oversize(payload.len() as u64));
     }
     let mut buf = Vec::with_capacity(4 + payload.len());
     buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
@@ -67,17 +111,24 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
         }
     }
     len[0] = first[0];
-    r.read_exact(&mut len[1..])?;
+    r.read_exact(&mut len[1..]).map_err(truncation)?;
     let n = u32::from_be_bytes(len);
     if n > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {n} exceeds MAX_FRAME"),
-        ));
+        return Err(ProtocolError::oversize(u64::from(n)));
     }
     let mut payload = vec![0u8; n as usize];
-    r.read_exact(&mut payload)?;
+    r.read_exact(&mut payload).map_err(truncation)?;
     Ok(Some(payload))
+}
+
+/// Maps a mid-frame `UnexpectedEof` onto the typed
+/// [`ProtocolError::Truncated`]; other I/O errors pass through.
+fn truncation(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        ProtocolError::truncated()
+    } else {
+        e
+    }
 }
 
 /// Outcome of one [`FrameReader::read`] attempt.
@@ -116,10 +167,7 @@ impl FrameReader {
         }
         let n = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
         if n > MAX_FRAME {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("frame length {n} exceeds MAX_FRAME"),
-            ));
+            return Err(ProtocolError::oversize(u64::from(n)));
         }
         let total = 4 + n as usize;
         if self.buf.len() < total {
@@ -148,10 +196,7 @@ impl FrameReader {
                     return if self.buf.is_empty() {
                         Ok(ReadOutcome::Eof)
                     } else {
-                        Err(io::Error::new(
-                            io::ErrorKind::UnexpectedEof,
-                            "connection closed mid-frame",
-                        ))
+                        Err(ProtocolError::truncated())
                     };
                 }
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
@@ -253,6 +298,24 @@ impl ResultSource {
     }
 }
 
+/// Version and capability payload a server attaches to its `pong`
+/// reply, so a coordinator can refuse workers whose configuration
+/// would break the sweep's bit-identical determinism guarantee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Workspace version the server was built from.
+    pub version: String,
+    /// Simulation worker threads the server runs.
+    pub workers: usize,
+    /// Whether a content-addressed result cache is attached.
+    pub cache: bool,
+    /// `Debug` rendering of the server's base `SimConfig` (requests
+    /// resolve against it, so it is part of the result identity).
+    pub base_sim: String,
+    /// `Debug` rendering of the server's trace-generation config.
+    pub tracegen: String,
+}
+
 /// A completed simulation, as returned to the client.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResponse {
@@ -293,8 +356,13 @@ pub enum Response {
         /// The exposition text.
         text: String,
     },
-    /// Liveness reply.
-    Pong,
+    /// Liveness reply, optionally carrying the server's version and
+    /// capabilities. Servers predating the handshake send a bare
+    /// `pong`; decoding maps that onto `info: None`.
+    Pong {
+        /// The responding server's self-description, if it sent one.
+        info: Option<ServerInfo>,
+    },
     /// Acknowledgement that the server is draining.
     ShuttingDown,
 }
@@ -327,7 +395,17 @@ impl Response {
                 ("verb".into(), Json::str("metrics")),
                 ("text".into(), Json::str(text)),
             ]),
-            Response::Pong => Json::Obj(vec![("verb".into(), Json::str("pong"))]),
+            Response::Pong { info } => {
+                let mut fields = vec![("verb".into(), Json::str("pong"))];
+                if let Some(i) = info {
+                    fields.push(("version".into(), Json::str(&i.version)));
+                    fields.push(("workers".into(), Json::usize(i.workers)));
+                    fields.push(("cache".into(), Json::Bool(i.cache)));
+                    fields.push(("base_sim".into(), Json::str(&i.base_sim)));
+                    fields.push(("tracegen".into(), Json::str(&i.tracegen)));
+                }
+                Json::Obj(fields)
+            }
             Response::ShuttingDown => Json::Obj(vec![("verb".into(), Json::str("shutting-down"))]),
         };
         json.emit().into_bytes()
@@ -383,7 +461,30 @@ impl Response {
             "metrics" => Ok(Response::Metrics {
                 text: str_field("text")?,
             }),
-            "pong" => Ok(Response::Pong),
+            "pong" => {
+                // A bare pong (pre-handshake server) carries no
+                // `version` field; the capability payload is all-or-
+                // nothing beyond that.
+                let info = if json.field("version").is_ok() {
+                    Some(ServerInfo {
+                        version: str_field("version")?,
+                        workers: json
+                            .field("workers")
+                            .and_then(|v| v.as_usize())
+                            .map_err(|e| format!("bad `workers`: {e}"))?,
+                        cache: match json.field("cache") {
+                            Ok(Json::Bool(b)) => *b,
+                            Ok(other) => return Err(format!("bad `cache`: {other:?}")),
+                            Err(e) => return Err(format!("bad `cache`: {e}")),
+                        },
+                        base_sim: str_field("base_sim")?,
+                        tracegen: str_field("tracegen")?,
+                    })
+                } else {
+                    None
+                };
+                Ok(Response::Pong { info })
+            }
             "shutting-down" => Ok(Response::ShuttingDown),
             other => Err(format!("unknown response verb `{other}`")),
         }
@@ -483,11 +584,181 @@ mod tests {
             Response::Metrics {
                 text: "# TYPE x counter\nx 1\n".into(),
             },
-            Response::Pong,
+            Response::Pong { info: None },
+            Response::Pong {
+                info: Some(ServerInfo {
+                    version: "0.2.0".into(),
+                    workers: 4,
+                    cache: true,
+                    base_sim: "SimConfig { .. }".into(),
+                    tracegen: "TraceGenConfig { .. }".into(),
+                }),
+            },
             Response::ShuttingDown,
         ] {
             let back = Response::decode(&resp.encode()).unwrap();
             assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn bare_pong_from_an_old_server_still_parses() {
+        // Pre-handshake servers reply with exactly this payload; the
+        // coordinator must keep accepting it (and treat the worker as
+        // version-unknown rather than erroring out).
+        let old = br#"{"verb":"pong"}"#;
+        assert_eq!(
+            Response::decode(old).unwrap(),
+            Response::Pong { info: None }
+        );
+        // And unknown extra fields on a modern pong stay ignored.
+        let future = br#"{"verb":"pong","version":"9.9.9","workers":2,"cache":false,"base_sim":"s","tracegen":"t","quantum_lanes":64}"#;
+        match Response::decode(future).unwrap() {
+            Response::Pong { info: Some(i) } => {
+                assert_eq!(i.version, "9.9.9");
+                assert_eq!(i.workers, 2);
+                assert!(!i.cache);
+            }
+            other => panic!("expected pong+info, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversize_and_truncation_classify_as_protocol_errors() {
+        // Oversize outgoing payload.
+        let big = vec![0u8; MAX_FRAME as usize + 1];
+        let err = write_frame(&mut Vec::new(), &big).unwrap_err();
+        assert_eq!(
+            ProtocolError::classify(&err),
+            Some(ProtocolError::Oversize {
+                len: MAX_FRAME as u64 + 1
+            })
+        );
+
+        // Oversize incoming length prefix, both codec paths.
+        let wire = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        let err = read_frame(&mut Cursor::new(wire.clone())).unwrap_err();
+        assert!(matches!(
+            ProtocolError::classify(&err),
+            Some(ProtocolError::Oversize { .. })
+        ));
+        let err = FrameReader::new().read(&mut Cursor::new(wire)).unwrap_err();
+        assert!(matches!(
+            ProtocolError::classify(&err),
+            Some(ProtocolError::Oversize { .. })
+        ));
+
+        // Truncation: torn header and short payload.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        for cut in [2, 6] {
+            let mut torn = wire.clone();
+            torn.truncate(cut);
+            let err = read_frame(&mut Cursor::new(torn.clone())).unwrap_err();
+            assert_eq!(
+                ProtocolError::classify(&err),
+                Some(ProtocolError::Truncated),
+                "read_frame, cut at {cut}"
+            );
+            let err = FrameReader::new().read(&mut Cursor::new(torn)).unwrap_err();
+            assert_eq!(
+                ProtocolError::classify(&err),
+                Some(ProtocolError::Truncated),
+                "FrameReader, cut at {cut}"
+            );
+        }
+
+        // An unrelated io::Error classifies as nothing.
+        let plain = io::Error::new(io::ErrorKind::ConnectionReset, "peer reset");
+        assert_eq!(ProtocolError::classify(&plain), None);
+    }
+
+    /// Feeds `wire` to a `FrameReader` in chunks whose boundaries are
+    /// chosen by `cuts`, returning every decoded frame.
+    fn read_split(wire: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+        // A reader that returns the queued segments one per call, then
+        // EOF — each segment delivery may split a frame anywhere.
+        struct Segments(Vec<Vec<u8>>);
+        impl std::io::Read for Segments {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                loop {
+                    if self.0.is_empty() {
+                        return Ok(0);
+                    }
+                    if self.0[0].is_empty() {
+                        self.0.remove(0);
+                        continue;
+                    }
+                    let seg = &mut self.0[0];
+                    let n = seg.len().min(buf.len());
+                    buf[..n].copy_from_slice(&seg[..n]);
+                    seg.drain(..n);
+                    return Ok(n);
+                }
+            }
+        }
+        let mut segments = Vec::new();
+        let mut start = 0;
+        let mut sorted: Vec<usize> = cuts.iter().map(|&c| c % (wire.len() + 1)).collect();
+        sorted.sort_unstable();
+        for c in sorted {
+            segments.push(wire[start..c.max(start)].to_vec());
+            start = c.max(start);
+        }
+        segments.push(wire[start..].to_vec());
+        let mut src = Segments(segments);
+        let mut fr = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match fr.read(&mut src).expect("valid wire decodes") {
+                ReadOutcome::Frame(p) => frames.push(p),
+                ReadOutcome::Eof => return frames,
+                ReadOutcome::TimedOut => unreachable!("Segments never times out"),
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Any sequence of frames survives any segmentation of the byte
+        /// stream: the reader reassembles exactly the payloads written,
+        /// in order, regardless of where reads split.
+        #[test]
+        fn frame_reader_round_trips_over_random_split_boundaries(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(0u8..255, 0usize..200),
+                1usize..6,
+            ),
+            cuts in proptest::collection::vec(0usize..5000, 1usize..12),
+        ) {
+            let mut wire = Vec::new();
+            for p in &payloads {
+                write_frame(&mut wire, p).unwrap();
+            }
+            let frames = read_split(&wire, &cuts);
+            proptest::prop_assert_eq!(frames, payloads);
+        }
+
+        /// Truncating a valid stream anywhere strictly inside a frame
+        /// yields the typed truncation error, never a hang or a silent
+        /// partial decode.
+        #[test]
+        fn truncation_anywhere_inside_a_frame_is_typed(
+            payload in proptest::collection::vec(0u8..255, 1usize..100),
+            cut_seed in 0usize..1_000_000,
+        ) {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &payload).unwrap();
+            let cut = 1 + cut_seed % (wire.len() - 1); // 1..wire.len()
+            wire.truncate(cut);
+            let mut fr = FrameReader::new();
+            let err = match fr.read(&mut Cursor::new(wire)) {
+                Err(e) => e,
+                Ok(other) => panic!("truncated frame produced {other:?}"),
+            };
+            proptest::prop_assert_eq!(
+                ProtocolError::classify(&err),
+                Some(ProtocolError::Truncated)
+            );
         }
     }
 }

@@ -26,7 +26,7 @@
 //! `responses received == accepted − rejected` holds exactly.
 
 use crate::protocol::{
-    write_frame, FrameReader, ReadOutcome, Request, Response, ResultSource, SimResponse,
+    write_frame, FrameReader, ReadOutcome, Request, Response, ResultSource, ServerInfo, SimResponse,
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::ServeStats;
@@ -128,6 +128,8 @@ struct Shared {
     /// are a few hundred bytes each.
     memo: Mutex<HashMap<u128, RunResult>>,
     poll_interval: Duration,
+    /// Worker-pool size, echoed in the ping capability payload.
+    workers: usize,
 }
 
 /// The entry point: binds, spawns, and hands back a [`ServerHandle`].
@@ -177,6 +179,7 @@ impl Server {
             ledger: cfg.ledger,
             memo: Mutex::new(HashMap::new()),
             poll_interval: cfg.poll_interval,
+            workers: cfg.workers.max(1),
         });
 
         let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
@@ -344,7 +347,15 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<
                 shared.stats.errors.inc();
                 Response::Error { message }
             }
-            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Ping) => Response::Pong {
+                info: Some(ServerInfo {
+                    version: env!("CARGO_PKG_VERSION").into(),
+                    workers: shared.workers,
+                    cache: shared.cache.is_some(),
+                    base_sim: format!("{:?}", shared.base_sim),
+                    tracegen: format!("{:?}", shared.lib.config()),
+                }),
+            },
             Ok(Request::Metrics) => Response::Metrics {
                 text: shared.obs.prometheus(),
             },

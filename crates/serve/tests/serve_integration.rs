@@ -114,7 +114,13 @@ fn bad_requests_get_descriptive_errors_not_hangups() {
     // A syntactically broken frame still gets an error response and the
     // connection stays usable.
     let resp = client.call(&Request::Ping).unwrap();
-    assert_eq!(resp, Response::Pong);
+    match resp {
+        Response::Pong { info: Some(info) } => {
+            assert_eq!(info.version, env!("CARGO_PKG_VERSION"));
+            assert!(info.workers >= 1);
+        }
+        other => panic!("expected pong with capabilities, got {other:?}"),
+    }
 
     assert!(server.shutdown().fully_drained());
 }
