@@ -5,8 +5,14 @@ use dtm_microarch::CoreConfig;
 use dtm_thermal::{PackageConfig, SensorSpec, SolverBackend};
 use serde::{Deserialize, Serialize};
 
+/// The paper's proportional DVFS gain (`Kp = 0.0107`).
+pub const PAPER_PI_KP: f64 = 0.0107;
+
+/// The paper's integral DVFS gain (`Ki = 248.5`).
+pub const PAPER_PI_KI: f64 = 248.5;
+
 /// Dynamic-thermal-management parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DtmConfig {
     /// Thermal emergency threshold (°C); no sensor may exceed this.
     pub threshold: f64,
@@ -29,6 +35,12 @@ pub struct DtmConfig {
     pub os_tick: f64,
     /// Minimum interval between migration decisions (s); 10 ms.
     pub migration_interval: f64,
+    /// Proportional gain of the DVFS PI controller ([`PAPER_PI_KP`]
+    /// unless tuned — an exploration knob, see `dtm-explore`).
+    pub pi_kp: f64,
+    /// Integral gain of the DVFS PI controller ([`PAPER_PI_KI`] unless
+    /// tuned).
+    pub pi_ki: f64,
 }
 
 impl Default for DtmConfig {
@@ -44,11 +56,46 @@ impl Default for DtmConfig {
             migration_penalty: 100e-6,
             os_tick: 1e-3,
             migration_interval: 10e-3,
+            pi_kp: PAPER_PI_KP,
+            pi_ki: PAPER_PI_KI,
         }
     }
 }
 
+/// The result cache addresses cells by the `Debug` spelling of their
+/// configs, so this impl *is* cache-key format: it reproduces the
+/// pre-PR-8 derived output exactly and appends the PI-gain fields only
+/// when they differ from the paper constants. Paper-gain configs
+/// therefore keep every cache entry written before the gains became
+/// tunable (the same discipline `FaultConfig` uses for the ideal
+/// scenario). Pinned by `debug_repr_is_cache_key_stable`.
+impl std::fmt::Debug for DtmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("DtmConfig");
+        d.field("threshold", &self.threshold)
+            .field("stopgo_trip_margin", &self.stopgo_trip_margin)
+            .field("stopgo_stall", &self.stopgo_stall)
+            .field("dvfs_setpoint_margin", &self.dvfs_setpoint_margin)
+            .field("dvfs_min_scale", &self.dvfs_min_scale)
+            .field("dvfs_min_transition", &self.dvfs_min_transition)
+            .field("dvfs_transition_penalty", &self.dvfs_transition_penalty)
+            .field("migration_penalty", &self.migration_penalty)
+            .field("os_tick", &self.os_tick)
+            .field("migration_interval", &self.migration_interval);
+        if self.has_tuned_gains() {
+            d.field("pi_kp", &self.pi_kp).field("pi_ki", &self.pi_ki);
+        }
+        d.finish()
+    }
+}
+
 impl DtmConfig {
+    /// Whether the PI gains differ from the paper's constants (and so
+    /// must appear in the cache-key `Debug` repr).
+    pub fn has_tuned_gains(&self) -> bool {
+        self.pi_kp != PAPER_PI_KP || self.pi_ki != PAPER_PI_KI
+    }
+
     /// DVFS temperature setpoint (°C).
     pub fn dvfs_setpoint(&self) -> f64 {
         self.threshold - self.dvfs_setpoint_margin
@@ -94,6 +141,14 @@ impl DtmConfig {
         assert!(
             self.migration_interval >= self.os_tick,
             "migration interval must be at least one OS tick"
+        );
+        assert!(
+            self.pi_kp.is_finite() && self.pi_kp > 0.0,
+            "PI proportional gain must be finite and positive"
+        );
+        assert!(
+            self.pi_ki.is_finite() && self.pi_ki > 0.0,
+            "PI integral gain must be finite and positive"
         );
     }
 }
@@ -246,5 +301,41 @@ mod tests {
         let mut d = DtmConfig::default();
         d.migration_interval = d.os_tick / 2.0;
         d.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "proportional gain")]
+    fn non_finite_kp_rejected() {
+        let d = DtmConfig {
+            pi_kp: f64::NAN,
+            ..DtmConfig::default()
+        };
+        d.validate();
+    }
+
+    /// The harness addresses cache cells by `format!("{dtm:?}")`, so the
+    /// paper-gain `Debug` output must stay byte-identical to the derived
+    /// repr that PR 6/7 hashed. If this string changes, every cached
+    /// result silently rotates.
+    #[test]
+    fn debug_repr_is_cache_key_stable() {
+        let legacy = "DtmConfig { threshold: 84.2, stopgo_trip_margin: 0.2, \
+             stopgo_stall: 0.03, dvfs_setpoint_margin: 2.4, dvfs_min_scale: 0.2, \
+             dvfs_min_transition: 0.02, dvfs_transition_penalty: 1e-5, \
+             migration_penalty: 0.0001, os_tick: 0.001, migration_interval: 0.01 }";
+        assert_eq!(format!("{:?}", DtmConfig::default()), legacy);
+        assert!(!DtmConfig::default().has_tuned_gains());
+        assert!(!DtmConfig::with_threshold(100.0).has_tuned_gains());
+
+        // Tuned gains must change the repr (distinct cache addresses).
+        let tuned = DtmConfig {
+            pi_kp: 0.02,
+            ..DtmConfig::default()
+        };
+        assert!(tuned.has_tuned_gains());
+        let repr = format!("{tuned:?}");
+        assert!(repr.starts_with(&legacy[..legacy.len() - 2]));
+        assert!(repr.contains("pi_kp: 0.02"));
+        assert!(repr.contains("pi_ki: 248.5"));
     }
 }

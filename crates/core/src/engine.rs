@@ -322,8 +322,9 @@ impl ThermalTimingSim {
             Scope::Distributed => cfg.cores,
         };
         let gains = PiGains {
+            kp: dtm.pi_kp,
+            ki: dtm.pi_ki,
             dt,
-            ..PiGains::paper_defaults()
         };
         let pi = (0..n_pi)
             .map(|_| ClippedPi::new(gains, dtm.dvfs_min_scale, 1.0))

@@ -59,7 +59,7 @@ mod policy;
 mod runner;
 mod telemetry;
 
-pub use config::{DtmConfig, LeakageConfig, SimConfig};
+pub use config::{DtmConfig, LeakageConfig, SimConfig, PAPER_PI_KI, PAPER_PI_KP};
 pub use dtm_faults::{
     FallbackKind, FaultConfig, FaultEvent, FaultKind, FaultScenario, FaultState, FaultTarget,
     Watchdog, WatchdogConfig,

@@ -91,6 +91,36 @@ impl DistConfig {
     }
 }
 
+/// Validates a worker host list before any dispatch: empty entries
+/// (stray commas, blank lines) and duplicate hosts are rejected with a
+/// [`SimError::BadInput`] naming the offender. A duplicated host would
+/// otherwise be handshaken and dispatched to twice — double load on one
+/// machine that silently *looks* like a bigger fleet.
+///
+/// # Errors
+///
+/// Returns `BadInput` describing the first empty or duplicate entry.
+pub fn validate_workers(workers: &[String]) -> Result<(), SimError> {
+    let mut seen: Vec<&str> = Vec::with_capacity(workers.len());
+    for (i, w) in workers.iter().enumerate() {
+        let trimmed = w.trim();
+        if trimmed.is_empty() {
+            return Err(SimError::BadInput(format!(
+                "worker list entry {} is empty (stray comma or blank line?)",
+                i + 1
+            )));
+        }
+        if seen.contains(&trimmed) {
+            return Err(SimError::BadInput(format!(
+                "worker `{trimmed}` listed more than once — a duplicate host \
+                 would be dispatched to twice"
+            )));
+        }
+        seen.push(trimmed);
+    }
+    Ok(())
+}
+
 /// Maps sweep cell `i` (an index into `ctx.cells`) to the wire request
 /// that reproduces it exactly, or `None` when the cell cannot be
 /// expressed remotely (a config outside the protocol's vocabulary).
@@ -120,13 +150,33 @@ pub fn request_for_cell(
     if probe != variant.sim {
         return None;
     }
-    let threshold_c = if variant.dtm == DtmConfig::default() {
-        None
-    } else if variant.dtm == DtmConfig::with_threshold(variant.dtm.threshold) {
-        Some(variant.dtm.threshold)
-    } else {
-        return None;
+    // Likewise the variant's dtm: the default with only wire-expressible
+    // knobs (threshold + the exploration knobs) changed. Knobs outside
+    // the protocol's vocabulary (min scale, transition penalties, ...)
+    // force local execution.
+    let d = &variant.dtm;
+    let dtm_probe = DtmConfig {
+        threshold: d.threshold,
+        pi_kp: d.pi_kp,
+        pi_ki: d.pi_ki,
+        dvfs_setpoint_margin: d.dvfs_setpoint_margin,
+        stopgo_trip_margin: d.stopgo_trip_margin,
+        stopgo_stall: d.stopgo_stall,
+        migration_interval: d.migration_interval,
+        os_tick: d.os_tick,
+        ..DtmConfig::default()
     };
+    if dtm_probe != *d {
+        return None;
+    }
+    // Overrides ride the wire only when they differ from the default, so
+    // pre-knob configs produce the exact requests (and server-side memo
+    // keys) they produced before the knobs existed. Out-of-range values
+    // are not filtered here: the server-identical `resolve` below
+    // rejects them, which falls through to `None` → local execution.
+    let def = DtmConfig::default();
+    let over = |cur: f64, default: f64| if cur != default { Some(cur) } else { None };
+    let threshold_c = over(d.threshold, def.threshold);
 
     let benchmarks: Vec<String> = workload.resolve().into_iter().map(|b| b.name).collect();
     let fault_candidates: Vec<Option<String>> = if variant.faults.is_ideal() {
@@ -151,6 +201,13 @@ pub fn request_for_cell(
             seed: Some(variant.sim.seed),
             fault,
             deadline_ms: None,
+            pi_kp: over(d.pi_kp, def.pi_kp),
+            pi_ki: over(d.pi_ki, def.pi_ki),
+            setpoint_margin_c: over(d.dvfs_setpoint_margin, def.dvfs_setpoint_margin),
+            trip_margin_c: over(d.stopgo_trip_margin, def.stopgo_trip_margin),
+            stall_s: over(d.stopgo_stall, def.stopgo_stall),
+            migration_interval_s: over(d.migration_interval, def.migration_interval),
+            os_tick_s: over(d.os_tick, def.os_tick),
         };
         let wire = Json::Obj(req.to_fields());
         let Ok(decoded) = SimRequest::from_json(&wire) else {
@@ -289,7 +346,7 @@ fn attempt(client: &mut Option<Client>, addr: &str, cfg: &DistConfig, req: SimRe
         }
     }
     let c = client.as_mut().expect("dialled above");
-    match c.call_deadline(&Request::Simulate(req), cfg.deadline) {
+    match c.call_deadline(&Request::Simulate(Box::new(req)), cfg.deadline) {
         Ok(Response::Result(r)) => Attempt::Done(r),
         Ok(Response::Overloaded { .. } | Response::Timeout { .. }) => Attempt::Busy,
         Ok(Response::Error { message }) => Attempt::Rejected(message),
@@ -385,6 +442,10 @@ impl RemoteBackend {
 impl Backend for RemoteBackend {
     fn run_cells(&self, ctx: &BackendCtx<'_>, tx: &mpsc::Sender<Result<CellOutcome, SimError>>) {
         let cfg = &self.cfg;
+        if let Err(e) = validate_workers(&cfg.workers) {
+            let _ = tx.send(Err(e));
+            return;
+        }
         let obs = ctx.obs;
         let tracegen_dbg = format!("{:?}", ctx.lib.config());
 
@@ -842,6 +903,50 @@ mod tests {
     }
 
     #[test]
+    fn tuned_knob_variants_are_expressible_and_key_checked() {
+        let sim = SimConfig::fast_test();
+        let dtm = DtmConfig {
+            pi_kp: 0.02,
+            dvfs_setpoint_margin: 1.2,
+            migration_interval: 0.05,
+            ..DtmConfig::default()
+        };
+        let fx = fixture(ConfigVariant::new("tuned", sim.clone(), dtm));
+        let ctx = fx.ctx();
+        let req = request_for_cell(&ctx, 0, &sim).expect("expressible");
+        assert_eq!(req.pi_kp, Some(0.02));
+        assert_eq!(req.setpoint_margin_c, Some(1.2));
+        assert_eq!(req.migration_interval_s, Some(0.05));
+        // Paper-default knobs stay off the wire entirely.
+        assert!(req.pi_ki.is_none());
+        assert!(req.trip_margin_c.is_none());
+        assert!(req.stall_s.is_none());
+        assert!(req.os_tick_s.is_none());
+        assert!(req.threshold_c.is_none());
+    }
+
+    #[test]
+    fn off_vocabulary_dtm_fields_are_inexpressible() {
+        // min-scale has no wire spelling; out-of-range knob values are
+        // rejected by the server-identical resolve.
+        let sim = SimConfig::fast_test();
+        for dtm in [
+            DtmConfig {
+                dvfs_min_scale: 0.5,
+                ..DtmConfig::default()
+            },
+            DtmConfig {
+                pi_kp: 99.0, // beyond the wire's accepted range
+                ..DtmConfig::default()
+            },
+        ] {
+            let fx = fixture(ConfigVariant::new("odd", sim.clone(), dtm));
+            let ctx = fx.ctx();
+            assert!(request_for_cell(&ctx, 0, &sim).is_none());
+        }
+    }
+
+    #[test]
     fn off_vocabulary_configs_are_inexpressible() {
         // A per-core max-scale map has no wire spelling: the cell must
         // fall back to local execution rather than resolve to a
@@ -851,6 +956,45 @@ mod tests {
         let fx = fixture(ConfigVariant::new("asym", sim, DtmConfig::default()));
         let ctx = fx.ctx();
         assert!(request_for_cell(&ctx, 0, &SimConfig::fast_test()).is_none());
+    }
+
+    #[test]
+    fn bad_host_lists_are_rejected_before_any_dispatch() {
+        let ok = |hosts: &[&str]| {
+            validate_workers(&hosts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        assert!(ok(&["a:1", "b:2"]).is_ok());
+        assert!(ok(&[]).is_ok(), "an empty fleet is the caller's decision");
+        match ok(&["a:1", "", "b:2"]) {
+            Err(SimError::BadInput(msg)) => assert!(msg.contains("entry 2 is empty"), "got: {msg}"),
+            other => panic!("expected BadInput for empty entry, got {other:?}"),
+        }
+        match ok(&["a:1", "b:2", "a:1"]) {
+            Err(SimError::BadInput(msg)) => {
+                assert!(msg.contains("`a:1` listed more than once"), "got: {msg}")
+            }
+            other => panic!("expected BadInput for duplicate, got {other:?}"),
+        }
+
+        // A backend over a bad fleet fails the sweep loudly instead of
+        // dispatching twice — checked without any live server because
+        // validation precedes the handshake.
+        let sim = SimConfig::fast_test();
+        let fx = fixture(ConfigVariant::new(
+            "base",
+            sim.clone(),
+            DtmConfig::default(),
+        ));
+        let ctx = fx.ctx();
+        let backend = RemoteBackend::new(DistConfig::new(vec!["a:1".into(), "a:1".into()], sim));
+        let (tx, rx) = mpsc::channel();
+        backend.run_cells(&ctx, &tx);
+        drop(tx);
+        let delivered: Vec<_> = rx.iter().collect();
+        assert_eq!(delivered.len(), 1);
+        assert!(
+            matches!(&delivered[0], Err(SimError::BadInput(m)) if m.contains("more than once"))
+        );
     }
 
     #[test]

@@ -69,9 +69,14 @@ fn parse_args() -> Args {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workers" => match args.next() {
-                Some(list) => out
-                    .workers
-                    .extend(list.split(',').filter(|s| !s.is_empty()).map(String::from)),
+                Some(list) => {
+                    for entry in list.split(',') {
+                        if entry.trim().is_empty() {
+                            usage(&format!("--workers list `{list}` contains an empty entry"));
+                        }
+                        out.workers.push(entry.trim().to_string());
+                    }
+                }
                 None => usage("--workers requires host:port[,host:port...]"),
             },
             "--workers-file" => match args.next() {
@@ -111,6 +116,9 @@ fn parse_args() -> Args {
     }
     if out.workers.is_empty() {
         usage("at least one worker is required (--workers or --workers-file)");
+    }
+    if let Err(e) = dtm_dist::validate_workers(&out.workers) {
+        usage(&format!("{e:?}"));
     }
     out
 }

@@ -42,7 +42,9 @@ pub mod dispatch;
 pub mod summary;
 pub mod worker;
 
-pub use backend::{request_for_cell, DistConfig, RemoteBackend, REMOTE_WORKER_BASE};
+pub use backend::{
+    request_for_cell, validate_workers, DistConfig, RemoteBackend, REMOTE_WORKER_BASE,
+};
 pub use dispatch::{Completion, DispatchConfig, DispatchCounts, DispatchState, Scheduler};
 pub use summary::{DispatchSummary, WorkerRow};
 pub use worker::{Health, Worker, WorkerPool, WorkerStats};

@@ -1,0 +1,219 @@
+//! A (μ+λ) evolutionary strategy over the mixed policy × knob space.
+//!
+//! Parents and children compete in one pool ranked by the guidance
+//! scalar; the policy index is just another gene, so the search can
+//! discover that a different DTM mechanism wins once its knobs are
+//! retuned. All evaluations run at full fidelity — evolutionary
+//! selection is noisy enough without fidelity noise on top.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::score::Score;
+use crate::strategy::{Ask, Strategy};
+
+/// (μ+λ) evolution with uniform crossover and bounded Gaussian-ish
+/// (uniform-window) mutation.
+#[derive(Debug)]
+pub struct Evolve {
+    rng: StdRng,
+    dims: usize,
+    policies: Vec<usize>,
+    mu: usize,
+    lambda: usize,
+    gens_left: u32,
+    pop: Vec<(Ask, f64)>,
+    seeds: Vec<Ask>,
+}
+
+impl Evolve {
+    /// μ parents, λ children per generation, for `gens` generations.
+    /// `seeds` (e.g. the anchor defaults) join the random initial
+    /// population so evolution starts no worse than the incumbents.
+    pub fn new(
+        seed: u64,
+        dims: usize,
+        policies: Vec<usize>,
+        mu: usize,
+        lambda: usize,
+        gens: u32,
+        seeds: Vec<Ask>,
+    ) -> Self {
+        assert!(mu >= 1 && lambda >= 1, "degenerate population");
+        assert!(!policies.is_empty(), "need at least one policy");
+        Evolve {
+            rng: StdRng::seed_from_u64(seed),
+            dims,
+            policies,
+            mu,
+            lambda,
+            gens_left: gens,
+            pop: Vec::new(),
+            seeds,
+        }
+    }
+
+    fn random_individual(&mut self) -> Ask {
+        let policy = self.policies[self.rng.random_range(0..self.policies.len())];
+        let t = (0..self.dims).map(|_| self.rng.random::<f64>()).collect();
+        Ask {
+            policy,
+            t,
+            fidelity: None,
+        }
+    }
+
+    fn child(&mut self) -> Ask {
+        let a = self.rng.random_range(0..self.pop.len());
+        let b = self.rng.random_range(0..self.pop.len());
+        let (pa, pb) = (&self.pop[a].0.clone(), &self.pop[b].0.clone());
+        // Uniform crossover…
+        let mut t: Vec<f64> = (0..self.dims)
+            .map(|d| {
+                if self.rng.random_bool(0.5) {
+                    pa.t[d]
+                } else {
+                    pb.t[d]
+                }
+            })
+            .collect();
+        let mut policy = if self.rng.random_bool(0.5) {
+            pa.policy
+        } else {
+            pb.policy
+        };
+        // …then per-gene mutation.
+        for td in t.iter_mut() {
+            if self.rng.random_bool(0.35) {
+                *td = (*td + (self.rng.random::<f64>() - 0.5) * 0.4).clamp(0.0, 1.0);
+            }
+        }
+        if self.rng.random_bool(0.1) {
+            policy = self.policies[self.rng.random_range(0..self.policies.len())];
+        }
+        Ask {
+            policy,
+            t,
+            fidelity: None,
+        }
+    }
+}
+
+impl Strategy for Evolve {
+    fn name(&self) -> &'static str {
+        "evolve"
+    }
+
+    fn ask(&mut self) -> Vec<Ask> {
+        if self.gens_left == 0 {
+            return Vec::new();
+        }
+        if self.pop.is_empty() {
+            // Generation 0: seeds plus random fill to μ+λ.
+            let mut init = std::mem::take(&mut self.seeds);
+            init.truncate(self.mu + self.lambda);
+            while init.len() < self.mu + self.lambda {
+                let ind = self.random_individual();
+                init.push(ind);
+            }
+            init
+        } else {
+            (0..self.lambda).map(|_| self.child()).collect()
+        }
+    }
+
+    fn tell(&mut self, results: &[(Ask, Score)]) {
+        self.pop
+            .extend(results.iter().map(|(a, s)| (a.clone(), s.scalar())));
+        // (μ+λ): parents and offspring compete; stable sort keeps the
+        // incumbent on ties, so a generation of clones cannot churn.
+        self.pop
+            .sort_by(|(_, sa), (_, sb)| sb.partial_cmp(sa).expect("finite scalars"));
+        self.pop.truncate(self.mu);
+        self.gens_left -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(bips: f64) -> Score {
+        Score {
+            bips,
+            violation: 0.0,
+            energy: 0.0,
+            penalty: 0.0,
+        }
+    }
+
+    fn drive(seed: u64) -> Vec<(usize, Vec<f64>)> {
+        let mut s = Evolve::new(seed, 3, vec![0, 2, 4], 4, 6, 3, Vec::new());
+        let mut trail = Vec::new();
+        loop {
+            let asks = s.ask();
+            if asks.is_empty() {
+                break;
+            }
+            trail.extend(asks.iter().map(|a| (a.policy, a.t.clone())));
+            let results: Vec<(Ask, Score)> = asks
+                .into_iter()
+                .map(|a| {
+                    let v = a.t.iter().sum::<f64>();
+                    (a, score(v))
+                })
+                .collect();
+            s.tell(&results);
+        }
+        trail
+    }
+
+    #[test]
+    fn evolution_is_seed_deterministic() {
+        assert_eq!(drive(9), drive(9));
+        assert_ne!(drive(9), drive(10));
+    }
+
+    #[test]
+    fn selection_improves_the_population() {
+        let mut s = Evolve::new(3, 2, vec![0], 3, 8, 4, Vec::new());
+        let mut last_best = f64::NEG_INFINITY;
+        loop {
+            let asks = s.ask();
+            if asks.is_empty() {
+                break;
+            }
+            let results: Vec<(Ask, Score)> = asks
+                .into_iter()
+                .map(|a| {
+                    let v = a.t.iter().sum::<f64>();
+                    (a, score(v))
+                })
+                .collect();
+            s.tell(&results);
+            let best = s.pop[0].1;
+            assert!(
+                best >= last_best,
+                "elitism never regresses: {best} < {last_best}"
+            );
+            last_best = best;
+        }
+        assert!(last_best > 1.0, "selection climbed toward the top corner");
+    }
+
+    #[test]
+    fn seeds_enter_the_initial_generation() {
+        let anchor = Ask {
+            policy: 2,
+            t: vec![0.25, 0.75],
+            fidelity: None,
+        };
+        let mut s = Evolve::new(0, 2, vec![0, 2], 2, 3, 1, vec![anchor.clone()]);
+        let asks = s.ask();
+        assert_eq!(asks.len(), 5);
+        assert_eq!(asks[0].policy, anchor.policy);
+        assert_eq!(asks[0].t, anchor.t);
+        // Children always request full fidelity.
+        assert!(asks.iter().all(|a| a.fidelity.is_none()));
+    }
+}

@@ -1,0 +1,230 @@
+//! Latin-hypercube seeding with successive halving.
+//!
+//! Round 0 covers the box with a Latin-hypercube sample evaluated at
+//! the cheapest fidelity (a single workload). Each subsequent round
+//! keeps the scalar-best `1/η` of the survivors and doubles the
+//! fidelity, until the final round runs the remaining elite on the full
+//! workload set. Classic successive halving: breadth where evaluations
+//! are cheap, depth only where the evidence warrants it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::score::Score;
+use crate::strategy::{Ask, Strategy};
+
+/// Successive-halving over a Latin-hypercube seed sample.
+#[derive(Debug)]
+pub struct LhsHalving {
+    rng: StdRng,
+    dims: usize,
+    policies: Vec<usize>,
+    rounds: u32,
+    round: u32,
+    eta: usize,
+    n0: usize,
+    survivors: Vec<Ask>,
+    asked: bool,
+}
+
+impl LhsHalving {
+    /// `n0` initial samples over `dims` knobs, spread round-robin over
+    /// `policies`, halved (`eta = 2`) for `rounds` rounds. Fidelity for
+    /// round `r` is `2^r` workloads; the last round always runs full
+    /// fidelity.
+    pub fn new(seed: u64, dims: usize, policies: Vec<usize>, n0: usize, rounds: u32) -> Self {
+        assert!(n0 >= 1, "need at least one sample");
+        assert!(rounds >= 1, "need at least one round");
+        assert!(!policies.is_empty(), "need at least one policy");
+        LhsHalving {
+            rng: StdRng::seed_from_u64(seed),
+            dims,
+            policies,
+            rounds,
+            round: 0,
+            eta: 2,
+            n0,
+            survivors: Vec::new(),
+            asked: false,
+        }
+    }
+
+    fn fidelity_for(&self, round: u32) -> Option<usize> {
+        if round + 1 >= self.rounds {
+            None // full workload set
+        } else {
+            Some(1usize << round)
+        }
+    }
+
+    /// A stratified sample: each dimension is a random permutation of
+    /// the `n0` strata, each coordinate uniform within its stratum.
+    fn lhs(&mut self) -> Vec<Vec<f64>> {
+        let n = self.n0;
+        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(self.dims);
+        for _ in 0..self.dims {
+            let mut strata: Vec<usize> = (0..n).collect();
+            // Fisher–Yates, driven by the seeded generator.
+            for i in (1..n).rev() {
+                let j = self.rng.random_range(0..i + 1);
+                strata.swap(i, j);
+            }
+            columns.push(
+                strata
+                    .into_iter()
+                    .map(|s| (s as f64 + self.rng.random::<f64>()) / n as f64)
+                    .collect(),
+            );
+        }
+        (0..n)
+            .map(|i| columns.iter().map(|c| c[i]).collect())
+            .collect()
+    }
+}
+
+impl Strategy for LhsHalving {
+    fn name(&self) -> &'static str {
+        "lhs-halving"
+    }
+
+    fn ask(&mut self) -> Vec<Ask> {
+        if self.round >= self.rounds {
+            return Vec::new();
+        }
+        let asks = if self.round == 0 {
+            let fidelity = self.fidelity_for(0);
+            self.lhs()
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| Ask {
+                    policy: self.policies[i % self.policies.len()],
+                    t,
+                    fidelity,
+                })
+                .collect()
+        } else {
+            // Survivors re-evaluated at this round's higher fidelity.
+            let fidelity = self.fidelity_for(self.round);
+            self.survivors
+                .iter()
+                .map(|a| Ask {
+                    policy: a.policy,
+                    t: a.t.clone(),
+                    fidelity,
+                })
+                .collect()
+        };
+        self.asked = true;
+        asks
+    }
+
+    fn tell(&mut self, results: &[(Ask, Score)]) {
+        assert!(self.asked, "tell without ask");
+        self.asked = false;
+        let mut ranked: Vec<(usize, f64)> = results
+            .iter()
+            .enumerate()
+            .map(|(i, (_, s))| (i, s.scalar()))
+            .collect();
+        // Descending by scalar; index breaks ties deterministically.
+        ranked.sort_by(|(ia, sa), (ib, sb)| {
+            sb.partial_cmp(sa).expect("finite scalars").then(ia.cmp(ib))
+        });
+        let keep = results.len().div_ceil(self.eta).max(1);
+        self.survivors = ranked
+            .into_iter()
+            .take(keep)
+            .map(|(i, _)| results[i].0.clone())
+            .collect();
+        self.round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(bips: f64) -> Score {
+        Score {
+            bips,
+            violation: 0.0,
+            energy: 0.0,
+            penalty: 0.0,
+        }
+    }
+
+    #[test]
+    fn lhs_is_stratified_per_dimension() {
+        let mut s = LhsHalving::new(7, 3, vec![0], 8, 1);
+        let asks = s.ask();
+        assert_eq!(asks.len(), 8);
+        for d in 0..3 {
+            let mut strata: Vec<usize> = asks.iter().map(|a| (a.t[d] * 8.0) as usize).collect();
+            strata.sort_unstable();
+            assert_eq!(strata, (0..8).collect::<Vec<_>>(), "dim {d} not stratified");
+        }
+        // A single round runs straight at full fidelity.
+        assert!(asks.iter().all(|a| a.fidelity.is_none()));
+    }
+
+    #[test]
+    fn halving_keeps_the_best_and_escalates_fidelity() {
+        let mut s = LhsHalving::new(1, 2, vec![0, 1], 8, 3);
+        let round0 = s.ask();
+        assert_eq!(round0.len(), 8);
+        assert!(round0.iter().all(|a| a.fidelity == Some(1)));
+        // Score by first coordinate, so survivors are the top-t half.
+        let results: Vec<(Ask, Score)> = round0
+            .into_iter()
+            .map(|a| {
+                let v = a.t[0];
+                (a, score(v))
+            })
+            .collect();
+        let mut best: Vec<f64> = results.iter().map(|(a, _)| a.t[0]).collect();
+        best.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        s.tell(&results);
+
+        let round1 = s.ask();
+        assert_eq!(round1.len(), 4);
+        assert!(round1.iter().all(|a| a.fidelity == Some(2)));
+        let mut kept: Vec<f64> = round1.iter().map(|a| a.t[0]).collect();
+        kept.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(kept, best[..4].to_vec());
+
+        let results: Vec<(Ask, Score)> = round1
+            .into_iter()
+            .map(|a| {
+                let v = a.t[0];
+                (a, score(v))
+            })
+            .collect();
+        s.tell(&results);
+
+        let round2 = s.ask();
+        assert_eq!(round2.len(), 2);
+        assert!(round2.iter().all(|a| a.fidelity.is_none()), "final = full");
+        let results: Vec<(Ask, Score)> = round2
+            .into_iter()
+            .map(|a| {
+                let v = a.t[0];
+                (a, score(v))
+            })
+            .collect();
+        s.tell(&results);
+        assert!(s.ask().is_empty(), "exhausted after the last round");
+    }
+
+    #[test]
+    fn same_seed_same_sample() {
+        let asks = |seed| {
+            let mut s = LhsHalving::new(seed, 4, vec![0, 5], 6, 2);
+            s.ask()
+                .into_iter()
+                .map(|a| (a.policy, a.t))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(asks(42), asks(42));
+        assert_ne!(asks(42), asks(43));
+    }
+}

@@ -1,0 +1,144 @@
+//! The dominance archive: the non-dominated set of everything the
+//! search has fully evaluated.
+//!
+//! Invariants (property-tested in `tests/properties.rs`):
+//!
+//! - no entry dominates another entry,
+//! - the final set is independent of insertion order,
+//! - re-inserting an archived point is a no-op.
+
+use crate::score::Score;
+use crate::space::Point;
+
+/// One archived evaluation.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The candidate configuration.
+    pub point: Point,
+    /// Its objective vector.
+    pub score: Score,
+    /// Generation at which it was first archived.
+    pub gen: u32,
+}
+
+/// A Pareto (non-dominated) archive.
+#[derive(Debug, Default)]
+pub struct ParetoFront {
+    entries: Vec<Entry>,
+}
+
+impl ParetoFront {
+    /// An empty archive.
+    pub fn new() -> Self {
+        ParetoFront::default()
+    }
+
+    /// Offers an evaluation to the archive. Returns `true` if it was
+    /// admitted (it is not dominated by, nor identical to, any archived
+    /// entry); admission evicts every entry the newcomer dominates.
+    pub fn insert(&mut self, e: Entry) -> bool {
+        for existing in &self.entries {
+            if existing.score.dominates(&e.score) {
+                return false;
+            }
+            if existing.point == e.point && existing.score == e.score {
+                return false;
+            }
+        }
+        self.entries.retain(|x| !e.score.dominates(&x.score));
+        self.entries.push(e);
+        true
+    }
+
+    /// The archived entries (insertion order).
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Entries in canonical order — by policy index, then knob values
+    /// lexicographically — the order the deterministic artifact uses.
+    pub fn sorted(&self) -> Vec<&Entry> {
+        let mut v: Vec<&Entry> = self.entries.iter().collect();
+        v.sort_by(|a, b| {
+            a.point
+                .policy
+                .cmp(&b.point.policy)
+                .then_with(|| a.point.values.partial_cmp(&b.point.values).expect("finite"))
+        });
+        v
+    }
+
+    /// Number of archived entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether some archived entry dominates `score` on the headline
+    /// (throughput, violation) plane.
+    pub fn dominates_on_headline(&self, score: &Score) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.score.dominates_on_bips_violation(score))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bips: f64, violation: f64, policy: usize) -> Entry {
+        Entry {
+            point: Point {
+                policy,
+                values: vec![bips],
+            },
+            score: Score {
+                bips,
+                violation,
+                energy: 1.0,
+                penalty: 0.0,
+            },
+            gen: 0,
+        }
+    }
+
+    #[test]
+    fn dominated_inserts_are_rejected_and_evicted() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(entry(5.0, 0.1, 0)));
+        assert!(!f.insert(entry(4.0, 0.2, 0)), "dominated: rejected");
+        assert!(f.insert(entry(6.0, 0.0, 1)), "dominates: admitted");
+        assert_eq!(f.len(), 1, "the dominated incumbent was evicted");
+        assert_eq!(f.entries()[0].point.policy, 1);
+    }
+
+    #[test]
+    fn incomparable_points_coexist() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(entry(5.0, 0.0, 0)));
+        assert!(f.insert(entry(6.0, 0.5, 0)));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn reinsertion_is_a_noop() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(entry(5.0, 0.0, 0)));
+        assert!(!f.insert(entry(5.0, 0.0, 0)));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn sorted_is_canonical() {
+        let mut f = ParetoFront::new();
+        f.insert(entry(6.0, 0.5, 1));
+        f.insert(entry(5.0, 0.0, 0));
+        let order: Vec<usize> = f.sorted().iter().map(|e| e.point.policy).collect();
+        assert_eq!(order, vec![0, 1]);
+    }
+}

@@ -1,0 +1,309 @@
+//! The search space: continuous DTM knobs × discrete policies, and the
+//! mapping from abstract points to the concrete [`ConfigVariant`]s the
+//! sweep harness executes.
+//!
+//! Strategies navigate in *normalized* coordinates — every knob is a
+//! `t ∈ [0, 1]` mapped onto its engineering range (linearly or
+//! log-linearly). Concrete values are snapped to six significant
+//! digits, so two strategies that land on nearly the same point share
+//! one memo entry, one journal row, and one cache cell.
+
+use dtm_core::{DtmConfig, PolicySpec, SimConfig};
+use dtm_harness::json::Json;
+use dtm_harness::ConfigVariant;
+
+/// One tunable dimension of the search space.
+#[derive(Debug, Clone)]
+pub struct Knob {
+    /// Stable name, matching the wire/journal spelling.
+    pub name: &'static str,
+    /// Lower bound of the engineering range.
+    pub min: f64,
+    /// Upper bound of the engineering range.
+    pub max: f64,
+    /// Sample log-linearly (for ranges spanning decades).
+    pub log: bool,
+}
+
+impl Knob {
+    /// Maps a normalized coordinate `t ∈ [0, 1]` onto the range.
+    pub fn value_at(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        let v = if self.log {
+            (self.min.ln() + t * (self.max.ln() - self.min.ln())).exp()
+        } else {
+            self.min + t * (self.max - self.min)
+        };
+        snap(v.clamp(self.min, self.max))
+    }
+
+    /// The normalized coordinate of an engineering value (inverse of
+    /// [`Knob::value_at`], up to snapping).
+    pub fn t_of(&self, v: f64) -> f64 {
+        let v = v.clamp(self.min, self.max);
+        if self.log {
+            (v.ln() - self.min.ln()) / (self.max.ln() - self.min.ln())
+        } else {
+            (v - self.min) / (self.max - self.min)
+        }
+    }
+}
+
+/// Rounds to six significant digits through the decimal spelling —
+/// deterministic, platform-independent, and short in JSON.
+pub fn snap(v: f64) -> f64 {
+    format!("{v:.5e}").parse().expect("snapped float re-parses")
+}
+
+/// One candidate configuration: a policy plus concrete knob values
+/// (parallel to [`SearchSpace::knobs`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Index into [`SearchSpace::policies`].
+    pub policy: usize,
+    /// Snapped engineering values, one per knob.
+    pub values: Vec<f64>,
+}
+
+/// The exploration domain: knobs, candidate policies, and the base
+/// simulation configuration every point shares.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Tunable dimensions.
+    pub knobs: Vec<Knob>,
+    /// The policy axis (a subset of the paper's 12-policy grid).
+    pub policies: Vec<PolicySpec>,
+    /// Base simulation configuration (duration, cores, seed, solver).
+    pub base_sim: SimConfig,
+}
+
+impl SearchSpace {
+    /// The paper's knob set: PI gains, trigger/setpoint margins,
+    /// stop-go gate duration, migration interval, and control period,
+    /// each spanning the plausible engineering range around the Table 3
+    /// defaults.
+    pub fn paper(base_sim: SimConfig, policies: Vec<PolicySpec>) -> Self {
+        SearchSpace {
+            knobs: vec![
+                Knob {
+                    name: "pi_kp",
+                    min: 1e-3,
+                    max: 0.1,
+                    log: true,
+                },
+                Knob {
+                    name: "pi_ki",
+                    min: 10.0,
+                    max: 2000.0,
+                    log: true,
+                },
+                Knob {
+                    name: "setpoint_margin_c",
+                    min: 0.5,
+                    max: 8.0,
+                    log: false,
+                },
+                Knob {
+                    name: "trip_margin_c",
+                    min: 0.05,
+                    max: 2.0,
+                    log: true,
+                },
+                Knob {
+                    name: "stall_s",
+                    min: 1e-3,
+                    max: 0.1,
+                    log: true,
+                },
+                Knob {
+                    name: "migration_interval_s",
+                    min: 2e-3,
+                    max: 0.1,
+                    log: true,
+                },
+                Knob {
+                    name: "os_tick_s",
+                    min: 5e-4,
+                    max: 0.01,
+                    log: true,
+                },
+            ],
+            policies,
+            base_sim,
+        }
+    }
+
+    /// Dimensionality of the continuous part.
+    pub fn dims(&self) -> usize {
+        self.knobs.len()
+    }
+
+    /// The Table 3 default value of each knob, snapped — the anchor
+    /// coordinates every search starts from.
+    pub fn default_values(&self) -> Vec<f64> {
+        let d = DtmConfig::default();
+        self.knobs
+            .iter()
+            .map(|k| {
+                let v = match k.name {
+                    "pi_kp" => d.pi_kp,
+                    "pi_ki" => d.pi_ki,
+                    "setpoint_margin_c" => d.dvfs_setpoint_margin,
+                    "trip_margin_c" => d.stopgo_trip_margin,
+                    "stall_s" => d.stopgo_stall,
+                    "migration_interval_s" => d.migration_interval,
+                    "os_tick_s" => d.os_tick,
+                    other => unreachable!("unknown knob {other}"),
+                };
+                snap(v.clamp(k.min, k.max))
+            })
+            .collect()
+    }
+
+    /// Builds a concrete point from normalized coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` has the wrong dimensionality or `policy` is out of
+    /// range.
+    pub fn point(&self, policy: usize, t: &[f64]) -> Point {
+        assert_eq!(t.len(), self.dims(), "wrong dimensionality");
+        assert!(policy < self.policies.len(), "policy index out of range");
+        Point {
+            policy,
+            values: self
+                .knobs
+                .iter()
+                .zip(t)
+                .map(|(k, &ti)| k.value_at(ti))
+                .collect(),
+        }
+    }
+
+    /// The normalized coordinates of a concrete point.
+    pub fn normalize(&self, p: &Point) -> Vec<f64> {
+        self.knobs
+            .iter()
+            .zip(&p.values)
+            .map(|(k, &v)| k.t_of(v))
+            .collect()
+    }
+
+    /// The [`DtmConfig`] a point denotes. The migration interval is
+    /// clamped up to the control period (the engine requires at least
+    /// one OS tick between migration decisions), deterministically, so
+    /// every point in the box is feasible.
+    pub fn dtm_for(&self, p: &Point) -> DtmConfig {
+        let mut dtm = DtmConfig::default();
+        for (k, &v) in self.knobs.iter().zip(&p.values) {
+            match k.name {
+                "pi_kp" => dtm.pi_kp = v,
+                "pi_ki" => dtm.pi_ki = v,
+                "setpoint_margin_c" => dtm.dvfs_setpoint_margin = v,
+                "trip_margin_c" => dtm.stopgo_trip_margin = v,
+                "stall_s" => dtm.stopgo_stall = v,
+                "migration_interval_s" => dtm.migration_interval = v,
+                "os_tick_s" => dtm.os_tick = v,
+                other => unreachable!("unknown knob {other}"),
+            }
+        }
+        if dtm.migration_interval < dtm.os_tick {
+            dtm.migration_interval = dtm.os_tick;
+        }
+        dtm
+    }
+
+    /// The sweep-harness variant a point denotes. The variant name is
+    /// the point's memo key, so ledger and cache describe records stay
+    /// attributable to exploration coordinates.
+    pub fn variant_for(&self, p: &Point) -> ConfigVariant {
+        ConfigVariant::new(self.memo_key(p), self.base_sim.clone(), self.dtm_for(p))
+    }
+
+    /// A deterministic, human-readable identity for a point:
+    /// `policy|knob=value|…` with shortest-round-trip float spellings.
+    /// Equal keys ⇔ equal simulated configurations.
+    pub fn memo_key(&self, p: &Point) -> String {
+        let mut s = self.policies[p.policy].wire_name();
+        for (k, &v) in self.knobs.iter().zip(&p.values) {
+            s.push('|');
+            s.push_str(k.name);
+            s.push('=');
+            s.push_str(&Json::f64(v).emit());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SearchSpace {
+        SearchSpace::paper(SimConfig::fast_test(), PolicySpec::all())
+    }
+
+    #[test]
+    fn knob_mapping_round_trips() {
+        for k in &space().knobs {
+            for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let v = k.value_at(t);
+                assert!((k.min..=k.max).contains(&v), "{}: {v}", k.name);
+                let back = k.value_at(k.t_of(v));
+                assert!(
+                    (back - v).abs() <= 1e-9 * v.abs().max(1.0),
+                    "{}: {v} vs {back}",
+                    k.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_point_is_the_paper_config() {
+        let s = space();
+        let p = Point {
+            policy: 0,
+            values: s.default_values(),
+        };
+        let dtm = s.dtm_for(&p);
+        // Snapping must not perturb the Table 3 defaults (they are all
+        // short decimals), so the anchor still hits pre-PR-8 cache keys.
+        assert_eq!(dtm, DtmConfig::default());
+        assert!(!dtm.has_tuned_gains());
+    }
+
+    #[test]
+    fn memo_keys_identify_configs() {
+        let s = space();
+        let a = s.point(0, &vec![0.5; s.dims()]);
+        let b = s.point(0, &vec![0.5; s.dims()]);
+        let c = s.point(1, &vec![0.5; s.dims()]);
+        assert_eq!(s.memo_key(&a), s.memo_key(&b));
+        assert_ne!(s.memo_key(&a), s.memo_key(&c));
+        assert!(s.memo_key(&a).starts_with(&s.policies[0].wire_name()));
+    }
+
+    #[test]
+    fn infeasible_migration_interval_is_clamped() {
+        let s = space();
+        let mut t = vec![0.5; s.dims()];
+        // migration interval at its minimum, os tick at its maximum.
+        t[5] = 0.0;
+        t[6] = 1.0;
+        let dtm = s.dtm_for(&s.point(0, &t));
+        assert!(dtm.migration_interval >= dtm.os_tick);
+        dtm.validate();
+    }
+
+    #[test]
+    fn snap_is_idempotent_and_stable() {
+        for v in [0.0107, 248.5, 1.0 / 3.0, 2.399999999] {
+            let s1 = snap(v);
+            assert_eq!(s1, snap(s1));
+            assert_eq!(Json::f64(s1).emit(), Json::f64(snap(s1)).emit());
+        }
+        assert_eq!(snap(0.0107), 0.0107);
+        assert_eq!(snap(248.5), 248.5);
+    }
+}

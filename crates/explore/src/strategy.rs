@@ -1,0 +1,198 @@
+//! The strategy seam: a pure ask/tell state machine.
+//!
+//! A [`Strategy`] never simulates, touches the filesystem, or reads a
+//! clock — it proposes normalized candidates ([`Ask`]) and digests the
+//! scores the engine hands back. All randomness flows from the seed its
+//! constructor received, so a (seed, space, telemetry) triple replays
+//! to the exact same proposal sequence. That purity is what makes
+//! resume work: the engine can re-drive a strategy from a journal and
+//! land on the same trajectory without re-simulating anything.
+
+use crate::score::Score;
+
+/// One proposed evaluation, in normalized coordinates.
+#[derive(Debug, Clone)]
+pub struct Ask {
+    /// Index into the space's policy axis.
+    pub policy: usize,
+    /// Normalized knob coordinates, each in `[0, 1]`.
+    pub t: Vec<f64>,
+    /// Evaluation fidelity: `Some(n)` = first `n` workloads only
+    /// (successive-halving rungs), `None` = the full workload set.
+    /// Only full-fidelity evaluations enter the Pareto archive.
+    pub fidelity: Option<usize>,
+}
+
+/// A deterministic search strategy.
+pub trait Strategy {
+    /// Short stable name (journal rows carry it).
+    fn name(&self) -> &'static str;
+
+    /// The next generation of candidates; empty means the strategy is
+    /// finished.
+    fn ask(&mut self) -> Vec<Ask>;
+
+    /// Observes the scores of the generation just asked, parallel to
+    /// and in the order of the `ask` that produced it.
+    fn tell(&mut self, results: &[(Ask, Score)]);
+}
+
+/// Coordinate-descent grid refinement: sweep the knobs one at a time,
+/// evaluating `k` candidates across a bracketing span around the
+/// incumbent and moving to the scalar-best; each full pass halves the
+/// span. Purely deterministic (no RNG) — the classic derivative-free
+/// local search, run independently per candidate policy.
+#[derive(Debug)]
+pub struct CoordinateDescent {
+    policies: Vec<usize>,
+    centers: Vec<Vec<f64>>,
+    k: usize,
+    sweeps_left: u32,
+    span: f64,
+    cursor_policy: usize,
+    cursor_dim: usize,
+    offsets: Vec<f64>,
+}
+
+impl CoordinateDescent {
+    /// Starts from `start_t` (normalized coordinates of the incumbent,
+    /// typically the paper defaults) for each policy in `policies`,
+    /// with `k` candidates per knob and `sweeps` halving passes.
+    pub fn new(start_t: Vec<f64>, policies: Vec<usize>, k: usize, sweeps: u32) -> Self {
+        assert!(k >= 3, "need at least 3 candidates to bracket");
+        assert!(!policies.is_empty(), "need at least one policy");
+        let centers = vec![start_t; policies.len()];
+        let offsets = (0..k)
+            .map(|i| 2.0 * (i as f64 / (k - 1) as f64) - 1.0)
+            .collect();
+        CoordinateDescent {
+            policies,
+            centers,
+            k,
+            sweeps_left: sweeps,
+            span: 0.5,
+            cursor_policy: 0,
+            cursor_dim: 0,
+            offsets,
+        }
+    }
+}
+
+impl Strategy for CoordinateDescent {
+    fn name(&self) -> &'static str {
+        "coord-descent"
+    }
+
+    fn ask(&mut self) -> Vec<Ask> {
+        if self.sweeps_left == 0 {
+            return Vec::new();
+        }
+        let center = &self.centers[self.cursor_policy];
+        let d = self.cursor_dim;
+        self.offsets
+            .iter()
+            .map(|&o| {
+                let mut t = center.clone();
+                t[d] = (center[d] + o * self.span).clamp(0.0, 1.0);
+                Ask {
+                    policy: self.policies[self.cursor_policy],
+                    t,
+                    fidelity: None,
+                }
+            })
+            .collect()
+    }
+
+    fn tell(&mut self, results: &[(Ask, Score)]) {
+        assert_eq!(results.len(), self.k, "one result per candidate");
+        let best = results
+            .iter()
+            .enumerate()
+            .max_by(|(ia, (_, a)), (ib, (_, b))| {
+                a.scalar()
+                    .partial_cmp(&b.scalar())
+                    .expect("finite scalars")
+                    // Ties break toward the earlier (more central-ward)
+                    // candidate deterministically.
+                    .then(ib.cmp(ia))
+            })
+            .expect("non-empty generation");
+        let dims = self.centers[self.cursor_policy].len();
+        self.centers[self.cursor_policy][self.cursor_dim] = best.1 .0.t[self.cursor_dim];
+        self.cursor_dim += 1;
+        if self.cursor_dim == dims {
+            self.cursor_dim = 0;
+            self.cursor_policy += 1;
+            if self.cursor_policy == self.policies.len() {
+                self.cursor_policy = 0;
+                self.sweeps_left -= 1;
+                self.span *= 0.5;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(bips: f64) -> Score {
+        Score {
+            bips,
+            violation: 0.0,
+            energy: 0.0,
+            penalty: 0.0,
+        }
+    }
+
+    #[test]
+    fn descent_walks_every_dim_then_halves() {
+        let mut s = CoordinateDescent::new(vec![0.5, 0.5], vec![0, 3], 3, 2);
+        let mut generations = 0;
+        loop {
+            let asks = s.ask();
+            if asks.is_empty() {
+                break;
+            }
+            assert_eq!(asks.len(), 3);
+            // Reward the largest coordinate in the active dimension.
+            let results: Vec<(Ask, Score)> = asks
+                .into_iter()
+                .map(|a| {
+                    let v = a.t.iter().sum::<f64>();
+                    (a, score(v))
+                })
+                .collect();
+            s.tell(&results);
+            generations += 1;
+        }
+        // 2 policies × 2 dims × 2 sweeps.
+        assert_eq!(generations, 8);
+        // Greedy uphill on Σt drives both centers to the top corner.
+        for c in &s.centers {
+            assert!(c.iter().all(|&t| t > 0.9), "center {c:?}");
+        }
+    }
+
+    #[test]
+    fn descent_is_deterministic() {
+        let run = || {
+            let mut s = CoordinateDescent::new(vec![0.3, 0.7], vec![1], 5, 1);
+            let mut seen = Vec::new();
+            loop {
+                let asks = s.ask();
+                if asks.is_empty() {
+                    break;
+                }
+                seen.extend(asks.iter().map(|a| a.t.clone()));
+                let results: Vec<(Ask, Score)> = asks
+                    .into_iter()
+                    .map(|a| (a.clone(), score(a.t[0])))
+                    .collect();
+                s.tell(&results);
+            }
+            seen
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end determinism and resume contracts of the exploration
+//! engine, driven against the real sweep harness on test-length
+//! traces.
+
+use dtm_core::{ObsHandle, PolicySpec, SimConfig};
+use dtm_explore::{CoordinateDescent, Explorer, LhsHalving, SearchSpace, Strategy};
+use dtm_harness::SweepRunner;
+use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary, Workload};
+use std::path::PathBuf;
+
+fn workloads() -> Vec<Workload> {
+    standard_workloads().into_iter().take(2).collect()
+}
+
+fn space() -> SearchSpace {
+    SearchSpace::paper(
+        SimConfig::fast_test(),
+        vec![PolicySpec::baseline(), PolicySpec::best()],
+    )
+}
+
+fn runner() -> SweepRunner {
+    SweepRunner::bare(TraceLibrary::new(TraceGenConfig::fast_test())).quiet()
+}
+
+fn roster(seed: u64, space: &SearchSpace) -> Vec<Box<dyn Strategy>> {
+    let start: Vec<f64> = {
+        let defaults = space.default_values();
+        space
+            .knobs
+            .iter()
+            .zip(&defaults)
+            .map(|(k, &v)| k.t_of(v))
+            .collect()
+    };
+    vec![
+        Box::new(LhsHalving::new(seed, space.dims(), vec![0, 1], 6, 2)),
+        Box::new(CoordinateDescent::new(start, vec![1], 3, 1)),
+    ]
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dtm-explore-e2e-{}-{name}", std::process::id()))
+}
+
+/// One full search; returns (report JSON, fresh count, memo hits).
+fn search(journal: &PathBuf, seed: u64, budget: usize) -> (String, usize, usize) {
+    let runner = runner();
+    let obs = ObsHandle::disabled();
+    let mut explorer =
+        Explorer::new(&runner, space(), workloads(), journal, seed, &obs).expect("journal loads");
+    explorer.evaluate_anchors().expect("anchors");
+    let mut strategies = roster(seed, explorer.space());
+    explorer.run(&mut strategies, budget).expect("search");
+    let report = explorer.report();
+    (
+        report.to_json().emit(),
+        explorer.fresh(),
+        explorer.memo_hits(),
+    )
+}
+
+#[test]
+fn same_seed_is_byte_identical_and_resume_simulates_nothing() {
+    let j1 = tmp("a.jsonl");
+    let j2 = tmp("b.jsonl");
+    let _ = std::fs::remove_file(&j1);
+    let _ = std::fs::remove_file(&j2);
+
+    // Two independent fresh runs: byte-identical artifacts and
+    // journals.
+    let (r1, fresh1, _) = search(&j1, 42, 30);
+    let (r2, fresh2, _) = search(&j2, 42, 30);
+    assert!(fresh1 > 0, "a fresh run simulates something");
+    assert_eq!(fresh1, fresh2);
+    assert_eq!(r1, r2, "same seed must emit byte-identical reports");
+    let journal_bytes = std::fs::read(&j1).unwrap();
+    assert_eq!(journal_bytes, std::fs::read(&j2).unwrap());
+
+    // Resume from the journal: same artifact, zero simulation, journal
+    // untouched.
+    let (r3, fresh3, memo3) = search(&j1, 42, 30);
+    assert_eq!(fresh3, 0, "resume must re-simulate nothing");
+    assert!(memo3 >= fresh1, "every journaled evaluation is replayed");
+    assert_eq!(r3, r1, "resume must emit the same bytes");
+    assert_eq!(std::fs::read(&j1).unwrap(), journal_bytes);
+
+    // A different seed takes a different trajectory.
+    let j3 = tmp("c.jsonl");
+    let _ = std::fs::remove_file(&j3);
+    let (r4, _, _) = search(&j3, 43, 30);
+    assert_ne!(r4, r1, "different seeds must explore differently");
+
+    for p in [j1, j2, j3] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn front_holds_only_full_fidelity_entries_and_beats_nothing_dominated() {
+    let j = tmp("front.jsonl");
+    let _ = std::fs::remove_file(&j);
+    let runner = runner();
+    let obs = ObsHandle::disabled();
+    let mut explorer =
+        Explorer::new(&runner, space(), workloads(), &j, 7, &obs).expect("journal loads");
+    explorer.evaluate_anchors().expect("anchors");
+    let mut strategies = roster(7, explorer.space());
+    explorer.run(&mut strategies, 25).expect("search");
+
+    assert!(!explorer.front().is_empty());
+    for a in explorer.front().entries() {
+        for b in explorer.front().entries() {
+            assert!(
+                !a.score.dominates(&b.score),
+                "archive holds a dominated point"
+            );
+        }
+    }
+    // The report's evaluation count equals the journal length — the
+    // resume invariant the CI smoke also checks.
+    let rows = std::fs::read_to_string(&j)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count();
+    assert_eq!(rows, explorer.evaluations());
+    let _ = std::fs::remove_file(&j);
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the Pareto dominance archive.
+
+use dtm_explore::{Entry, ParetoFront, Point, Score};
+use proptest::prelude::*;
+
+/// Decodes one packed byte into an archive entry. Two bits per
+/// objective gives a small discrete value palette, keeping collisions
+/// (equal and mutually dominating scores) frequent enough to actually
+/// exercise the tie-breaking and eviction paths.
+fn entry(id: usize, packed: u32) -> Entry {
+    Entry {
+        point: Point {
+            policy: id % 3,
+            values: vec![id as f64],
+        },
+        score: Score {
+            bips: f64::from(packed & 3),
+            violation: f64::from((packed >> 2) & 3) * 0.5,
+            energy: f64::from((packed >> 4) & 3) * 2.0,
+            penalty: f64::from((packed >> 6) & 3) * 0.25,
+        },
+        gen: 0,
+    }
+}
+
+fn build(raw: &[u32]) -> Vec<Entry> {
+    raw.iter().enumerate().map(|(i, &x)| entry(i, x)).collect()
+}
+
+proptest! {
+    /// After any insertion sequence, no archived entry dominates
+    /// another — the defining invariant of a Pareto archive.
+    #[test]
+    fn archive_never_holds_a_dominated_point(
+        raw in proptest::collection::vec(0u32..256, 1..24),
+    ) {
+        let mut f = ParetoFront::new();
+        for e in build(&raw) {
+            f.insert(e);
+        }
+        prop_assert!(!f.is_empty(), "something always survives");
+        for a in f.entries() {
+            for b in f.entries() {
+                prop_assert!(
+                    !a.score.dominates(&b.score),
+                    "{:?} dominates {:?}",
+                    a.score,
+                    b.score
+                );
+            }
+        }
+    }
+
+    /// Every non-dominated score survives and every dominated score is
+    /// kept out, regardless of insertion order — the final *score set*
+    /// is permutation-independent.
+    #[test]
+    fn final_front_is_insertion_order_independent(
+        raw in proptest::collection::vec(0u32..256, 1..24),
+        rotation in 0usize..24,
+    ) {
+        let mut forward = ParetoFront::new();
+        for e in build(&raw) {
+            forward.insert(e);
+        }
+        let mut rotated_raw = raw.clone();
+        rotated_raw.rotate_left(rotation % raw.len());
+        let mut rotated = ParetoFront::new();
+        for e in build(&rotated_raw) {
+            rotated.insert(e);
+        }
+
+        let canonical = |f: &ParetoFront| {
+            let mut v: Vec<(u64, u64, u64, u64)> = f
+                .entries()
+                .iter()
+                .map(|e| {
+                    (
+                        e.score.bips.to_bits(),
+                        e.score.violation.to_bits(),
+                        e.score.energy.to_bits(),
+                        e.score.penalty.to_bits(),
+                    )
+                })
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        prop_assert_eq!(canonical(&forward), canonical(&rotated));
+    }
+
+    /// Re-inserting everything the archive already holds changes
+    /// nothing: re-insertion is idempotent.
+    #[test]
+    fn reinsertion_is_idempotent(
+        raw in proptest::collection::vec(0u32..256, 1..24),
+    ) {
+        let mut f = ParetoFront::new();
+        for e in build(&raw) {
+            f.insert(e);
+        }
+        let snapshot = |f: &ParetoFront| -> Vec<(usize, Vec<f64>)> {
+            f.entries()
+                .iter()
+                .map(|e| (e.point.policy, e.point.values.clone()))
+                .collect()
+        };
+        let before = snapshot(&f);
+        let archived: Vec<Entry> = f.entries().to_vec();
+        for e in archived {
+            prop_assert!(!f.insert(e), "re-inserting an archived entry must be a no-op");
+        }
+        prop_assert_eq!(before, snapshot(&f));
+    }
+}

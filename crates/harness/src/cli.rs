@@ -77,9 +77,21 @@ impl SweepArgs {
                     }
                 }
                 "--dist" => match args.next() {
-                    Some(list) => out
-                        .dist_workers
-                        .extend(list.split(',').filter(|s| !s.is_empty()).map(String::from)),
+                    Some(list) => {
+                        for entry in list.split(',') {
+                            let entry = entry.trim();
+                            if entry.is_empty() {
+                                usage(&format!("--dist list `{list}` contains an empty entry"));
+                            }
+                            if out.dist_workers.iter().any(|w| w == entry) {
+                                usage(&format!(
+                                    "--dist worker `{entry}` listed more than once; \
+                                     a duplicate host would be dispatched to twice"
+                                ));
+                            }
+                            out.dist_workers.push(entry.to_string());
+                        }
+                    }
                     None => usage("--dist requires host:port[,host:port...]"),
                 },
                 "--dist-local" => match args.next().and_then(|s| s.parse::<usize>().ok()) {

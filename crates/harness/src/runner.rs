@@ -369,13 +369,15 @@ impl SweepRunner {
 
     /// Executes every cell of `spec` — cache hits served without
     /// simulation, misses handed to the backend — and returns the
-    /// indexed results.
+    /// indexed results. The runner is reusable: callers that evaluate
+    /// many generated specs (the `dtm-explore` search loop) share one
+    /// runner, its trace library, and its cache across calls.
     ///
     /// # Errors
     ///
     /// Returns the first simulation failure; remaining in-flight cells
     /// are abandoned.
-    pub fn run(self, spec: SweepSpec) -> Result<SweepResults, SimError> {
+    pub fn run(&self, spec: SweepSpec) -> Result<SweepResults, SimError> {
         let sweep_start = Instant::now();
         let obs = self.obs.clone();
         if let Some(cache) = &self.cache {
@@ -489,6 +491,25 @@ impl SweepRunner {
             results = results.with_cache_stats(cache.stats());
         }
         Ok(results)
+    }
+
+    /// Executes several sweeps back-to-back on this runner, returning
+    /// one [`SweepResults`] per spec in order. This is the
+    /// batch-evaluate seam for search engines: each generation of
+    /// candidate configs becomes one batch, every spec still flows
+    /// through the same cache pass, ledger, and backend as a standalone
+    /// run, and cache hits across batches (or across a resume) cost no
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing sweep and returns its error; earlier
+    /// specs' results are discarded.
+    pub fn run_batch(
+        &self,
+        specs: impl IntoIterator<Item = SweepSpec>,
+    ) -> Result<Vec<SweepResults>, SimError> {
+        specs.into_iter().map(|spec| self.run(spec)).collect()
     }
 }
 
@@ -760,6 +781,22 @@ mod tests {
         fn label(&self) -> String {
             "serial-test".into()
         }
+    }
+
+    #[test]
+    fn batch_runs_share_runner_and_cache() {
+        let dir = tmpdir("batch");
+        let runner = SweepRunner::bare(fast_lib()).with_cache(Some(ResultCache::new(&dir)));
+        let batch = runner.run_batch([tiny_spec(), tiny_spec()]).expect("batch");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].executed(), 4);
+        assert_eq!(batch[1].executed(), 0, "second spec served from cache");
+        assert_eq!(batch[1].cache_hits(), 4);
+        // The runner survives the batch: a later standalone call reuses
+        // the same library and cache.
+        let again = runner.run(tiny_spec()).expect("reuse");
+        assert_eq!(again.executed(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

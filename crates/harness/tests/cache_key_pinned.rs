@@ -1,0 +1,120 @@
+//! Cache-address stability, pinned by literal key values.
+//!
+//! The content address of a cell hashes the `Debug` representations of
+//! its configuration inputs, so *any* change to those representations
+//! — a new field, a reordered field, a different float spelling —
+//! silently orphans every existing cache entry and wire memo. The
+//! values below were printed by the pre-knob-search build (the
+//! dtm-serve/dtm-dist era): fault-free cells at paper-default gains
+//! must hash to exactly these forever. The tuned-gains keys assert the
+//! converse: a config that *does* override the PI gains must rekey.
+
+use dtm_core::{DtmConfig, FaultConfig, PolicySpec, SimConfig, PAPER_PI_KI, PAPER_PI_KP};
+use dtm_harness::{cell_key, CellKey};
+use dtm_workloads::{standard_workloads, TraceGenConfig};
+
+#[test]
+fn default_config_cells_keep_their_pre_knob_search_addresses() {
+    let ws = standard_workloads();
+    let tg = TraceGenConfig::default();
+    let ideal = FaultConfig::ideal();
+
+    let k = cell_key(
+        &ws[0],
+        PolicySpec::baseline(),
+        &SimConfig::default(),
+        &DtmConfig::default(),
+        &ideal,
+        &tg,
+        "0.2.0",
+    );
+    assert_eq!(
+        k,
+        CellKey(286485080971197456135770222951572129358),
+        "w0/baseline/default rekeyed — warm caches are orphaned"
+    );
+
+    let k = cell_key(
+        &ws[6],
+        PolicySpec::best(),
+        &SimConfig::default(),
+        &DtmConfig::default(),
+        &ideal,
+        &tg,
+        "0.2.0",
+    );
+    assert_eq!(
+        k,
+        CellKey(243390995572883683193519167678741119987),
+        "w6/best/default rekeyed — warm caches are orphaned"
+    );
+
+    let k = cell_key(
+        &ws[0],
+        PolicySpec::best(),
+        &SimConfig::fast_test(),
+        &DtmConfig {
+            threshold: 100.0,
+            ..DtmConfig::default()
+        },
+        &ideal,
+        &tg,
+        "0.2.0",
+    );
+    assert_eq!(
+        k,
+        CellKey(258481276746113442909836979057755626813),
+        "w0/best/fast+threshold100 rekeyed — warm caches are orphaned"
+    );
+}
+
+#[test]
+fn paper_default_gains_spelled_explicitly_do_not_rekey() {
+    // A config that sets the gains to their paper values is the *same*
+    // config — it must share the legacy address bit for bit.
+    let explicit = DtmConfig {
+        pi_kp: PAPER_PI_KP,
+        pi_ki: PAPER_PI_KI,
+        ..DtmConfig::default()
+    };
+    let k = |d: &DtmConfig| {
+        cell_key(
+            &standard_workloads()[0],
+            PolicySpec::baseline(),
+            &SimConfig::default(),
+            d,
+            &FaultConfig::ideal(),
+            &TraceGenConfig::default(),
+            "0.2.0",
+        )
+    };
+    assert_eq!(k(&explicit), k(&DtmConfig::default()));
+    assert_eq!(
+        k(&explicit),
+        CellKey(286485080971197456135770222951572129358)
+    );
+}
+
+#[test]
+fn tuned_gains_rekey_the_cell() {
+    let tuned = DtmConfig {
+        pi_kp: 0.02,
+        ..DtmConfig::default()
+    };
+    let k = |d: &DtmConfig| {
+        cell_key(
+            &standard_workloads()[0],
+            PolicySpec::baseline(),
+            &SimConfig::default(),
+            d,
+            &FaultConfig::ideal(),
+            &TraceGenConfig::default(),
+            "0.2.0",
+        )
+    };
+    assert_ne!(
+        k(&tuned),
+        k(&DtmConfig::default()),
+        "tuned gains must produce a distinct content address"
+    );
+}

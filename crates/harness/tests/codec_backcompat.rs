@@ -78,11 +78,43 @@ fn pr3_era_row_decodes_and_round_trips() {
     assert_eq!(r.phases, back.phases);
 }
 
+/// A ledger row as the distributed-execution era (dtm-serve/dtm-dist
+/// builds, immediately before the knob-search work) wrote it: same
+/// result schema as PR 3, fault-scenario variant names, cache-served.
+/// Knob-search builds read these rows back for resume and cache
+/// attribution, so this is the blob format that must keep decoding.
+const PR7_ROW: &str = r#"{"ts":1754000789,"key":"6f2a8c4d91e05b37a1c8d2e4f6071935","workload":"gzip-gcc-crafty-wupwise","mix":"IIII","policy":"Dist. stop-go","variant":"stuck-hot+floor","cached":true,"wall_s":0.015625,"queue_s":0.0,"worker":0,"result":{"duration":0.5,"cores":4,"instructions":3906250000.0,"duty_cycle":0.787109375,"max_temp":85.8125,"emergency_time":0.02734375,"migrations":0,"dvfs_transitions":0,"stalls":64,"energy":27.15625,"robustness":{"violation_time":0.0234375,"peak_overshoot":1.609375,"false_throttle_time":0.046875,"fallback_time":0.3125,"fallback_entries":1,"fallback_exits":1,"watchdog_flags":17},"threads":[{"instructions":976562500.0,"scaled_work":0.1953125,"migrations":0},{"instructions":976562500.0,"scaled_work":0.203125,"migrations":0},{"instructions":976562500.0,"scaled_work":0.296875,"migrations":0},{"instructions":976562500.0,"scaled_work":0.3046875,"migrations":0}],"steady":{"mean":84.05078125,"min":83.2421875,"max":85.8125},"phases":{"steps":15625,"phases":[{"name":"microarch","ns":98765432},{"name":"thermal","ns":45678901}]}}}"#;
+
 #[test]
-fn both_eras_coexist_in_one_ledger_file() {
-    // A ledger that lived through both eras: every line must parse and
+fn pr7_era_row_decodes_and_round_trips() {
+    let row = Json::parse(PR7_ROW).expect("fixture parses");
+    assert!(row.field("cached").is_ok(), "dist-era rows mark cache hits");
+    assert_eq!(
+        row.field("variant").unwrap().as_str().unwrap(),
+        "stuck-hot+floor"
+    );
+
+    let r = result_from_json(row.field("result").unwrap()).expect("PR7 result decodes");
+    assert_eq!(r.stalls, 64);
+    assert!((r.robustness.fallback_time - 0.3125).abs() < 1e-15);
+    assert_eq!(r.robustness.watchdog_flags, 17);
+    assert!((r.steady.as_ref().unwrap().max - 85.8125).abs() < 1e-15);
+
+    // Today's encoder reproduces the struct bit for bit, and encoding
+    // is deterministic (two emits, identical bytes) — the property the
+    // exploration journal's byte-identity contract leans on.
+    let re = result_to_json(&r);
+    assert_eq!(re.emit(), result_to_json(&r).emit());
+    let back = result_from_json(&Json::parse(&re.emit()).unwrap()).unwrap();
+    assert_eq!(r, back);
+    assert_eq!(r.energy.to_bits(), back.energy.to_bits());
+}
+
+#[test]
+fn all_eras_coexist_in_one_ledger_file() {
+    // A ledger that lived through every era: every line must parse and
     // every embedded result must decode, whichever era wrote it.
-    let text = format!("{PR2_ROW}\n{PR3_ROW}\n");
+    let text = format!("{PR2_ROW}\n{PR3_ROW}\n{PR7_ROW}\n");
     let mut decoded = 0;
     for line in text.lines() {
         let row = Json::parse(line).expect("row parses");
@@ -90,5 +122,5 @@ fn both_eras_coexist_in_one_ledger_file() {
         assert!(r.duration > 0.0);
         decoded += 1;
     }
-    assert_eq!(decoded, 2);
+    assert_eq!(decoded, 3);
 }

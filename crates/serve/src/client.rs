@@ -182,7 +182,7 @@ impl Client {
     ///
     /// See [`Client::call`].
     pub fn simulate(&mut self, req: SimRequest) -> io::Result<Response> {
-        self.call(&Request::Simulate(req))
+        self.call(&Request::Simulate(Box::new(req)))
     }
 
     /// Convenience: fetches the Prometheus metrics dump.

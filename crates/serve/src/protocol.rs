@@ -216,8 +216,9 @@ impl FrameReader {
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Run (or serve from cache) one simulation.
-    Simulate(SimRequest),
+    /// Run (or serve from cache) one simulation. Boxed: a `SimRequest`
+    /// carries full config overrides and dwarfs the other variants.
+    Simulate(Box<SimRequest>),
     /// Dump the server's metrics in Prometheus text exposition format.
     Metrics,
     /// Liveness probe.
@@ -256,7 +257,7 @@ impl Request {
             .and_then(|v| v.as_str())
             .map_err(|_| "request has no string `verb` field".to_string())?;
         match verb {
-            "simulate" => Ok(Request::Simulate(SimRequest::from_json(&json)?)),
+            "simulate" => Ok(Request::Simulate(Box::new(SimRequest::from_json(&json)?))),
             // `GET /metrics` is accepted as a verb spelling so that
             // scrape configs written against HTTP exporters port over
             // with only a framing shim.

@@ -60,6 +60,20 @@ pub struct SimRequest {
     /// Deadline in ms: if no worker has started the request this long
     /// after admission, the server abandons it with a timeout response.
     pub deadline_ms: Option<u64>,
+    /// PI proportional-gain override (`dtm-explore` knob).
+    pub pi_kp: Option<f64>,
+    /// PI integral-gain override.
+    pub pi_ki: Option<f64>,
+    /// DVFS setpoint margin override (°C below the threshold).
+    pub setpoint_margin_c: Option<f64>,
+    /// Stop-go trip margin override (°C below the threshold).
+    pub trip_margin_c: Option<f64>,
+    /// Stop-go stall-duration override (s).
+    pub stall_s: Option<f64>,
+    /// Migration-interval override (s).
+    pub migration_interval_s: Option<f64>,
+    /// OS tick (control period) override (s).
+    pub os_tick_s: Option<f64>,
 }
 
 impl SimRequest {
@@ -103,7 +117,27 @@ impl SimRequest {
         if let Some(ms) = self.deadline_ms {
             f.push(("deadline_ms".into(), Json::u64(ms)));
         }
+        for (name, v) in self.knob_fields() {
+            if let Some(v) = v {
+                f.push((name.into(), Json::f64(v)));
+            }
+        }
         f
+    }
+
+    /// The optional DTM-knob overrides as `(wire name, value)` pairs —
+    /// the single list both codec directions and the dist-backend
+    /// expressibility probe iterate.
+    fn knob_fields(&self) -> [(&'static str, Option<f64>); 7] {
+        [
+            ("pi_kp", self.pi_kp),
+            ("pi_ki", self.pi_ki),
+            ("setpoint_margin_c", self.setpoint_margin_c),
+            ("trip_margin_c", self.trip_margin_c),
+            ("stall_s", self.stall_s),
+            ("migration_interval_s", self.migration_interval_s),
+            ("os_tick_s", self.os_tick_s),
+        ]
     }
 
     /// Decodes the request fields of a `simulate` frame.
@@ -156,6 +190,19 @@ impl SimRequest {
         if let Ok(v) = json.field("deadline_ms") {
             req.deadline_ms = Some(v.as_u64().map_err(|e| format!("bad `deadline_ms`: {e}"))?);
         }
+        for (name, slot) in [
+            ("pi_kp", &mut req.pi_kp),
+            ("pi_ki", &mut req.pi_ki),
+            ("setpoint_margin_c", &mut req.setpoint_margin_c),
+            ("trip_margin_c", &mut req.trip_margin_c),
+            ("stall_s", &mut req.stall_s),
+            ("migration_interval_s", &mut req.migration_interval_s),
+            ("os_tick_s", &mut req.os_tick_s),
+        ] {
+            if let Ok(v) = json.field(name) {
+                *slot = Some(v.as_f64().map_err(|e| format!("bad `{name}`: {e}"))?);
+            }
+        }
         Ok(req)
     }
 
@@ -206,6 +253,47 @@ impl SimRequest {
                 return Err(format!("threshold_c {t} out of range [40, 150]"));
             }
             dtm = DtmConfig::with_threshold(t);
+        }
+        let knob_ranges: [(&str, Option<f64>, f64, f64, &mut f64); 7] = [
+            ("pi_kp", self.pi_kp, 1e-6, 10.0, &mut dtm.pi_kp),
+            ("pi_ki", self.pi_ki, 1e-3, 1e5, &mut dtm.pi_ki),
+            (
+                "setpoint_margin_c",
+                self.setpoint_margin_c,
+                0.1,
+                20.0,
+                &mut dtm.dvfs_setpoint_margin,
+            ),
+            (
+                "trip_margin_c",
+                self.trip_margin_c,
+                0.01,
+                10.0,
+                &mut dtm.stopgo_trip_margin,
+            ),
+            ("stall_s", self.stall_s, 1e-4, 1.0, &mut dtm.stopgo_stall),
+            (
+                "migration_interval_s",
+                self.migration_interval_s,
+                1e-4,
+                1.0,
+                &mut dtm.migration_interval,
+            ),
+            ("os_tick_s", self.os_tick_s, 1e-4, 0.1, &mut dtm.os_tick),
+        ];
+        for (name, value, lo, hi, slot) in knob_ranges {
+            if let Some(v) = value {
+                if !v.is_finite() || !(lo..=hi).contains(&v) {
+                    return Err(format!("{name} {v} out of range [{lo}, {hi}]"));
+                }
+                *slot = v;
+            }
+        }
+        if dtm.migration_interval < dtm.os_tick {
+            return Err(format!(
+                "migration_interval_s {} shorter than os_tick_s {}",
+                dtm.migration_interval, dtm.os_tick
+            ));
         }
 
         let faults = match self.fault.as_deref() {
@@ -275,9 +363,77 @@ mod tests {
             seed: Some(7),
             fault: Some("stuck-hot".into()),
             deadline_ms: Some(500),
+            pi_kp: Some(0.02),
+            pi_ki: Some(300.0),
+            setpoint_margin_c: Some(1.5),
+            trip_margin_c: Some(0.3),
+            stall_s: Some(0.02),
+            migration_interval_s: Some(0.02),
+            os_tick_s: Some(0.002),
         };
         let back = SimRequest::from_json(&parse(&req)).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn knob_overrides_land_in_the_dtm_config() {
+        let req = SimRequest {
+            pi_kp: Some(0.02),
+            setpoint_margin_c: Some(1.2),
+            migration_interval_s: Some(0.05),
+            ..SimRequest::standard("gzip-twolf-ammp-lucas", "dvfs/dist/sensor")
+        };
+        let r = req.resolve(&SimConfig::fast_test()).unwrap();
+        assert!((r.variant.dtm.pi_kp - 0.02).abs() < 1e-15);
+        assert!((r.variant.dtm.dvfs_setpoint_margin - 1.2).abs() < 1e-15);
+        assert!((r.variant.dtm.migration_interval - 0.05).abs() < 1e-15);
+        // Untouched knobs keep paper defaults — and with them, the
+        // legacy cache-key repr fields.
+        assert!((r.variant.dtm.pi_ki - dtm_core::PAPER_PI_KI).abs() < 1e-12);
+        r.variant.dtm.validate();
+    }
+
+    #[test]
+    fn bad_knobs_are_rejected() {
+        let base = SimConfig::default();
+        let cases: Vec<(SimRequest, &str)> = vec![
+            (
+                SimRequest {
+                    pi_kp: Some(f64::INFINITY),
+                    ..SimRequest::standard("gzip-twolf-ammp-lucas", "dvfs/dist/sensor")
+                },
+                "pi_kp",
+            ),
+            (
+                SimRequest {
+                    pi_ki: Some(-1.0),
+                    ..SimRequest::standard("gzip-twolf-ammp-lucas", "dvfs/dist/sensor")
+                },
+                "pi_ki",
+            ),
+            (
+                SimRequest {
+                    os_tick_s: Some(0.5),
+                    ..SimRequest::standard("gzip-twolf-ammp-lucas", "dvfs/dist/sensor")
+                },
+                "os_tick_s",
+            ),
+            (
+                SimRequest {
+                    os_tick_s: Some(0.02),
+                    migration_interval_s: Some(0.001),
+                    ..SimRequest::standard("gzip-twolf-ammp-lucas", "dvfs/dist/sensor")
+                },
+                "shorter than os_tick_s",
+            ),
+        ];
+        for (req, needle) in cases {
+            let err = req.resolve(&base).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "error `{err}` should mention `{needle}`"
+            );
+        }
     }
 
     #[test]
