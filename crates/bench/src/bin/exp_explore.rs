@@ -9,8 +9,14 @@
 //!
 //! ```text
 //! exp_explore [DURATION] [--seed N] [--budget N] [--workers N]
-//!             [--json] [--no-cache] [--smoke] [--dist host:port,...]
+//!             [--json] [--no-cache] [--smoke] [--adaptive]
+//!             [--dist host:port,...]
 //! ```
+//!
+//! `--adaptive` widens the space with the gain-schedule arms (Rao
+//! adjustable-gain and windowed self-tuning controllers) plus their
+//! adaptation knobs, journaling to `results/explore_adaptive.jsonl` so
+//! the fixed-gain search history stays untouched.
 //!
 //! Everything is resumable: fresh evaluations append to
 //! `results/explore.jsonl`, and a re-run (same seed and budget) replays
@@ -25,9 +31,7 @@ use std::sync::Arc;
 
 use dtm_core::{ObsHandle, PolicySpec, SimConfig};
 use dtm_dist::{DistConfig, RemoteBackend};
-use dtm_explore::{
-    Ask, CoordinateDescent, Evolve, ExploreReport, Explorer, LhsHalving, SearchSpace, Strategy,
-};
+use dtm_explore::{standard_roster, ExploreReport, Explorer, SearchSpace};
 use dtm_harness::{Ledger, ResultCache, SweepArgs, SweepRunner, Table};
 use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary, Workload};
 
@@ -38,11 +42,19 @@ const REPORT_PATH: &str = "results/EXPLORE_pareto.json";
 // test-length traces, so it keeps its own files.
 const SMOKE_JOURNAL_PATH: &str = "results/explore_smoke.jsonl";
 const SMOKE_REPORT_PATH: &str = "results/EXPLORE_pareto_smoke.json";
+// The adaptive-controller search widens the space (gain-schedule arms
+// + adaptation knobs), so its memo keys form a superset: it gets its
+// own journal/report rather than mixing trajectories with the
+// fixed-gain search.
+const ADAPTIVE_JOURNAL_PATH: &str = "results/explore_adaptive.jsonl";
+const ADAPTIVE_REPORT_PATH: &str = "results/EXPLORE_pareto_adaptive.json";
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
     argv.retain(|a| a != "--smoke");
+    let adaptive = argv.iter().any(|a| a == "--adaptive");
+    argv.retain(|a| a != "--adaptive");
     let seed = take_u64(&mut argv, "--seed").unwrap_or(42);
     let budget = take_u64(&mut argv, "--budget").map(|b| b as usize);
     let args = SweepArgs::parse(argv);
@@ -50,7 +62,7 @@ fn main() {
     if smoke {
         run_smoke(&args, seed, budget.unwrap_or(96));
     } else {
-        run_full(&args, seed, budget.unwrap_or(400));
+        run_full(&args, seed, budget.unwrap_or(400), adaptive);
     }
 }
 
@@ -73,61 +85,7 @@ fn take_u64(argv: &mut Vec<String>, flag: &str) -> Option<u64> {
     }
 }
 
-/// The strategy roster: breadth (Latin-hypercube + successive halving)
-/// seeds the box, coordinate descent polishes the headline policies,
-/// and (μ+λ) evolution hunts cross-policy trades. Seeds are derived
-/// from the base seed so the roster stays jointly deterministic.
-fn roster(seed: u64, space: &SearchSpace, n0: usize, gens: u32) -> Vec<Box<dyn Strategy>> {
-    let dims = space.dims();
-    let all: Vec<usize> = (0..space.policies.len()).collect();
-    let start: Vec<f64> = {
-        let defaults = space.default_values();
-        space
-            .knobs
-            .iter()
-            .zip(&defaults)
-            .map(|(k, &v)| k.t_of(v))
-            .collect()
-    };
-    // Polish the paper's headline policies — the best two-loop design
-    // first (it sets the fixed-grid incumbent the front is measured
-    // against), then the stop-go baseline — if they are on the axis.
-    let polish: Vec<usize> = {
-        let mut v = Vec::new();
-        for wanted in [PolicySpec::best(), PolicySpec::baseline()] {
-            if let Some(i) = space.policies.iter().position(|p| *p == wanted) {
-                v.push(i);
-            }
-        }
-        if v.is_empty() {
-            v.push(0);
-        }
-        v
-    };
-    let anchor_seeds: Vec<Ask> = all
-        .iter()
-        .map(|&policy| Ask {
-            policy,
-            t: start.clone(),
-            fidelity: None,
-        })
-        .collect();
-    vec![
-        Box::new(LhsHalving::new(seed ^ 1, dims, all, n0, 3)),
-        Box::new(CoordinateDescent::new(start, polish, 3, 1)),
-        Box::new(Evolve::new(
-            seed ^ 2,
-            dims,
-            (0..space.policies.len()).collect(),
-            4,
-            8,
-            gens,
-            anchor_seeds,
-        )),
-    ]
-}
-
-fn run_full(args: &SweepArgs, seed: u64, budget: usize) {
+fn run_full(args: &SweepArgs, seed: u64, budget: usize, adaptive: bool) {
     let sim = SimConfig {
         duration: args.duration,
         ..SimConfig::default()
@@ -140,7 +98,16 @@ fn run_full(args: &SweepArgs, seed: u64, budget: usize) {
         .filter(|(i, _)| [0, 4, 6, 11].contains(i))
         .map(|(_, w)| w)
         .collect();
-    let space = SearchSpace::paper(sim, PolicySpec::all());
+    let space = if adaptive {
+        SearchSpace::paper_adaptive(sim, PolicySpec::all())
+    } else {
+        SearchSpace::paper(sim, PolicySpec::all())
+    };
+    let (journal_path, report_path) = if adaptive {
+        (ADAPTIVE_JOURNAL_PATH, ADAPTIVE_REPORT_PATH)
+    } else {
+        (JOURNAL_PATH, REPORT_PATH)
+    };
 
     let mut runner = SweepRunner::paper_defaults()
         .with_cache(if args.no_cache {
@@ -164,12 +131,12 @@ fn run_full(args: &SweepArgs, seed: u64, budget: usize) {
         seed,
         budget,
         args.json,
-        JOURNAL_PATH,
-        REPORT_PATH,
+        journal_path,
+        report_path,
     );
     if !args.json {
         println!(
-            "\n(front and anchors are written to {REPORT_PATH}; fresh evaluations append to {JOURNAL_PATH} — re-running with the same seed and budget resumes for free)"
+            "\n(front and anchors are written to {report_path}; fresh evaluations append to {journal_path} — re-running with the same seed and budget resumes for free)"
         );
     }
     std::process::exit(i32::from(report.front.is_empty()));
@@ -190,7 +157,7 @@ fn explore(
     let n0 = (budget / 4).clamp(8, 64);
     let gens = 4;
     let obs = ObsHandle::disabled();
-    let mut strategies = roster(seed, &space, n0, gens);
+    let mut strategies = standard_roster(seed, &space, n0, gens);
     let mut explorer =
         Explorer::new(runner, space, workloads, journal_path, seed, &obs).expect("journal");
     explorer.evaluate_anchors().expect("anchor sweep");

@@ -16,6 +16,10 @@
 //! - [`ClippedPi`] — the paper's hardware controller
 //!   `u[n] = u[n−1] − 0.0107·e[n] + 0.003796·e[n−1]`, clipped to
 //!   `[0.2, 1.0]`, with clipping-as-anti-windup.
+//! - [`adaptive`] — online gain scheduling ([`GainSchedule`]): the
+//!   Rao-style adjustable-gain law and a windowed self-tuner layered
+//!   on the clipped PI, bit-identical to it when adaptation is
+//!   disabled.
 //! - [`response`] — settling time, overshoot, and steady-state metrics.
 //!
 //! # Examples
@@ -33,6 +37,7 @@
 //! assert!((-b[1] - 0.003796).abs() < 2e-6);
 //! ```
 
+pub mod adaptive;
 mod complex;
 mod pi;
 mod poly;
@@ -40,6 +45,10 @@ pub mod response;
 pub mod stability;
 mod tf;
 
+pub use adaptive::{
+    AdaptivePi, DvfsController, FixedSchedule, GainSchedule, GainScheduleConfig, RaoSchedule,
+    SelfTuneSchedule, MULT_MAX, MULT_MIN, RAO_E_REF, RAO_SLEW_PER_STEP,
+};
 pub use complex::Complex;
 pub use pi::{ClippedPi, PiGains};
 pub use poly::Polynomial;

@@ -1,0 +1,153 @@
+//! Property-based tests for the gain-scheduled controller: for any
+//! schedule parameters and any piecewise-constant error schedule, the
+//! multiplier stays in its envelope, the output stays clipped, windup
+//! never builds, and disabling adaptation collapses to the fixed PI.
+
+use dtm_control::{
+    AdaptivePi, ClippedPi, GainScheduleConfig, PiGains, MULT_MAX, MULT_MIN, RAO_SLEW_PER_STEP,
+};
+use proptest::prelude::*;
+
+/// Expands `(level, hold)` pairs into a piecewise-constant error
+/// sequence — the thermal shape adaptive schedules see in practice
+/// (program phases hold power roughly constant for many control
+/// periods).
+fn piecewise(segments: &[(f64, usize)]) -> Vec<f64> {
+    segments
+        .iter()
+        .flat_map(|&(level, hold)| std::iter::repeat_n(level, hold))
+        .collect()
+}
+
+prop_compose! {
+    /// An arbitrary adaptive schedule with in-range parameters.
+    fn arb_schedule()(
+        kind in 0u8..2,
+        alpha in 0.0f64..4.0,
+        rate in 0.0f64..0.99,
+        window in 1e-4f64..0.02,
+    ) -> GainScheduleConfig {
+        if kind == 0 {
+            GainScheduleConfig::Rao { alpha, tau_s: window }
+        } else {
+            GainScheduleConfig::SelfTuning { rate, window_s: window }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the schedule and error history, the effective gains
+    /// never leave `base · [MULT_MIN, MULT_MAX]` and the output never
+    /// leaves its clip range.
+    #[test]
+    fn gains_and_output_stay_in_their_envelopes(
+        config in arb_schedule(),
+        segments in proptest::collection::vec((-20.0f64..20.0, 1usize..400), 1..24),
+    ) {
+        let base = PiGains::paper_defaults();
+        let mut pi = AdaptivePi::new(base, config, 0.2, 1.0);
+        for e in piecewise(&segments) {
+            let u = pi.update(e);
+            prop_assert!((0.2..=1.0).contains(&u));
+            let g = pi.effective_gains();
+            prop_assert!(g.kp >= base.kp * MULT_MIN - 1e-15);
+            prop_assert!(g.kp <= base.kp * MULT_MAX + 1e-15);
+            prop_assert!(g.ki >= base.ki * MULT_MIN - 1e-12);
+            prop_assert!(g.ki <= base.ki * MULT_MAX + 1e-12);
+            prop_assert!((MULT_MIN..=MULT_MAX).contains(&pi.multiplier()));
+        }
+        let (lo, hi) = pi.multiplier_range();
+        prop_assert!((MULT_MIN..=MULT_MAX).contains(&lo));
+        prop_assert!((MULT_MIN..=MULT_MAX).contains(&hi));
+    }
+
+    /// Clip-as-anti-windup survives gain scheduling: after any history
+    /// and a long saturating overload, recovery is still bounded by
+    /// the proportional path — the stored output held no hidden
+    /// integral, whatever the multiplier did meanwhile.
+    #[test]
+    fn adaptation_never_winds_past_the_clamp(
+        config in arb_schedule(),
+        segments in proptest::collection::vec((-20.0f64..20.0, 1usize..200), 1..12),
+        overload in 2.0f64..25.0,
+    ) {
+        let mut pi = AdaptivePi::new(PiGains::paper_defaults(), config, 0.2, 1.0);
+        for e in piecewise(&segments) {
+            pi.update(e);
+        }
+        for _ in 0..50_000 {
+            pi.update(overload);
+        }
+        prop_assert_eq!(pi.output(), 0.2);
+        // Worst case the multiplier sits at MULT_MIN: recovery gain per
+        // step is still ≥ MULT_MIN·Kp·5 ≈ 0.013 ⇒ well under 500 steps.
+        let mut steps = 0;
+        while pi.update(-5.0) < 1.0 {
+            steps += 1;
+            prop_assert!(steps < 500, "windup: {} recovery steps", steps);
+        }
+    }
+
+    /// `alpha = 0` / `rate = 0` turn the scheduled controller into the
+    /// fixed PI, bit for bit, on any error sequence.
+    #[test]
+    fn disabled_adaptation_collapses_to_the_fixed_pi(
+        tau_s in 0.0f64..0.02,
+        window_s in 1e-4f64..0.02,
+        errors in proptest::collection::vec(-30.0f64..30.0, 1..500),
+    ) {
+        for config in [
+            GainScheduleConfig::Rao { alpha: 0.0, tau_s },
+            GainScheduleConfig::SelfTuning { rate: 0.0, window_s },
+        ] {
+            let mut fixed = ClippedPi::paper_thermal_dvfs();
+            let mut adaptive = AdaptivePi::new(PiGains::paper_defaults(), config, 0.2, 1.0);
+            for e in &errors {
+                prop_assert_eq!(fixed.update(*e).to_bits(), adaptive.update(*e).to_bits());
+            }
+            prop_assert_eq!(adaptive.adaptations(), 0);
+        }
+    }
+
+    /// The Rao multiplier moves at most `RAO_SLEW_PER_STEP` per update,
+    /// whatever the error does.
+    #[test]
+    fn rao_slew_limit_holds_for_any_errors(
+        alpha in 0.0f64..4.0,
+        tau_s in 0.0f64..0.02,
+        errors in proptest::collection::vec(-30.0f64..30.0, 1..500),
+    ) {
+        let mut pi = AdaptivePi::new(
+            PiGains::paper_defaults(),
+            GainScheduleConfig::Rao { alpha, tau_s },
+            0.2,
+            1.0,
+        );
+        let mut prev = 1.0;
+        for e in errors {
+            pi.update(e);
+            let m = pi.multiplier();
+            prop_assert!((m - prev).abs() <= RAO_SLEW_PER_STEP + 1e-15);
+            prev = m;
+        }
+    }
+
+    /// Two identically configured adaptive controllers track bit for
+    /// bit — scheduling is a pure function of the error history.
+    #[test]
+    fn adaptive_step_response_is_deterministic(
+        config in arb_schedule(),
+        errors in proptest::collection::vec(-30.0f64..30.0, 1..500),
+    ) {
+        let gains = PiGains::paper_defaults();
+        let mut a = AdaptivePi::new(gains, config, 0.2, 1.0);
+        let mut b = AdaptivePi::new(gains, config, 0.2, 1.0);
+        for e in &errors {
+            prop_assert_eq!(a.update(*e).to_bits(), b.update(*e).to_bits());
+        }
+        prop_assert_eq!(a.multiplier().to_bits(), b.multiplier().to_bits());
+        prop_assert_eq!(a.adaptations(), b.adaptations());
+    }
+}

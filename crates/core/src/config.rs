@@ -1,6 +1,7 @@
 //! Simulation and DTM configuration (Table 3's global and DVFS/migration
 //! parameter blocks).
 
+use dtm_control::GainScheduleConfig;
 use dtm_microarch::CoreConfig;
 use dtm_thermal::{PackageConfig, SensorSpec, SolverBackend};
 use serde::{Deserialize, Serialize};
@@ -41,6 +42,12 @@ pub struct DtmConfig {
     /// Integral gain of the DVFS PI controller ([`PAPER_PI_KI`] unless
     /// tuned).
     pub pi_ki: f64,
+    /// Online gain schedule for the DVFS PI controller. `Fixed` (the
+    /// default) selects the paper's fixed-gain controller and keeps
+    /// every pre-adaptive cache key; adaptive schedules rescale the
+    /// gains from the observed temperature trajectory (see
+    /// `dtm_control::adaptive`).
+    pub gain_schedule: GainScheduleConfig,
 }
 
 impl Default for DtmConfig {
@@ -58,6 +65,7 @@ impl Default for DtmConfig {
             migration_interval: 10e-3,
             pi_kp: PAPER_PI_KP,
             pi_ki: PAPER_PI_KI,
+            gain_schedule: GainScheduleConfig::Fixed,
         }
     }
 }
@@ -85,6 +93,9 @@ impl std::fmt::Debug for DtmConfig {
         if self.has_tuned_gains() {
             d.field("pi_kp", &self.pi_kp).field("pi_ki", &self.pi_ki);
         }
+        if self.has_adaptive_schedule() {
+            d.field("gain_schedule", &self.gain_schedule);
+        }
         d.finish()
     }
 }
@@ -94,6 +105,12 @@ impl DtmConfig {
     /// must appear in the cache-key `Debug` repr).
     pub fn has_tuned_gains(&self) -> bool {
         self.pi_kp != PAPER_PI_KP || self.pi_ki != PAPER_PI_KI
+    }
+
+    /// Whether a non-default (adaptive) gain schedule is selected (and
+    /// so must appear in the cache-key `Debug` repr).
+    pub fn has_adaptive_schedule(&self) -> bool {
+        !self.gain_schedule.is_fixed()
     }
 
     /// DVFS temperature setpoint (°C).
@@ -150,6 +167,7 @@ impl DtmConfig {
             self.pi_ki.is_finite() && self.pi_ki > 0.0,
             "PI integral gain must be finite and positive"
         );
+        self.gain_schedule.validate();
     }
 }
 
@@ -337,5 +355,39 @@ mod tests {
         assert!(repr.starts_with(&legacy[..legacy.len() - 2]));
         assert!(repr.contains("pi_kp: 0.02"));
         assert!(repr.contains("pi_ki: 248.5"));
+    }
+
+    /// Same discipline for the gain schedule: the default (fixed)
+    /// schedule is spelled nowhere, so fixed-gain cache keys are
+    /// byte-identical to pre-adaptive builds; adaptive schedules
+    /// append and therefore rekey.
+    #[test]
+    fn adaptive_schedule_rekeys_but_fixed_does_not() {
+        let fixed = DtmConfig::default();
+        assert!(!fixed.has_adaptive_schedule());
+        assert!(!format!("{fixed:?}").contains("gain_schedule"));
+
+        let adaptive = DtmConfig {
+            gain_schedule: GainScheduleConfig::rao_default(),
+            ..DtmConfig::default()
+        };
+        assert!(adaptive.has_adaptive_schedule());
+        adaptive.validate();
+        let repr = format!("{adaptive:?}");
+        assert!(repr.contains("gain_schedule: Rao { alpha: 1.0, tau_s: 0.002 }"));
+        assert_ne!(repr, format!("{fixed:?}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "selftune rate")]
+    fn invalid_schedule_rejected_by_validate() {
+        let d = DtmConfig {
+            gain_schedule: GainScheduleConfig::SelfTuning {
+                rate: 2.0,
+                window_s: 1e-3,
+            },
+            ..DtmConfig::default()
+        };
+        d.validate();
     }
 }

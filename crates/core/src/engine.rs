@@ -18,7 +18,7 @@ use crate::migration::{
 };
 use crate::policy::{MigrationKind, PolicySpec, Scope, ThrottleKind};
 use crate::telemetry::{Telemetry, TelemetryRecord};
-use dtm_control::{ClippedPi, PiGains};
+use dtm_control::{DvfsController, PiGains};
 use dtm_faults::{FallbackKind, FaultConfig, FaultScenario, FaultState, Watchdog, WatchdogConfig};
 use dtm_floorplan::{Floorplan, UnitKind};
 use dtm_obs::{Histogram, ObsHandle};
@@ -176,7 +176,7 @@ pub struct ThermalTimingSim {
     /// Unit (0 = int RF, 1 = fp RF) that caused each core's last trip.
     last_trip_unit: Vec<usize>,
     penalty_until: Vec<f64>,
-    pi: Vec<ClippedPi>,
+    pi: Vec<DvfsController>,
     sensor_temps: Vec<[f64; 2]>,
 
     migration: Box<dyn MigrationPolicy>,
@@ -327,7 +327,7 @@ impl ThermalTimingSim {
             dt,
         };
         let pi = (0..n_pi)
-            .map(|_| ClippedPi::new(gains, dtm.dvfs_min_scale, 1.0))
+            .map(|_| DvfsController::from_config(gains, dtm.gain_schedule, dtm.dvfs_min_scale, 1.0))
             .collect();
 
         let migration: Box<dyn MigrationPolicy> = match policy.migration {
@@ -1033,6 +1033,7 @@ impl ThermalTimingSim {
                 watchdog_flags: self.watchdog.as_ref().map_or(0, |w| w.flags()),
             },
             steady: self.steady_summary(),
+            gain_stats: self.gain_stats(),
             phases: self.prof.as_ref().map(|p| {
                 // Measured nanoseconds cover only the timed (sampled)
                 // steps; scale them to whole-run estimates.
@@ -1056,6 +1057,33 @@ impl ThermalTimingSim {
             }),
             threads: self.thread_stats.clone(),
         }
+    }
+
+    /// Effective-gain bounds and adaptation count aggregated across
+    /// the run's DVFS controllers (`None` on the fixed-gain path).
+    fn gain_stats(&self) -> Option<crate::metrics::GainStats> {
+        if !self.dtm.has_adaptive_schedule() {
+            return None;
+        }
+        let mut m_lo = f64::INFINITY;
+        let mut m_hi = f64::NEG_INFINITY;
+        let mut adaptations = 0;
+        for c in &self.pi {
+            let a = c
+                .adaptive()
+                .expect("adaptive schedule builds adaptive controllers");
+            let (lo, hi) = a.multiplier_range();
+            m_lo = m_lo.min(lo);
+            m_hi = m_hi.max(hi);
+            adaptations += a.adaptations();
+        }
+        Some(crate::metrics::GainStats {
+            kp_min: self.dtm.pi_kp * m_lo,
+            kp_max: self.dtm.pi_kp * m_hi,
+            ki_min: self.dtm.pi_ki * m_lo,
+            ki_max: self.dtm.pi_ki * m_hi,
+            adaptations,
+        })
     }
 
     /// Hottest-sensor summary over the second half of the steady

@@ -60,6 +60,7 @@ mod runner;
 mod telemetry;
 
 pub use config::{DtmConfig, LeakageConfig, SimConfig, PAPER_PI_KI, PAPER_PI_KP};
+pub use dtm_control::GainScheduleConfig;
 pub use dtm_faults::{
     FallbackKind, FaultConfig, FaultEvent, FaultKind, FaultScenario, FaultState, FaultTarget,
     Watchdog, WatchdogConfig,
@@ -68,7 +69,7 @@ pub use dtm_obs::{Counter, Gauge, Histogram, ObsHandle};
 pub use dtm_thermal::SolverBackend;
 pub use engine::{SimError, ThermalTimingSim, ENGINE_PHASES};
 pub use metrics::{
-    geometric_mean, mean, PhaseNs, PhaseProfile, Robustness, RunResult, ThreadStats,
+    geometric_mean, mean, GainStats, PhaseNs, PhaseProfile, Robustness, RunResult, ThreadStats,
 };
 pub use migration::{
     CounterMigration, MigrationPolicy, NoMigration, OsObservation, RotationMigration,

@@ -44,6 +44,26 @@ pub struct Robustness {
     pub watchdog_flags: u64,
 }
 
+/// Observed adaptive-gain statistics for one run, aggregated across
+/// the run's DVFS controllers (`None` on the fixed-gain path, so
+/// fixed-gain results stay bit-identical to pre-adaptive builds).
+/// Bounds are the *effective* gains (base gain × observed multiplier
+/// extremes); the control-equivalence suite checks they stay inside
+/// the schedule's declared clamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GainStats {
+    /// Smallest effective proportional gain applied.
+    pub kp_min: f64,
+    /// Largest effective proportional gain applied.
+    pub kp_max: f64,
+    /// Smallest effective integral gain applied.
+    pub ki_min: f64,
+    /// Largest effective integral gain applied.
+    pub ki_max: f64,
+    /// Control steps on which some controller's multiplier changed.
+    pub adaptations: u64,
+}
+
 /// Steady-state temperature summary of a run: the hottest sensor over
 /// the second half, sampled at the engine's telemetry-compatible
 /// steady stride. For a single benchmark on one unconstrained core
@@ -136,6 +156,10 @@ pub struct RunResult {
     /// profiled through an enabled `ObsHandle`, so fault-free results
     /// stay bit-identical to unprofiled builds).
     pub phases: Option<PhaseProfile>,
+    /// Adaptive-gain statistics (`None` unless the run selected an
+    /// adaptive [`gain schedule`](dtm_control::GainScheduleConfig), so
+    /// fixed-gain results keep their pre-adaptive encoding).
+    pub gain_stats: Option<GainStats>,
     /// Per-thread statistics.
     pub threads: Vec<ThreadStats>,
 }
@@ -225,6 +249,7 @@ mod tests {
             robustness: Robustness::default(),
             steady: None,
             phases: None,
+            gain_stats: None,
             threads: vec![],
         }
     }

@@ -16,7 +16,7 @@
 use crate::dispatch::{Completion, DispatchConfig, DispatchState, RemoteNext, Scheduler};
 use crate::summary::DispatchSummary;
 use crate::worker::{Health, Worker, WorkerPool};
-use dtm_core::{DtmConfig, RunResult, SimConfig, SimError};
+use dtm_core::{DtmConfig, GainScheduleConfig, RunResult, SimConfig, SimError};
 use dtm_harness::cache::cell_key;
 use dtm_harness::cli::SweepArgs;
 use dtm_harness::codec::result_to_json;
@@ -164,11 +164,25 @@ pub fn request_for_cell(
         stopgo_stall: d.stopgo_stall,
         migration_interval: d.migration_interval,
         os_tick: d.os_tick,
+        gain_schedule: d.gain_schedule,
         ..DtmConfig::default()
     };
     if dtm_probe != *d {
         return None;
     }
+    // Adaptive gain schedules ride the wire as the schedule name plus
+    // both adaptation parameters spelled out exactly (no
+    // default-elision: the f64s must round-trip bit-identically for
+    // the key check below to accept).
+    let (schedule, adapt_rate, adapt_window_s) = match d.gain_schedule {
+        GainScheduleConfig::Fixed => (None, None, None),
+        GainScheduleConfig::Rao { alpha, tau_s } => {
+            (Some("rao".to_string()), Some(alpha), Some(tau_s))
+        }
+        GainScheduleConfig::SelfTuning { rate, window_s } => {
+            (Some("selftune".to_string()), Some(rate), Some(window_s))
+        }
+    };
     // Overrides ride the wire only when they differ from the default, so
     // pre-knob configs produce the exact requests (and server-side memo
     // keys) they produced before the knobs existed. Out-of-range values
@@ -208,6 +222,9 @@ pub fn request_for_cell(
             stall_s: over(d.stopgo_stall, def.stopgo_stall),
             migration_interval_s: over(d.migration_interval, def.migration_interval),
             os_tick_s: over(d.os_tick, def.os_tick),
+            schedule: schedule.clone(),
+            adapt_rate,
+            adapt_window_s,
         };
         let wire = Json::Obj(req.to_fields());
         let Ok(decoded) = SimRequest::from_json(&wire) else {
@@ -923,6 +940,41 @@ mod tests {
         assert!(req.stall_s.is_none());
         assert!(req.os_tick_s.is_none());
         assert!(req.threshold_c.is_none());
+    }
+
+    #[test]
+    fn adaptive_schedule_variants_are_expressible_and_key_checked() {
+        let sim = SimConfig::fast_test();
+        for (schedule, wire) in [
+            (GainScheduleConfig::rao_default(), "rao"),
+            (
+                GainScheduleConfig::SelfTuning {
+                    rate: 0.3,
+                    window_s: 0.004,
+                },
+                "selftune",
+            ),
+        ] {
+            let dtm = DtmConfig {
+                gain_schedule: schedule,
+                ..DtmConfig::default()
+            };
+            let fx = fixture(ConfigVariant::new("adaptive", sim.clone(), dtm));
+            let ctx = fx.ctx();
+            let req = request_for_cell(&ctx, 0, &sim).expect("expressible");
+            assert_eq!(req.schedule.as_deref(), Some(wire));
+            assert!(req.adapt_rate.is_some() && req.adapt_window_s.is_some());
+        }
+        // Fixed-gain cells keep the pre-adaptive wire spelling.
+        let fx = fixture(ConfigVariant::new(
+            "base",
+            sim.clone(),
+            DtmConfig::default(),
+        ));
+        let ctx = fx.ctx();
+        let req = request_for_cell(&ctx, 0, &sim).expect("expressible");
+        assert!(req.schedule.is_none());
+        assert!(req.adapt_rate.is_none() && req.adapt_window_s.is_none());
     }
 
     #[test]

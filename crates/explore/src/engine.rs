@@ -212,8 +212,9 @@ impl<'a> Explorer<'a> {
                 let variant_name = self.space.memo_key(p);
                 let runs = results.policy_runs_in(&variant_name, policy_spec);
                 let score = Score::of_runs(&runs, self.space.dtm_for(p).threshold);
+                let schedule = self.space.schedules[p.schedule].wire_name();
                 self.journal
-                    .append(self.generation, strategy, key, *fid, &score);
+                    .append(self.generation, strategy, schedule, key, *fid, &score);
                 self.memo.insert(key.clone(), score);
                 self.fresh += 1;
             }
@@ -253,9 +254,12 @@ impl<'a> Explorer<'a> {
     }
 
     /// Evaluates the fixed-grid anchors — every candidate policy at the
-    /// Table 3 default knob values, full fidelity — and archives them.
-    /// The resulting incumbents are what the acceptance comparison
-    /// (`baseline_dominated`) measures the front against.
+    /// Table 3 default knob values under the fixed gain schedule, full
+    /// fidelity — and archives them. The resulting incumbents are what
+    /// the acceptance comparison (`baseline_dominated`) measures the
+    /// front against. Anchors stay on the fixed arm even in adaptive
+    /// spaces: they are the paper's grid, the thing exploration has to
+    /// beat.
     ///
     /// # Errors
     ///
@@ -265,10 +269,13 @@ impl<'a> Explorer<'a> {
         let t: Vec<f64> = {
             let p = Point {
                 policy: 0,
+                schedule: 0,
                 values: defaults.clone(),
             };
             self.space.normalize(&p)
         };
+        // Arms 0..policies.len() are exactly the fixed-schedule
+        // policies (schedule axis keeps `Fixed` first).
         let asks: Vec<Ask> = (0..self.space.policies.len())
             .map(|policy| Ask {
                 policy,
@@ -279,10 +286,13 @@ impl<'a> Explorer<'a> {
         let scored = self.evaluate("anchor", &asks)?;
         self.anchors = scored
             .into_iter()
-            .map(|(a, score)| Anchor {
-                policy: self.space.policies[a.policy],
-                point: self.space.point(a.policy, &a.t),
-                score,
+            .map(|(a, score)| {
+                let point = self.space.point(a.policy, &a.t);
+                Anchor {
+                    policy: self.space.policies[point.policy],
+                    point,
+                    score,
+                }
             })
             .collect();
         Ok(&self.anchors)

@@ -7,6 +7,9 @@
 //! {
 //!   "gen":      engine generation counter when the evaluation ran,
 //!   "strategy": strategy name that asked for it,
+//!   "schedule": gain-schedule wire name ("fixed"/"rao"/"selftune");
+//!               rows written before the adaptive controller existed
+//!               lack the field, which reads as "fixed",
 //!   "key":      point memo key plus "#f<n>" fidelity suffix,
 //!   "fidelity": workload count evaluated (the full set spelled out),
 //!   "score":    {"bips": …, "violation": …, "energy": …, "penalty": …}
@@ -52,11 +55,22 @@ impl Journal {
         self.appender.path()
     }
 
-    /// Appends one fresh evaluation.
-    pub fn append(&self, gen: u32, strategy: &str, key: &str, fidelity: usize, score: &Score) {
+    /// Appends one fresh evaluation. `schedule` is the gain-schedule
+    /// wire name; `"fixed"` rows keep the field for uniformity, and
+    /// loading treats a missing field (pre-adaptive journals) as fixed.
+    pub fn append(
+        &self,
+        gen: u32,
+        strategy: &str,
+        schedule: &str,
+        key: &str,
+        fidelity: usize,
+        score: &Score,
+    ) {
         let rec = Json::Obj(vec![
             ("gen".into(), Json::u64(u64::from(gen))),
             ("strategy".into(), Json::str(strategy)),
+            ("schedule".into(), Json::str(schedule)),
             ("key".into(), Json::str(key)),
             ("fidelity".into(), Json::usize(fidelity)),
             ("score".into(), score.to_json()),
@@ -121,9 +135,9 @@ mod tests {
             penalty: 0.0,
         };
         let s2 = Score { bips: 6.5, ..s1 };
-        j.append(0, "lhs-halving", "dvfs|pi_kp=0.0107#f1", 1, &s1);
-        j.append(1, "evolve", "dvfs|pi_kp=0.0107#f4", 4, &s2);
-        j.append(1, "evolve", "dvfs|pi_kp=0.0107#f1", 1, &s2);
+        j.append(0, "lhs-halving", "fixed", "dvfs|pi_kp=0.0107#f1", 1, &s1);
+        j.append(1, "evolve", "rao", "dvfs|pi_kp=0.0107#f4", 4, &s2);
+        j.append(1, "evolve", "fixed", "dvfs|pi_kp=0.0107#f1", 1, &s2);
         let memo = Journal::load(&path).unwrap();
         assert_eq!(memo.len(), 2);
         assert_eq!(memo["dvfs|pi_kp=0.0107#f1"], s2, "later row wins");
@@ -143,6 +157,28 @@ mod tests {
         std::fs::write(&path, "{\"key\": \"a\"}\n").unwrap();
         let err = Journal::load(&path).unwrap_err();
         assert!(err.contains(":1:"), "line-numbered: {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_adaptive_rows_load_without_a_schedule_field() {
+        // A verbatim row from a journal written before the adaptive
+        // controller existed: no "schedule" field. It must load (as an
+        // implicitly fixed-gain evaluation) so old journals resume
+        // byte-identically.
+        let path = tmp("preadaptive.jsonl");
+        std::fs::write(
+            &path,
+            "{\"gen\": 0, \"strategy\": \"anchor\", \"key\": \"stopgo|pi_kp=0.0107#f2\", \
+             \"fidelity\": 2, \"score\": {\"bips\": 12.5, \"violation\": 0, \
+             \"energy\": 2.25, \"penalty\": 0}}\n",
+        )
+        .unwrap();
+        let memo = Journal::load(&path).unwrap();
+        assert_eq!(memo.len(), 1);
+        let s = memo["stopgo|pi_kp=0.0107#f2"];
+        assert_eq!(s.bips, 12.5);
+        assert_eq!(s.energy, 2.25);
         let _ = std::fs::remove_file(&path);
     }
 

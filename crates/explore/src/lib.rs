@@ -37,6 +37,7 @@ pub mod evolve;
 pub mod halving;
 pub mod journal;
 pub mod pareto;
+pub mod roster;
 pub mod score;
 pub mod space;
 pub mod strategy;
@@ -46,6 +47,7 @@ pub use evolve::Evolve;
 pub use halving::LhsHalving;
 pub use journal::{eval_key, Journal};
 pub use pareto::{Entry, ParetoFront};
+pub use roster::standard_roster;
 pub use score::Score;
-pub use space::{snap, Knob, Point, SearchSpace};
+pub use space::{is_adaptive_knob, snap, Knob, Point, ScheduleChoice, SearchSpace};
 pub use strategy::{Ask, CoordinateDescent, Strategy};

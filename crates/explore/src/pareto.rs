@@ -95,6 +95,7 @@ mod tests {
         Entry {
             point: Point {
                 policy,
+                schedule: 0,
                 values: vec![bips],
             },
             score: Score {

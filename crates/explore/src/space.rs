@@ -8,9 +8,41 @@
 //! digits, so two strategies that land on nearly the same point share
 //! one memo entry, one journal row, and one cache cell.
 
-use dtm_core::{DtmConfig, PolicySpec, SimConfig};
+use dtm_core::{DtmConfig, GainScheduleConfig, PolicySpec, SimConfig};
 use dtm_harness::json::Json;
 use dtm_harness::ConfigVariant;
+
+/// One gain-schedule arm of the search: which DVFS controller family a
+/// point runs. `Fixed` is the paper's clipped PI; the adaptive arms
+/// give the schedule's parameters to the `adapt_*` knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleChoice {
+    /// The paper's fixed-gain clipped PI.
+    Fixed,
+    /// Rao-style adjustable-gain law (knobs: `adapt_rate` → `alpha`,
+    /// `adapt_window_s` → `tau_s`).
+    Rao,
+    /// Windowed self-tuning (knobs: `adapt_rate` → `rate` via
+    /// `v/(1+v)`, `adapt_window_s` → `window_s`).
+    SelfTune,
+}
+
+impl ScheduleChoice {
+    /// Stable wire spelling, matching the serve protocol.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ScheduleChoice::Fixed => "fixed",
+            ScheduleChoice::Rao => "rao",
+            ScheduleChoice::SelfTune => "selftune",
+        }
+    }
+}
+
+/// Whether a knob only parameterizes adaptive gain schedules (and so
+/// is inert — and elided from memo keys — on the `Fixed` arm).
+pub fn is_adaptive_knob(name: &str) -> bool {
+    matches!(name, "adapt_rate" | "adapt_window_s")
+}
 
 /// One tunable dimension of the search space.
 #[derive(Debug, Clone)]
@@ -61,6 +93,8 @@ pub fn snap(v: f64) -> f64 {
 pub struct Point {
     /// Index into [`SearchSpace::policies`].
     pub policy: usize,
+    /// Index into [`SearchSpace::schedules`].
+    pub schedule: usize,
     /// Snapped engineering values, one per knob.
     pub values: Vec<f64>,
 }
@@ -73,6 +107,9 @@ pub struct SearchSpace {
     pub knobs: Vec<Knob>,
     /// The policy axis (a subset of the paper's 12-policy grid).
     pub policies: Vec<PolicySpec>,
+    /// The gain-schedule axis (`Fixed` first, so arm indices below
+    /// `policies.len()` reproduce the pre-adaptive search verbatim).
+    pub schedules: Vec<ScheduleChoice>,
     /// Base simulation configuration (duration, cores, seed, solver).
     pub base_sim: SimConfig,
 }
@@ -129,13 +166,51 @@ impl SearchSpace {
                 },
             ],
             policies,
+            schedules: vec![ScheduleChoice::Fixed],
             base_sim,
         }
+    }
+
+    /// The paper space widened with the adaptive-controller arms: every
+    /// gain schedule becomes a discrete axis and two knobs parameterize
+    /// the adaptation (strength and window). The `Fixed` arm ignores
+    /// both knobs, so its points — and their memo keys, journal rows,
+    /// and cache cells — are exactly the ones [`SearchSpace::paper`]
+    /// produces.
+    pub fn paper_adaptive(base_sim: SimConfig, policies: Vec<PolicySpec>) -> Self {
+        let mut s = SearchSpace::paper(base_sim, policies);
+        s.schedules = vec![
+            ScheduleChoice::Fixed,
+            ScheduleChoice::Rao,
+            ScheduleChoice::SelfTune,
+        ];
+        s.knobs.push(Knob {
+            name: "adapt_rate",
+            min: 0.05,
+            max: 2.0,
+            log: true,
+        });
+        s.knobs.push(Knob {
+            name: "adapt_window_s",
+            min: 2e-4,
+            max: 2e-2,
+            log: true,
+        });
+        s
     }
 
     /// Dimensionality of the continuous part.
     pub fn dims(&self) -> usize {
         self.knobs.len()
+    }
+
+    /// Number of discrete arms: every (schedule, policy) pair. Arm `a`
+    /// decodes as schedule `a / policies.len()`, policy
+    /// `a % policies.len()`, so arms below `policies.len()` are the
+    /// fixed-gain policies in order — strategies written against the
+    /// pre-adaptive policy axis keep their exact meaning.
+    pub fn arms(&self) -> usize {
+        self.schedules.len() * self.policies.len()
     }
 
     /// The Table 3 default value of each knob, snapped — the anchor
@@ -153,6 +228,10 @@ impl SearchSpace {
                     "stall_s" => d.stopgo_stall,
                     "migration_interval_s" => d.migration_interval,
                     "os_tick_s" => d.os_tick,
+                    // Adaptation anchors: unit strength, one control
+                    // window of the paper's outer loop.
+                    "adapt_rate" => 1.0,
+                    "adapt_window_s" => 2e-3,
                     other => unreachable!("unknown knob {other}"),
                 };
                 snap(v.clamp(k.min, k.max))
@@ -160,17 +239,20 @@ impl SearchSpace {
             .collect()
     }
 
-    /// Builds a concrete point from normalized coordinates.
+    /// Builds a concrete point from normalized coordinates. `arm`
+    /// indexes the flattened (schedule, policy) grid (see
+    /// [`SearchSpace::arms`]).
     ///
     /// # Panics
     ///
-    /// Panics if `t` has the wrong dimensionality or `policy` is out of
+    /// Panics if `t` has the wrong dimensionality or `arm` is out of
     /// range.
-    pub fn point(&self, policy: usize, t: &[f64]) -> Point {
+    pub fn point(&self, arm: usize, t: &[f64]) -> Point {
         assert_eq!(t.len(), self.dims(), "wrong dimensionality");
-        assert!(policy < self.policies.len(), "policy index out of range");
+        assert!(arm < self.arms(), "arm index out of range");
         Point {
-            policy,
+            policy: arm % self.policies.len(),
+            schedule: arm / self.policies.len(),
             values: self
                 .knobs
                 .iter()
@@ -195,6 +277,8 @@ impl SearchSpace {
     /// every point in the box is feasible.
     pub fn dtm_for(&self, p: &Point) -> DtmConfig {
         let mut dtm = DtmConfig::default();
+        let mut adapt_rate = 1.0;
+        let mut adapt_window_s = 2e-3;
         for (k, &v) in self.knobs.iter().zip(&p.values) {
             match k.name {
                 "pi_kp" => dtm.pi_kp = v,
@@ -204,12 +288,28 @@ impl SearchSpace {
                 "stall_s" => dtm.stopgo_stall = v,
                 "migration_interval_s" => dtm.migration_interval = v,
                 "os_tick_s" => dtm.os_tick = v,
+                "adapt_rate" => adapt_rate = v,
+                "adapt_window_s" => adapt_window_s = v,
                 other => unreachable!("unknown knob {other}"),
             }
         }
         if dtm.migration_interval < dtm.os_tick {
             dtm.migration_interval = dtm.os_tick;
         }
+        dtm.gain_schedule = match self.schedules[p.schedule] {
+            ScheduleChoice::Fixed => GainScheduleConfig::Fixed,
+            ScheduleChoice::Rao => GainScheduleConfig::Rao {
+                alpha: adapt_rate,
+                tau_s: adapt_window_s,
+            },
+            // The knob spans (0, 2]; the self-tuning rate must sit in
+            // [0, 1), so squash through v/(1+v) (snapped, to keep the
+            // wire spelling short and the dist round-trip exact).
+            ScheduleChoice::SelfTune => GainScheduleConfig::SelfTuning {
+                rate: snap(adapt_rate / (1.0 + adapt_rate)),
+                window_s: adapt_window_s,
+            },
+        };
         dtm
     }
 
@@ -221,15 +321,27 @@ impl SearchSpace {
     }
 
     /// A deterministic, human-readable identity for a point:
-    /// `policy|knob=value|…` with shortest-round-trip float spellings.
+    /// `policy|knob=value|…` with shortest-round-trip float spellings,
+    /// plus a trailing `|schedule=<name>` on adaptive arms. Fixed-arm
+    /// points elide the (inert) adaptation knobs, so two points that
+    /// simulate identically share one key — and fixed-arm keys are
+    /// byte-identical to the pre-adaptive spelling.
     /// Equal keys ⇔ equal simulated configurations.
     pub fn memo_key(&self, p: &Point) -> String {
+        let fixed = self.schedules[p.schedule] == ScheduleChoice::Fixed;
         let mut s = self.policies[p.policy].wire_name();
         for (k, &v) in self.knobs.iter().zip(&p.values) {
+            if fixed && is_adaptive_knob(k.name) {
+                continue;
+            }
             s.push('|');
             s.push_str(k.name);
             s.push('=');
             s.push_str(&Json::f64(v).emit());
+        }
+        if !fixed {
+            s.push_str("|schedule=");
+            s.push_str(self.schedules[p.schedule].wire_name());
         }
         s
     }
@@ -264,6 +376,7 @@ mod tests {
         let s = space();
         let p = Point {
             policy: 0,
+            schedule: 0,
             values: s.default_values(),
         };
         let dtm = s.dtm_for(&p);
@@ -294,6 +407,85 @@ mod tests {
         let dtm = s.dtm_for(&s.point(0, &t));
         assert!(dtm.migration_interval >= dtm.os_tick);
         dtm.validate();
+    }
+
+    fn adaptive_space() -> SearchSpace {
+        SearchSpace::paper_adaptive(SimConfig::fast_test(), PolicySpec::all())
+    }
+
+    #[test]
+    fn adaptive_space_extends_without_perturbing_fixed_arms() {
+        let s = space();
+        let a = adaptive_space();
+        assert_eq!(a.arms(), 3 * a.policies.len());
+        assert_eq!(a.dims(), s.dims() + 2);
+
+        // A fixed-arm point in the adaptive space keys and resolves
+        // exactly like the paper space (adaptation knobs inert).
+        let fixed = Point {
+            policy: 2,
+            schedule: 0,
+            values: a.default_values(),
+        };
+        let paper = Point {
+            policy: 2,
+            schedule: 0,
+            values: s.default_values(),
+        };
+        assert_eq!(a.memo_key(&fixed), s.memo_key(&paper));
+        assert_eq!(a.dtm_for(&fixed), s.dtm_for(&paper));
+        assert_eq!(a.dtm_for(&fixed), DtmConfig::default());
+
+        // Varying only an adaptation knob on the fixed arm changes
+        // neither the key nor the config — one memo entry per distinct
+        // simulation.
+        let mut t = a.normalize(&fixed);
+        let rate_dim = a.knobs.iter().position(|k| k.name == "adapt_rate").unwrap();
+        t[rate_dim] = 1.0;
+        let moved = a.point(2, &t);
+        assert_eq!(a.memo_key(&moved), a.memo_key(&fixed));
+        assert_eq!(a.dtm_for(&moved), a.dtm_for(&fixed));
+    }
+
+    #[test]
+    fn adaptive_arms_decode_and_resolve_schedules() {
+        let a = adaptive_space();
+        let np = a.policies.len();
+        let t = a.normalize(&Point {
+            policy: 0,
+            schedule: 0,
+            values: a.default_values(),
+        });
+
+        // Arm np + 1 is (Rao, policy 1); the default adaptation knobs
+        // land on the Rao defaults.
+        let rao = a.point(np + 1, &t);
+        assert_eq!((rao.schedule, rao.policy), (1, 1));
+        let dtm = a.dtm_for(&rao);
+        assert_eq!(dtm.gain_schedule, GainScheduleConfig::rao_default());
+        assert!(a.memo_key(&rao).ends_with("|schedule=rao"));
+        assert!(a.memo_key(&rao).contains("|adapt_rate="));
+        dtm.validate();
+
+        // Arm 2·np is (SelfTune, policy 0); the rate knob squashes into
+        // [0, 1).
+        let st = a.point(2 * np, &t);
+        assert_eq!((st.schedule, st.policy), (2, 0));
+        let dtm = a.dtm_for(&st);
+        match dtm.gain_schedule {
+            GainScheduleConfig::SelfTuning { rate, window_s } => {
+                assert!((rate - 0.5).abs() < 1e-12);
+                assert!((window_s - 2e-3).abs() < 1e-15);
+            }
+            other => panic!("expected SelfTuning, got {other:?}"),
+        }
+        assert!(a.memo_key(&st).ends_with("|schedule=selftune"));
+        dtm.validate();
+
+        // Every arm across the whole grid yields a valid config.
+        for arm in 0..a.arms() {
+            a.dtm_for(&a.point(arm, &t)).validate();
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::score::Score;
 /// One proposed evaluation, in normalized coordinates.
 #[derive(Debug, Clone)]
 pub struct Ask {
-    /// Index into the space's policy axis.
+    /// Index into the space's discrete arm grid
+    /// (`schedule * policies.len() + policy`; see `SearchSpace::arms`).
+    /// For single-schedule spaces this is simply the policy index.
     pub policy: usize,
     /// Normalized knob coordinates, each in `[0, 1]`.
     pub t: Vec<f64>,

@@ -1,0 +1,129 @@
+//! Golden-band regression pin for the CI smoke search.
+//!
+//! `exp_explore --smoke` (seed 42, budget 96) found a
+//! `dvfs/dist/sensor` retuning that strictly dominates the fixed-grid
+//! incumbent on the headline plane: 14.02 BIPS at zero violation and
+//! 1.69 J, against the incumbent's 13.94 BIPS / 1.79 J. This test
+//! replays the exact same search through the shared
+//! [`standard_roster`] and pins both scores inside a tight band, so a
+//! change anywhere in the stack — controller, engine, strategies,
+//! scoring — that silently shifts the search's outcome fails loudly
+//! here rather than in a downstream experiment.
+
+use dtm_core::{MigrationKind, ObsHandle, PolicySpec, Scope, SimConfig, ThrottleKind};
+use dtm_explore::{standard_roster, ExploreReport, Explorer, SearchSpace};
+use dtm_harness::SweepRunner;
+use dtm_workloads::{standard_workloads, TraceGenConfig, TraceLibrary, Workload};
+
+/// The smoke search's incumbent-dominating front point (policy
+/// `dvfs/dist/sensor`, generation 1) and the fixed-grid baseline it
+/// beats, as measured at the pin revision.
+const GOLDEN_KEY: &str = "dvfs/dist/sensor|pi_kp=0.0130198|pi_ki=16.7746|\
+                          setpoint_margin_c=3.74946|trip_margin_c=0.112355|\
+                          stall_s=0.0268502|migration_interval_s=0.0305746|\
+                          os_tick_s=0.00194046";
+const GOLDEN_BIPS: f64 = 14.02389039104203;
+const GOLDEN_ENERGY: f64 = 1.6923208316849276;
+const BASELINE_BIPS: f64 = 13.939951446766244;
+const BASELINE_ENERGY: f64 = 1.7947680181964074;
+
+/// Relative half-width of the acceptance band. The simulation is
+/// deterministic, so drift inside the band can only come from an
+/// intentional numeric change — keep it tight.
+const BAND: f64 = 5e-3;
+
+fn within_band(got: f64, pinned: f64) -> bool {
+    (got - pinned).abs() <= BAND * pinned.abs()
+}
+
+/// Replays `exp_explore --smoke`'s search: same space, seed, budget,
+/// and roster, against a bare (cache-less) runner and a throwaway
+/// journal so the run is hermetic.
+fn smoke_search() -> (ExploreReport, usize) {
+    let seed = 42;
+    let budget = 96;
+    let n0 = (budget / 4).clamp(8, 64);
+    let workloads: Vec<Workload> = standard_workloads().into_iter().take(2).collect();
+    let policies = vec![
+        PolicySpec::baseline(),
+        PolicySpec::new(ThrottleKind::Dvfs, Scope::Global, MigrationKind::None),
+        PolicySpec::best(),
+    ];
+    let space = SearchSpace::paper(SimConfig::fast_test(), policies);
+    let runner = SweepRunner::bare(TraceLibrary::new(TraceGenConfig::fast_test())).quiet();
+
+    let journal = std::env::temp_dir().join(format!(
+        "dtm-explore-golden-front-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal);
+    let obs = ObsHandle::disabled();
+    let mut explorer =
+        Explorer::new(&runner, space, workloads, &journal, seed, &obs).expect("journal");
+    explorer.evaluate_anchors().expect("anchor sweep");
+    let mut strategies = standard_roster(seed, explorer.space(), n0, 4);
+    explorer.run(&mut strategies, budget).expect("search");
+    let report = explorer.report();
+    let rows = std::fs::read_to_string(&journal)
+        .expect("journal exists")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count();
+    let _ = std::fs::remove_file(&journal);
+    (report, rows)
+}
+
+#[test]
+fn smoke_front_still_dominates_the_incumbent_at_the_pinned_point() {
+    let (report, journal_rows) = smoke_search();
+
+    // The resume invariant the binary also self-checks.
+    assert_eq!(journal_rows, report.evaluations);
+    assert!(
+        report.baseline_dominated,
+        "the front no longer dominates the fixed-knob incumbent"
+    );
+
+    // The baseline is the best fixed-grid policy at Table 3 defaults;
+    // its score is pure simulation (no search involved), so it pins
+    // the engine + scoring stack.
+    let (_, baseline) = report.baseline.as_ref().expect("baseline anchor");
+    assert!(
+        within_band(baseline.bips, BASELINE_BIPS),
+        "baseline BIPS drifted: {} vs pinned {BASELINE_BIPS}",
+        baseline.bips
+    );
+    assert_eq!(baseline.violation, 0.0, "baseline violates the threshold");
+    assert!(
+        within_band(baseline.energy, BASELINE_ENERGY),
+        "baseline energy drifted: {} vs pinned {BASELINE_ENERGY}",
+        baseline.energy
+    );
+
+    // The exact dominating point is still on the front (the search
+    // trajectory is deterministic, so its identity — not just its
+    // existence — is pinned), at its pinned score.
+    let row = report
+        .front
+        .iter()
+        .find(|r| r.key == GOLDEN_KEY)
+        .unwrap_or_else(|| {
+            panic!(
+                "pinned front point missing; front keys: {:?}",
+                report.front.iter().map(|r| &r.key).collect::<Vec<_>>()
+            )
+        });
+    assert!(
+        within_band(row.score.bips, GOLDEN_BIPS),
+        "front BIPS drifted: {} vs pinned {GOLDEN_BIPS}",
+        row.score.bips
+    );
+    assert_eq!(row.score.violation, 0.0, "pinned point now violates");
+    assert!(
+        within_band(row.score.energy, GOLDEN_ENERGY),
+        "front energy drifted: {} vs pinned {GOLDEN_ENERGY}",
+        row.score.energy
+    );
+    // And it strictly dominates the baseline on the headline plane.
+    assert!(row.score.bips > baseline.bips && row.score.energy < baseline.energy);
+}

@@ -11,6 +11,7 @@ fn entry(id: usize, packed: u32) -> Entry {
     Entry {
         point: Point {
             policy: id % 3,
+            schedule: 0,
             values: vec![id as f64],
         },
         score: Score {

@@ -277,6 +277,7 @@ mod tests {
             robustness: Robustness::default(),
             steady: None,
             phases: None,
+            gain_stats: None,
             threads: vec![ThreadStats {
                 instructions: 1.125e9,
                 scaled_work: 0.25,

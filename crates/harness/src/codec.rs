@@ -4,7 +4,9 @@
 //! bit-identical to `r` — the property the result cache relies on.
 
 use crate::json::{Json, JsonError};
-use dtm_core::{PhaseNs, PhaseProfile, Robustness, RunResult, SteadyTempSummary, ThreadStats};
+use dtm_core::{
+    GainStats, PhaseNs, PhaseProfile, Robustness, RunResult, SteadyTempSummary, ThreadStats,
+};
 
 /// Encodes a run result as a JSON object.
 pub fn result_to_json(r: &RunResult) -> Json {
@@ -103,6 +105,18 @@ pub fn result_to_json(r: &RunResult) -> Json {
             ]),
         ));
     }
+    if let Some(g) = &r.gain_stats {
+        fields.push((
+            "gain_stats".into(),
+            Json::Obj(vec![
+                ("kp_min".into(), Json::f64(g.kp_min)),
+                ("kp_max".into(), Json::f64(g.kp_max)),
+                ("ki_min".into(), Json::f64(g.ki_min)),
+                ("ki_max".into(), Json::f64(g.ki_max)),
+                ("adaptations".into(), Json::u64(g.adaptations)),
+            ]),
+        ));
+    }
     Json::Obj(fields)
 }
 
@@ -168,6 +182,19 @@ pub fn result_from_json(v: &Json) -> Result<RunResult, JsonError> {
         }),
         Err(_) => None,
     };
+    // Entries written before the adaptive gain schedule existed (PR 8
+    // and earlier) have no gain_stats object — as do fixed-gain runs on
+    // current builds; both decode to `None`.
+    let gain_stats = match v.field("gain_stats") {
+        Ok(gv) => Some(GainStats {
+            kp_min: gv.field("kp_min")?.as_f64()?,
+            kp_max: gv.field("kp_max")?.as_f64()?,
+            ki_min: gv.field("ki_min")?.as_f64()?,
+            ki_max: gv.field("ki_max")?.as_f64()?,
+            adaptations: gv.field("adaptations")?.as_u64()?,
+        }),
+        Err(_) => None,
+    };
     Ok(RunResult {
         duration: v.field("duration")?.as_f64()?,
         cores: v.field("cores")?.as_usize()?,
@@ -182,6 +209,7 @@ pub fn result_from_json(v: &Json) -> Result<RunResult, JsonError> {
         robustness,
         steady,
         phases,
+        gain_stats,
         threads,
     })
 }
@@ -229,6 +257,13 @@ mod tests {
                     },
                 ],
             }),
+            gain_stats: Some(GainStats {
+                kp_min: 0.0107 * 0.75,
+                kp_max: 0.0107 * (1.0 + 1.0 / 3.0),
+                ki_min: 248.5 * 0.75,
+                ki_max: 248.5 * (1.0 + 1.0 / 3.0),
+                adaptations: 7_654,
+            }),
             threads: vec![
                 ThreadStats {
                     instructions: 1.5e9,
@@ -266,6 +301,10 @@ mod tests {
         assert_eq!(r.robustness, back.robustness);
         assert_eq!(r.steady, back.steady);
         assert_eq!(r.phases, back.phases);
+        assert_eq!(r.gain_stats, back.gain_stats);
+        let (g, bg) = (r.gain_stats.unwrap(), back.gain_stats.unwrap());
+        assert_eq!(g.kp_max.to_bits(), bg.kp_max.to_bits());
+        assert_eq!(g.ki_max.to_bits(), bg.ki_max.to_bits());
     }
 
     #[test]
@@ -302,13 +341,29 @@ mod tests {
         let r = RunResult {
             steady: None,
             phases: None,
+            gain_stats: None,
             ..sample()
         };
         let text = result_to_json(&r).emit();
         assert!(!text.contains("\"steady\""));
         assert!(!text.contains("\"phases\""));
+        assert!(!text.contains("\"gain_stats\""));
         let back = result_from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pre_adaptive_entries_decode_without_gain_stats() {
+        // An entry written before the gain schedule existed (PR 8 era):
+        // strip the object and check the decode yields `None`.
+        let mut encoded = result_to_json(&sample());
+        if let Json::Obj(fields) = &mut encoded {
+            fields.retain(|(k, _)| k != "gain_stats");
+        }
+        let back = result_from_json(&Json::parse(&encoded.emit()).unwrap()).unwrap();
+        assert_eq!(back.gain_stats, None);
+        assert_eq!(back.robustness, sample().robustness);
+        assert_eq!(back.steady, sample().steady);
     }
 
     #[test]

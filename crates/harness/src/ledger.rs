@@ -136,6 +136,7 @@ mod tests {
                 robustness: Robustness::default(),
                 steady: None,
                 phases: None,
+                gain_stats: None,
                 threads: vec![],
             },
             cached: false,
@@ -201,6 +202,7 @@ mod tests {
                 robustness: Robustness::default(),
                 steady: None,
                 phases: None,
+                gain_stats: None,
                 threads: vec![],
             },
             cached: true,

@@ -9,7 +9,9 @@
 //! must hash to exactly these forever. The tuned-gains keys assert the
 //! converse: a config that *does* override the PI gains must rekey.
 
-use dtm_core::{DtmConfig, FaultConfig, PolicySpec, SimConfig, PAPER_PI_KI, PAPER_PI_KP};
+use dtm_core::{
+    DtmConfig, FaultConfig, GainScheduleConfig, PolicySpec, SimConfig, PAPER_PI_KI, PAPER_PI_KP,
+};
 use dtm_harness::{cell_key, CellKey};
 use dtm_workloads::{standard_workloads, TraceGenConfig};
 
@@ -93,6 +95,46 @@ fn paper_default_gains_spelled_explicitly_do_not_rekey() {
         k(&explicit),
         CellKey(286485080971197456135770222951572129358)
     );
+}
+
+#[test]
+fn gain_schedules_rekey_only_when_adaptive() {
+    // The gain-schedule field rides the cache key only when a
+    // non-fixed schedule is selected: an explicit `Fixed` spelling is
+    // the default config and must keep the pre-adaptive address, while
+    // each adaptive schedule (and each parameterization of one) gets a
+    // distinct cell.
+    let k = |d: &DtmConfig| {
+        cell_key(
+            &standard_workloads()[0],
+            PolicySpec::baseline(),
+            &SimConfig::default(),
+            d,
+            &FaultConfig::ideal(),
+            &TraceGenConfig::default(),
+            "0.2.0",
+        )
+    };
+    let with = |schedule: GainScheduleConfig| DtmConfig {
+        gain_schedule: schedule,
+        ..DtmConfig::default()
+    };
+
+    assert_eq!(
+        k(&with(GainScheduleConfig::Fixed)),
+        CellKey(286485080971197456135770222951572129358),
+        "explicit Fixed must share the pre-adaptive address"
+    );
+    let rao = k(&with(GainScheduleConfig::rao_default()));
+    let selftune = k(&with(GainScheduleConfig::selftune_default()));
+    let rao_tuned = k(&with(GainScheduleConfig::Rao {
+        alpha: 0.5,
+        tau_s: 2e-3,
+    }));
+    assert_ne!(rao, k(&DtmConfig::default()));
+    assert_ne!(selftune, k(&DtmConfig::default()));
+    assert_ne!(rao, selftune, "schedules must not collide");
+    assert_ne!(rao, rao_tuned, "schedule parameters are part of the key");
 }
 
 #[test]

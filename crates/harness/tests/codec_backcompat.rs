@@ -110,11 +110,47 @@ fn pr7_era_row_decodes_and_round_trips() {
     assert_eq!(r.energy.to_bits(), back.energy.to_bits());
 }
 
+/// A ledger row as the PR 8 (knob-search era, immediately before the
+/// adaptive gain schedule) build wrote it: knob-string variant names,
+/// full PR 3 result schema, and — the point — no `gain_stats` object.
+/// Adaptive-era builds replay these rows for cache resume, so they
+/// must keep decoding (to a `None` gain-stats field) forever.
+const PR8_ROW: &str = r#"{"ts":1752500321,"key":"3b7e19c4f6a2d85017e3c9b2a4d6f180","workload":"gzip-twolf-ammp-lucas","mix":"IIFF","policy":"Dist. DVFS + sensor-based migration","variant":"pi_kp=0.0130198|pi_ki=16.7746","cached":false,"wall_s":1.203125,"queue_s":0.015625,"worker":2,"result":{"duration":0.5,"cores":4,"instructions":5625000000.0,"duty_cycle":0.943359375,"max_temp":83.7578125,"emergency_time":0.0,"migrations":11,"dvfs_transitions":9216,"stalls":0,"energy":30.21875,"robustness":{"violation_time":0.0,"peak_overshoot":0.0,"false_throttle_time":0.0,"fallback_time":0.0,"fallback_entries":0,"fallback_exits":0,"watchdog_flags":0},"threads":[{"instructions":1406250000.0,"scaled_work":0.234375,"migrations":3},{"instructions":1406250000.0,"scaled_work":0.25,"migrations":3},{"instructions":1406250000.0,"scaled_work":0.265625,"migrations":3},{"instructions":1406250000.0,"scaled_work":0.25,"migrations":2}],"steady":{"mean":82.951171875,"min":82.4140625,"max":83.7578125},"phases":{"steps":18000,"phases":[{"name":"microarch","ns":112233445},{"name":"thermal","ns":51122334}]}}}"#;
+
+#[test]
+fn pr8_era_row_decodes_without_gain_stats() {
+    let row = Json::parse(PR8_ROW).expect("fixture parses");
+    assert_eq!(
+        row.field("variant").unwrap().as_str().unwrap(),
+        "pi_kp=0.0130198|pi_ki=16.7746",
+        "knob-search era rows name variants by knob string"
+    );
+
+    let r = result_from_json(row.field("result").unwrap()).expect("PR8 result decodes");
+    assert_eq!(
+        r.gain_stats, None,
+        "PR8 results predate the adaptive gain schedule"
+    );
+    assert_eq!(r.migrations, 11);
+    assert!((r.duty_cycle - 0.943359375).abs() < 1e-15);
+    assert!((r.steady.as_ref().unwrap().mean - 82.951171875).abs() < 1e-15);
+
+    // Today's encoder reproduces the struct bit for bit and does not
+    // materialize a gain_stats object for a fixed-gain result — the
+    // cache entry a PR 8 build wrote and the one an adaptive-era build
+    // rewrites are the same bytes.
+    let re = result_to_json(&r);
+    assert!(!re.emit().contains("\"gain_stats\""));
+    let back = result_from_json(&Json::parse(&re.emit()).unwrap()).unwrap();
+    assert_eq!(r, back);
+    assert_eq!(r.max_temp.to_bits(), back.max_temp.to_bits());
+}
+
 #[test]
 fn all_eras_coexist_in_one_ledger_file() {
     // A ledger that lived through every era: every line must parse and
     // every embedded result must decode, whichever era wrote it.
-    let text = format!("{PR2_ROW}\n{PR3_ROW}\n{PR7_ROW}\n");
+    let text = format!("{PR2_ROW}\n{PR3_ROW}\n{PR7_ROW}\n{PR8_ROW}\n");
     let mut decoded = 0;
     for line in text.lines() {
         let row = Json::parse(line).expect("row parses");
@@ -122,5 +158,5 @@ fn all_eras_coexist_in_one_ledger_file() {
         assert!(r.duration > 0.0);
         decoded += 1;
     }
-    assert_eq!(decoded, 3);
+    assert_eq!(decoded, 4);
 }

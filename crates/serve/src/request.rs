@@ -6,7 +6,7 @@
 //! bit-identical to the same cell run by `SweepRunner`, shares its
 //! content address, and therefore shares its cache entries.
 
-use dtm_core::{DtmConfig, PolicySpec, SimConfig};
+use dtm_core::{DtmConfig, GainScheduleConfig, PolicySpec, SimConfig};
 use dtm_faults::{FaultConfig, FaultScenario, WatchdogConfig};
 use dtm_harness::json::Json;
 use dtm_harness::ConfigVariant;
@@ -74,7 +74,18 @@ pub struct SimRequest {
     pub migration_interval_s: Option<f64>,
     /// OS tick (control period) override (s).
     pub os_tick_s: Option<f64>,
+    /// Gain-schedule selection (`fixed` / `rao` / `selftune`); absent
+    /// means the fixed-gain paper controller.
+    pub schedule: Option<String>,
+    /// Adaptation strength: Rao `alpha` or self-tuning `rate`
+    /// (schedule-specific default when absent).
+    pub adapt_rate: Option<f64>,
+    /// Adaptation window: Rao `tau_s` or self-tuning `window_s` (s).
+    pub adapt_window_s: Option<f64>,
 }
+
+/// The gain-schedule names a request can select.
+pub const SCHEDULE_NAMES: &[&str] = &["fixed", "rao", "selftune"];
 
 impl SimRequest {
     /// A paper-default request for a standard workload and wire policy.
@@ -121,6 +132,15 @@ impl SimRequest {
             if let Some(v) = v {
                 f.push((name.into(), Json::f64(v)));
             }
+        }
+        if let Some(s) = &self.schedule {
+            f.push(("schedule".into(), Json::str(s)));
+        }
+        if let Some(v) = self.adapt_rate {
+            f.push(("adapt_rate".into(), Json::f64(v)));
+        }
+        if let Some(v) = self.adapt_window_s {
+            f.push(("adapt_window_s".into(), Json::f64(v)));
         }
         f
     }
@@ -198,6 +218,21 @@ impl SimRequest {
             ("stall_s", &mut req.stall_s),
             ("migration_interval_s", &mut req.migration_interval_s),
             ("os_tick_s", &mut req.os_tick_s),
+        ] {
+            if let Ok(v) = json.field(name) {
+                *slot = Some(v.as_f64().map_err(|e| format!("bad `{name}`: {e}"))?);
+            }
+        }
+        if let Ok(v) = json.field("schedule") {
+            req.schedule = Some(
+                v.as_str()
+                    .map_err(|e| format!("bad `schedule`: {e}"))?
+                    .to_string(),
+            );
+        }
+        for (name, slot) in [
+            ("adapt_rate", &mut req.adapt_rate),
+            ("adapt_window_s", &mut req.adapt_window_s),
         ] {
             if let Ok(v) = json.field(name) {
                 *slot = Some(v.as_f64().map_err(|e| format!("bad `{name}`: {e}"))?);
@@ -295,6 +330,7 @@ impl SimRequest {
                 dtm.migration_interval, dtm.os_tick
             ));
         }
+        dtm.gain_schedule = self.resolve_schedule()?;
 
         let faults = match self.fault.as_deref() {
             None | Some("none") => FaultConfig::ideal(),
@@ -327,6 +363,72 @@ impl SimRequest {
             policy,
             variant,
         })
+    }
+
+    /// Resolves the gain-schedule fields into a validated
+    /// [`GainScheduleConfig`]. Adaptation parameters are only
+    /// meaningful alongside an adaptive schedule, so supplying them
+    /// with `fixed` (or no) schedule is rejected — every wire request
+    /// has exactly one spelling per cell.
+    fn resolve_schedule(&self) -> Result<GainScheduleConfig, String> {
+        let name = self.schedule.as_deref().unwrap_or("fixed");
+        if name == "fixed" {
+            if self.adapt_rate.is_some() || self.adapt_window_s.is_some() {
+                return Err(
+                    "adapt_rate/adapt_window_s require an adaptive `schedule` (rao or selftune)"
+                        .to_string(),
+                );
+            }
+            return Ok(GainScheduleConfig::Fixed);
+        }
+        for (field, value, lo, hi) in [
+            ("adapt_rate", self.adapt_rate, 0.0, 4.0),
+            ("adapt_window_s", self.adapt_window_s, 1e-6, 1.0),
+        ] {
+            if let Some(v) = value {
+                if !v.is_finite() || !(lo..=hi).contains(&v) {
+                    return Err(format!("{field} {v} out of range [{lo}, {hi}]"));
+                }
+            }
+        }
+        let schedule = match name {
+            "rao" => {
+                let GainScheduleConfig::Rao { alpha, tau_s } = GainScheduleConfig::rao_default()
+                else {
+                    unreachable!()
+                };
+                GainScheduleConfig::Rao {
+                    alpha: self.adapt_rate.unwrap_or(alpha),
+                    tau_s: self.adapt_window_s.unwrap_or(tau_s),
+                }
+            }
+            "selftune" => {
+                let GainScheduleConfig::SelfTuning { rate, window_s } =
+                    GainScheduleConfig::selftune_default()
+                else {
+                    unreachable!()
+                };
+                let rate = match self.adapt_rate {
+                    Some(v) if v >= 1.0 => {
+                        return Err(format!("adapt_rate {v} out of range [0, 1) for selftune"))
+                    }
+                    Some(v) => v,
+                    None => rate,
+                };
+                GainScheduleConfig::SelfTuning {
+                    rate,
+                    window_s: self.adapt_window_s.unwrap_or(window_s),
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown schedule `{other}` (known: {})",
+                    SCHEDULE_NAMES.join(", ")
+                ))
+            }
+        };
+        schedule.validate();
+        Ok(schedule)
     }
 }
 
@@ -370,9 +472,114 @@ mod tests {
             stall_s: Some(0.02),
             migration_interval_s: Some(0.02),
             os_tick_s: Some(0.002),
+            schedule: Some("rao".into()),
+            adapt_rate: Some(1.5),
+            adapt_window_s: Some(0.003),
         };
         let back = SimRequest::from_json(&parse(&req)).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn schedule_requests_resolve_into_the_dtm_config() {
+        let base = SimConfig::fast_test();
+        // Bare adaptive schedule: schedule-specific defaults.
+        let req = SimRequest {
+            schedule: Some("rao".into()),
+            ..SimRequest::standard("gzip-twolf-ammp-lucas", "dvfs/dist/sensor")
+        };
+        let r = req.resolve(&base).unwrap();
+        assert_eq!(
+            r.variant.dtm.gain_schedule,
+            GainScheduleConfig::rao_default()
+        );
+
+        // Explicit adaptation parameters land verbatim.
+        let req = SimRequest {
+            schedule: Some("selftune".into()),
+            adapt_rate: Some(0.3),
+            adapt_window_s: Some(0.004),
+            ..SimRequest::standard("gzip-twolf-ammp-lucas", "dvfs/dist/sensor")
+        };
+        let r = req.resolve(&base).unwrap();
+        assert_eq!(
+            r.variant.dtm.gain_schedule,
+            GainScheduleConfig::SelfTuning {
+                rate: 0.3,
+                window_s: 0.004,
+            }
+        );
+
+        // Explicit `fixed` and absent schedule resolve identically.
+        let req = SimRequest {
+            schedule: Some("fixed".into()),
+            ..SimRequest::standard("gzip-twolf-ammp-lucas", "dvfs/dist/sensor")
+        };
+        let r = req.resolve(&base).unwrap();
+        assert_eq!(r.variant.dtm.gain_schedule, GainScheduleConfig::Fixed);
+        assert_eq!(
+            r.variant.dtm,
+            SimRequest::standard("gzip-twolf-ammp-lucas", "dvfs/dist/sensor")
+                .resolve(&base)
+                .unwrap()
+                .variant
+                .dtm
+        );
+    }
+
+    #[test]
+    fn bad_schedules_are_rejected() {
+        let base = SimConfig::default();
+        let std = |f: &dyn Fn(&mut SimRequest)| {
+            let mut r = SimRequest::standard("gzip-twolf-ammp-lucas", "dvfs/dist/sensor");
+            f(&mut r);
+            r
+        };
+        let cases: Vec<(SimRequest, &str)> = vec![
+            (
+                std(&|r| r.schedule = Some("bangbang".into())),
+                "unknown schedule",
+            ),
+            (
+                std(&|r| r.adapt_rate = Some(0.5)),
+                "require an adaptive `schedule`",
+            ),
+            (
+                std(&|r| {
+                    r.schedule = Some("fixed".into());
+                    r.adapt_window_s = Some(0.01);
+                }),
+                "require an adaptive `schedule`",
+            ),
+            (
+                std(&|r| {
+                    r.schedule = Some("rao".into());
+                    r.adapt_rate = Some(f64::NAN);
+                }),
+                "adapt_rate",
+            ),
+            (
+                std(&|r| {
+                    r.schedule = Some("selftune".into());
+                    r.adapt_rate = Some(1.0);
+                }),
+                "out of range [0, 1)",
+            ),
+            (
+                std(&|r| {
+                    r.schedule = Some("rao".into());
+                    r.adapt_window_s = Some(5.0);
+                }),
+                "adapt_window_s",
+            ),
+        ];
+        for (req, needle) in cases {
+            let err = req.resolve(&base).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "error `{err}` should mention `{needle}`"
+            );
+        }
     }
 
     #[test]

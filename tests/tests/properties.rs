@@ -66,6 +66,71 @@ proptest! {
         }
     }
 
+    /// Clipping doubles as anti-windup: after an arbitrary prefix and a
+    /// long saturating overload, removing the error recovers full
+    /// output in a bounded number of steps — no hidden integral ever
+    /// builds past the clamp.
+    #[test]
+    fn clipped_pi_never_winds_past_the_clamp(
+        prefix in proptest::collection::vec(-30.0f64..30.0, 0..200),
+        overload in 2.0f64..25.0,
+    ) {
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        for e in prefix {
+            pi.update(e);
+        }
+        for _ in 0..50_000 {
+            pi.update(overload);
+        }
+        prop_assert_eq!(pi.output(), 0.2);
+        // Recovery gain per step is ≈ Kp·5; windup would take tens of
+        // thousands of steps, the clamped store takes tens.
+        let mut steps = 0;
+        while pi.update(-5.0) < 1.0 {
+            steps += 1;
+            prop_assert!(steps < 500, "windup: {} recovery steps", steps);
+        }
+    }
+
+    /// With the stored state frozen (same `u[n−1]`, `e[n−1]`), the next
+    /// output is monotone non-increasing in the error: hotter never
+    /// speeds the clock up.
+    #[test]
+    fn clipped_pi_output_is_monotone_in_error(
+        history in proptest::collection::vec(-20.0f64..20.0, 1..100),
+        e1 in -30.0f64..30.0,
+        delta in 0.0f64..30.0,
+    ) {
+        let mut pi = ClippedPi::paper_thermal_dvfs();
+        for e in history {
+            pi.update(e);
+        }
+        let mut hotter = pi.clone();
+        let u1 = pi.update(e1);
+        let u2 = hotter.update(e1 + delta);
+        prop_assert!(u2 <= u1, "error {} gave {}, {} gave {}", e1, u1, e1 + delta, u2);
+    }
+
+    /// Two controllers fed the same error sequence agree bit for bit at
+    /// every step — the step-response determinism the replay and cache
+    /// layers assume.
+    #[test]
+    fn clipped_pi_step_response_is_deterministic(
+        errors in proptest::collection::vec(-30.0f64..30.0, 1..300),
+    ) {
+        let mut a = ClippedPi::paper_thermal_dvfs();
+        let mut b = ClippedPi::paper_thermal_dvfs();
+        for e in &errors {
+            prop_assert_eq!(a.update(*e).to_bits(), b.update(*e).to_bits());
+        }
+        // And replaying after reset reproduces the same trajectory.
+        b.reset();
+        let mut c = ClippedPi::paper_thermal_dvfs();
+        for e in &errors {
+            prop_assert_eq!(b.update(*e).to_bits(), c.update(*e).to_bits());
+        }
+    }
+
     /// Forward-Euler discretization of any stable PI keeps the
     /// integrator pole exactly at z = 1 (trapezoidal/backward too).
     #[test]

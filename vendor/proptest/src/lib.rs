@@ -72,6 +72,21 @@ pub mod strategy {
             (**self).sample(rng)
         }
     }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+))*) => {
+            $(impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            })*
+        };
+    }
+
+    impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
 }
 
 pub mod collection {
