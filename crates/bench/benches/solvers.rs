@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dtm_control::ClippedPi;
 use dtm_floorplan::Floorplan;
 use dtm_microarch::{CoreConfig, CoreSim, SetAssocCache, StreamProfile};
+use dtm_thermal::linalg::{affine_matvec, matmul_strided, LANE_BLOCK};
 use dtm_thermal::{PackageConfig, SolverBackend, ThermalModel, TransientSolver};
 use std::hint::black_box;
 
@@ -33,6 +34,59 @@ fn thermal(c: &mut Criterion) {
         sim.init_steady(&power).unwrap();
         sim.prewarm(27.78e-6).unwrap();
         b.iter(|| sim.step(black_box(&power), 27.78e-6).unwrap())
+    });
+}
+
+/// The batched-lockstep kernel pair: a propagator-shaped affine matvec
+/// repeated once per lane vs one cache-blocked [`matmul_strided`] call
+/// over a full lane block.
+fn batched_kernel(c: &mut Criterion) {
+    // Propagator shape on the study chip: n rows, n + n_inputs columns.
+    let (rows, cols) = (63, 116);
+    let fill = |seed: u64, len: usize| -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    };
+    let a = fill(1, rows * cols);
+    let bias = fill(2, rows);
+    let x = fill(3, LANE_BLOCK * cols);
+    let mut y = vec![0.0; LANE_BLOCK * rows];
+
+    c.bench_function("linalg/matvec_x8", |b| {
+        b.iter(|| {
+            for l in 0..LANE_BLOCK {
+                affine_matvec(
+                    cols,
+                    black_box(&a),
+                    &bias,
+                    black_box(&x[l * cols..(l + 1) * cols]),
+                    &mut y[l * rows..(l + 1) * rows],
+                );
+            }
+        })
+    });
+
+    c.bench_function("linalg/matmul_strided_8lanes", |b| {
+        b.iter(|| {
+            matmul_strided(
+                rows,
+                cols,
+                black_box(&a),
+                &bias,
+                black_box(&x),
+                cols,
+                &mut y,
+                rows,
+                LANE_BLOCK,
+            )
+        })
     });
 }
 
@@ -74,6 +128,6 @@ fn microarch(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = thermal, control, microarch
+    targets = thermal, batched_kernel, control, microarch
 }
 criterion_main!(benches);

@@ -1,0 +1,363 @@
+//! Batched-lockstep benchmark: multi-lane SoA thermal stepping vs the
+//! scalar per-run path.
+//!
+//! Three measurements:
+//!
+//! 1. **Thermal-phase throughput** — 8 solvers sharing one propagator,
+//!    stepped scalar (8 `step` calls) vs batched (one
+//!    `step_lumped_batch`/`step_grid_batch` call), on the study's
+//!    lumped 4-core floorplan and on the grid model. Asserts the
+//!    batched kernel's speedup on the grid model (≥ 2× full, ≥ 1.5×
+//!    smoke).
+//! 2. **Whole-sweep wall clock** — the Table 8 grid run cold through
+//!    one worker at `--lanes 1` vs `--lanes 8`, traces prewarmed
+//!    outside the timed region.
+//! 3. **Cache byte-identity** — the same small sweep executed at both
+//!    lane widths into two fresh cache directories must produce
+//!    byte-identical files (batching is an execution strategy, not a
+//!    result change). Asserted in both modes.
+//!
+//! Writes `results/BENCH_batch.json` so CI can archive the numbers.
+//!
+//! Usage: `exp_batch_bench [--smoke]` — `--smoke` shrinks rep counts
+//! and the sweep grid for CI.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dtm_core::PolicySpec;
+use dtm_floorplan::Floorplan;
+use dtm_harness::{ConfigVariant, ResultCache, SweepRunner, SweepSpec};
+use dtm_thermal::{
+    step_grid_batch, step_lumped_batch, BatchWorkspace, GridConfig, GridThermalModel,
+    GridTransient, PackageConfig, ThermalModel, TransientSolver,
+};
+use dtm_workloads::{TraceGenConfig, TraceLibrary, Workload};
+
+/// Engine power-sample interval (s): one sample per 100k cycles at 3.6 GHz.
+const DT: f64 = 100_000.0 / 3.6e9;
+
+/// Lane count for the throughput measurement (one full lane block).
+const LANES: usize = 8;
+
+/// Median of per-rep mean ns per scalar-equivalent step over `reps`
+/// timed loops of `steps` iterations of `step` (which advances all
+/// `LANES` lanes once).
+fn time_loop<F: FnMut()>(reps: usize, steps: usize, mut step: F) -> f64 {
+    let mut per_rep: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..steps {
+                step();
+            }
+            t0.elapsed().as_nanos() as f64 / (steps * LANES) as f64
+        })
+        .collect();
+    per_rep.sort_by(|a, b| a.total_cmp(b));
+    per_rep[reps / 2]
+}
+
+fn lane_powers(n: usize) -> Vec<Vec<f64>> {
+    (0..LANES)
+        .map(|l| {
+            (0..n)
+                .map(|j| 0.45 + 0.02 * l as f64 + 0.01 * (j % 5) as f64)
+                .collect()
+        })
+        .collect()
+}
+
+struct Throughput {
+    scalar_ns: f64,
+    batched_ns: f64,
+}
+
+impl Throughput {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.batched_ns
+    }
+}
+
+fn bench_lumped(reps: usize, steps: usize) -> Throughput {
+    let fp = Floorplan::ppc_cmp(4);
+    let model = ThermalModel::new(&fp, &PackageConfig::default()).expect("model");
+    let powers = lane_powers(fp.len());
+    let mut solvers: Vec<TransientSolver> = (0..LANES)
+        .map(|l| {
+            let mut s = TransientSolver::new(model.clone(), 7e-6);
+            s.init_steady(&powers[l]).expect("steady");
+            s.prewarm(DT).expect("warm");
+            assert!(!s.in_fallback(), "propagator must build");
+            s
+        })
+        .collect();
+
+    let scalar_ns = time_loop(reps, steps, || {
+        for (s, p) in solvers.iter_mut().zip(&powers) {
+            s.step(p, DT).expect("scalar step");
+        }
+    });
+    let mut ws = BatchWorkspace::new();
+    let batched_ns = time_loop(reps, steps, || {
+        let mut lanes: Vec<(&mut TransientSolver, &[f64])> = solvers
+            .iter_mut()
+            .zip(&powers)
+            .map(|(s, p)| (s, p.as_slice()))
+            .collect();
+        let batched = step_lumped_batch(&mut lanes, DT, &mut ws).expect("batch step");
+        assert!(batched, "lanes share one propagator and must batch");
+    });
+    Throughput {
+        scalar_ns,
+        batched_ns,
+    }
+}
+
+fn bench_grid(reps: usize, steps: usize, cfg: GridConfig) -> Throughput {
+    let fp = Floorplan::ppc_cmp(4);
+    let model = GridThermalModel::new(&fp, &PackageConfig::default(), cfg).expect("model");
+    let powers = lane_powers(fp.len());
+    let mut solvers: Vec<GridTransient> = (0..LANES)
+        .map(|l| {
+            let mut s = GridTransient::new(model.clone(), 7e-6);
+            s.init_steady(&powers[l]).expect("steady");
+            s.prewarm(DT).expect("warm");
+            assert!(!s.in_fallback(), "propagator must build");
+            s
+        })
+        .collect();
+
+    let scalar_ns = time_loop(reps, steps, || {
+        for (s, p) in solvers.iter_mut().zip(&powers) {
+            s.step(p, DT).expect("scalar step");
+        }
+    });
+    let mut ws = BatchWorkspace::new();
+    let batched_ns = time_loop(reps, steps, || {
+        let mut lanes: Vec<(&mut GridTransient, &[f64])> = solvers
+            .iter_mut()
+            .zip(&powers)
+            .map(|(s, p)| (s, p.as_slice()))
+            .collect();
+        let batched = step_grid_batch(&mut lanes, DT, &mut ws).expect("batch step");
+        assert!(batched, "lanes share one propagator and must batch");
+    });
+    Throughput {
+        scalar_ns,
+        batched_ns,
+    }
+}
+
+/// Generates every trace the spec needs, outside the timed region.
+fn prewarm(lib: &Arc<TraceLibrary>, spec: &SweepSpec) {
+    let mut benches = Vec::new();
+    for w in spec.workload_axis() {
+        for b in w.resolve() {
+            if !benches
+                .iter()
+                .any(|x: &dtm_workloads::Benchmark| x.name == b.name)
+            {
+                benches.push(b);
+            }
+        }
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(benches.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let Some(b) = benches.get(j) else { break };
+                let _ = lib.trace(b);
+            });
+        }
+    });
+}
+
+/// Cold, cacheless, single-worker sweep wall clock at a given lane
+/// width.
+fn timed_sweep(lib: &Arc<TraceLibrary>, spec: SweepSpec, lanes: usize) -> f64 {
+    let runner = SweepRunner::bare_shared(Arc::clone(lib))
+        .with_workers(1)
+        .with_lanes(lanes);
+    let t0 = Instant::now();
+    let results = runner.run(spec).expect("sweep");
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(results.executed() > 0, "the timed sweep must run cold");
+    wall
+}
+
+fn read_cache_dir(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
+    let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("cache dir readable")
+        .map(|e| {
+            let e = e.expect("cache entry");
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).expect("cache file readable"),
+            )
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+/// Runs the same small sweep at lane widths 1 and 8 into fresh cache
+/// directories and asserts the cache bytes are identical.
+fn check_cache_identity(lib: &Arc<TraceLibrary>, spec: &SweepSpec) {
+    let base = std::env::temp_dir().join(format!("dtm-batch-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dirs = [base.join("lanes1"), base.join("lanes8")];
+    for (dir, lanes) in dirs.iter().zip([1usize, 8]) {
+        let runner = SweepRunner::bare_shared(Arc::clone(lib))
+            .with_workers(2)
+            .with_lanes(lanes)
+            .with_cache(Some(ResultCache::new(dir)));
+        runner.run(spec.clone()).expect("cache-identity sweep");
+    }
+    let a = read_cache_dir(&dirs[0]);
+    let b = read_cache_dir(&dirs[1]);
+    assert!(!a.is_empty(), "the identity sweep must populate the cache");
+    assert_eq!(
+        a, b,
+        "cache contents differ between --lanes 1 and --lanes 8"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    println!(
+        "cache identity: {} files byte-identical between lanes 1 and 8",
+        a.len()
+    );
+}
+
+fn small_spec(duration: f64) -> SweepSpec {
+    let mut sim = dtm_core::SimConfig::fast_test();
+    sim.duration = duration;
+    SweepSpec::new(vec![
+        Workload::new("wa", ["gzip", "mcf", "gzip", "mcf"]),
+        Workload::new("wb", ["mesa", "eon", "mesa", "eon"]),
+        Workload::new("wc", ["art", "swim", "art", "swim"]),
+    ])
+    .variant(ConfigVariant::new(
+        "base",
+        sim,
+        dtm_core::DtmConfig::default(),
+    ))
+    .policies([
+        PolicySpec::baseline(),
+        PolicySpec::best(),
+        PolicySpec::new(
+            dtm_core::ThrottleKind::Dvfs,
+            dtm_core::Scope::Global,
+            dtm_core::MigrationKind::None,
+        ),
+        PolicySpec::new(
+            dtm_core::ThrottleKind::StopGo,
+            dtm_core::Scope::Global,
+            dtm_core::MigrationKind::None,
+        ),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (reps, steps) = if smoke { (5, 2_000) } else { (11, 20_000) };
+    let (grid_reps, grid_steps) = if smoke { (3, 300) } else { (7, 4_000) };
+    let grid_cfg = if smoke {
+        GridConfig { cols: 8, rows: 12 }
+    } else {
+        GridConfig { cols: 16, rows: 24 }
+    };
+    let min_speedup = if smoke { 1.5 } else { 2.0 };
+
+    // 1. Thermal-phase throughput at L = 8.
+    let lumped = bench_lumped(reps, steps);
+    let grid = bench_grid(grid_reps, grid_steps, grid_cfg);
+    println!("== batched thermal phase, {LANES} lanes (ns per lane-step) ==\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>9}",
+        "model", "scalar ns", "batched ns", "speedup"
+    );
+    let grid_name = format!("grid {}x{}", grid_cfg.cols, grid_cfg.rows);
+    for (name, t) in [("lumped (4-core)", &lumped), (grid_name.as_str(), &grid)] {
+        println!(
+            "{:<22} {:>12.0} {:>12.0} {:>8.2}x",
+            name,
+            t.scalar_ns,
+            t.batched_ns,
+            t.speedup()
+        );
+    }
+    assert!(
+        grid.speedup() >= min_speedup,
+        "grid thermal-phase speedup {:.2}x below the {min_speedup}x floor",
+        grid.speedup()
+    );
+
+    // 2. Whole-sweep wall clock, lanes 1 vs 8, one worker, cold.
+    let (lib, sweep_spec) = if smoke {
+        (
+            Arc::new(TraceLibrary::new(TraceGenConfig::fast_test())),
+            small_spec(0.02),
+        )
+    } else {
+        (
+            Arc::new(TraceLibrary::default().with_disk_cache("target/trace-cache")),
+            SweepSpec::standard(0.1).policies(PolicySpec::all()),
+        )
+    };
+    prewarm(&lib, &sweep_spec);
+    let wall_1 = timed_sweep(&lib, sweep_spec.clone(), 1);
+    let wall_8 = timed_sweep(&lib, sweep_spec.clone(), 8);
+    let reduction = 1.0 - wall_8 / wall_1;
+    println!(
+        "\nsweep wall ({} cells, 1 worker): lanes=1 {:.2}s, lanes=8 {:.2}s ({:+.1}%)",
+        sweep_spec.cells().len(),
+        wall_1,
+        wall_8,
+        -100.0 * reduction
+    );
+
+    // 3. Cache byte-identity between lane widths.
+    let id_lib = if smoke {
+        Arc::clone(&lib)
+    } else {
+        Arc::new(TraceLibrary::new(TraceGenConfig::fast_test()))
+    };
+    check_cache_identity(&id_lib, &small_spec(0.02));
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"lanes\": {LANES},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    for (key, t, r, s) in [
+        ("lumped", &lumped, reps, steps),
+        ("grid", &grid, grid_reps, grid_steps),
+    ] {
+        let _ = writeln!(json, "  \"{key}\": {{");
+        let _ = writeln!(json, "    \"reps\": {r},");
+        let _ = writeln!(json, "    \"steps_per_rep\": {s},");
+        let _ = writeln!(json, "    \"scalar_ns_per_lane_step\": {:.1},", t.scalar_ns);
+        let _ = writeln!(
+            json,
+            "    \"batched_ns_per_lane_step\": {:.1},",
+            t.batched_ns
+        );
+        let _ = writeln!(json, "    \"speedup\": {:.3}", t.speedup());
+        let _ = writeln!(json, "  }},");
+    }
+    let _ = writeln!(json, "  \"sweep\": {{");
+    let _ = writeln!(json, "    \"cells\": {},", sweep_spec.cells().len());
+    let _ = writeln!(json, "    \"lanes1_wall_s\": {wall_1:.3},");
+    let _ = writeln!(json, "    \"lanes8_wall_s\": {wall_8:.3},");
+    let _ = writeln!(json, "    \"wall_reduction\": {reduction:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cache_identical\": true");
+    json.push_str("}\n");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_batch.json", &json).expect("write json");
+    println!("wrote results/BENCH_batch.json");
+}

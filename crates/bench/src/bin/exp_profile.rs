@@ -86,13 +86,20 @@ fn profile_grid(smoke: bool, duration: f64) -> (TraceLibrary, SweepSpec) {
 
 /// One full grid execution over the shared pre-warmed trace library —
 /// no cache, no ledger — returning its wall time and results.
+///
+/// Both passes pin `lanes = 1`: profiled sims step scalar by contract
+/// (per-phase timings need attributable phases), so an unpinned
+/// baseline would batch its thermal phases and the gate would measure
+/// the lockstep speedup as "instrumentation overhead".
 fn timed_pass(
     lib: &Arc<TraceLibrary>,
     spec: &SweepSpec,
     workers: usize,
     obs: Option<&ObsHandle>,
 ) -> (Duration, SweepResults) {
-    let mut runner = SweepRunner::bare_shared(Arc::clone(lib)).with_workers(workers);
+    let mut runner = SweepRunner::bare_shared(Arc::clone(lib))
+        .with_workers(workers)
+        .with_lanes(1);
     if let Some(o) = obs {
         runner = runner.with_obs(o);
     }

@@ -88,7 +88,7 @@ struct EngineProf {
 }
 
 /// Step-local clock state for phase marking.
-struct StepClock {
+pub(crate) struct StepClock {
     last_ns: u64,
     /// Whether this step's phases are also recorded as trace spans.
     sample: bool,
@@ -210,6 +210,11 @@ pub struct ThermalTimingSim {
 
     telemetry: Option<Telemetry>,
     power_buf: Vec<f64>,
+    /// Per-core effective scales computed by the pre-thermal phase and
+    /// consumed by the post-thermal one (accounting, migration,
+    /// telemetry); a field so the step can be split around a batched
+    /// thermal advance without reallocating.
+    scales_now: Vec<f64>,
 
     // Observability (None / empty on the unprofiled fast path).
     prof: Option<EngineProf>,
@@ -388,6 +393,7 @@ impl ThermalTimingSim {
             energy: 0.0,
             telemetry: None,
             power_buf: Vec::new(),
+            scales_now: Vec::new(),
             prof: None,
             steady_hot: Vec::new(),
             steady_counter: 0,
@@ -669,9 +675,18 @@ impl ThermalTimingSim {
     ///
     /// Propagates thermal-solver failures.
     pub fn step(&mut self) -> Result<(), SimError> {
-        let dt = self.dt;
-        let cores = self.cfg.cores;
-        let mut clk = match &mut self.prof {
+        let mut clk = self.begin_clock();
+        self.step_pre_thermal(&mut clk);
+        // ---- Thermal integration ----
+        self.thermal.step(&self.power_buf, self.dt)?;
+        self.step_post_thermal(&mut clk);
+        Ok(())
+    }
+
+    /// Opens this step's phase clock (profiled builds only) and counts
+    /// the step against the sampling strides.
+    pub(crate) fn begin_clock(&mut self) -> Option<StepClock> {
+        match &mut self.prof {
             Some(p) => {
                 let timed = p.steps.is_multiple_of(TIMED_SAMPLE_STRIDE);
                 let sample = p.steps.is_multiple_of(SPAN_SAMPLE_STRIDE);
@@ -687,13 +702,28 @@ impl ThermalTimingSim {
                 }
             }
             None => None,
-        };
+        }
+    }
+
+    /// Everything a step does *before* the thermal solve: assembles
+    /// block power into `power_buf` (advancing trace cursors and work
+    /// accounting) and adds leakage. Split out so a lockstep batch
+    /// driver can run many lanes' pre-phases, one batched thermal
+    /// advance, then the post-phases — see [`crate::LockstepBatch`].
+    pub(crate) fn step_pre_thermal(&mut self, clk: &mut Option<StepClock>) {
+        let dt = self.dt;
+        let cores = self.cfg.cores;
 
         // ---- Assemble block power and advance work ----
         self.power_buf.clear();
         self.power_buf.resize(self.floorplan.len(), 0.0);
         let mut l2_power = self.l2_idle;
-        let mut scales_now = vec![0.0; cores];
+        // Effective scales are reused by the post-thermal accounting,
+        // migration, and telemetry phases; the buffer lives on the sim
+        // so the split carries it across without reallocation.
+        let mut scales_now = std::mem::take(&mut self.scales_now);
+        scales_now.clear();
+        scales_now.resize(cores, 0.0);
         for (core, scale_slot) in scales_now.iter_mut().enumerate() {
             let s = self.effective_scale(core);
             *scale_slot = s;
@@ -720,17 +750,25 @@ impl ThermalTimingSim {
             }
         }
         self.power_buf[self.l2_block] += l2_power;
-        self.mark(PH_MICROARCH, &mut clk);
+        self.scales_now = scales_now;
+        self.mark(PH_MICROARCH, clk);
         let temps_now = self.thermal.block_temps().to_vec();
         self.leakage.add_power(&temps_now, &mut self.power_buf);
         self.energy += self.power_buf.iter().sum::<f64>() * dt;
-        self.mark(PH_POWER, &mut clk);
+        self.mark(PH_POWER, clk);
+    }
 
-        // ---- Thermal integration ----
-        self.thermal.step(&self.power_buf, dt)?;
+    /// Everything a step does *after* the thermal solve: advances the
+    /// clock, reads sensors, runs accounting, control, migration, and
+    /// telemetry. Must be preceded by [`Self::step_pre_thermal`] and a
+    /// thermal advance of `power_buf` over `dt` (scalar or batched).
+    pub(crate) fn step_post_thermal(&mut self, clk: &mut Option<StepClock>) {
+        let dt = self.dt;
+        let cores = self.cfg.cores;
+        let scales_now = std::mem::take(&mut self.scales_now);
         self.time += dt;
-        self.mark(PH_THERMAL, &mut clk);
-        self.read_sensors(&mut clk);
+        self.mark(PH_THERMAL, clk);
+        self.read_sensors(clk);
 
         // ---- Emergency accounting ----
         let hottest = self
@@ -762,7 +800,7 @@ impl ThermalTimingSim {
         if throttled && true_hot < self.dtm.dvfs_setpoint() - FALSE_THROTTLE_MARGIN {
             self.false_throttle_time += dt;
         }
-        self.mark(PH_ACCOUNTING, &mut clk);
+        self.mark(PH_ACCOUNTING, clk);
 
         // ---- Throttle control ----
         match self.policy.throttle {
@@ -770,14 +808,14 @@ impl ThermalTimingSim {
             ThrottleKind::Dvfs => self.control_dvfs(),
         }
         self.control_fallback_stopgo();
-        self.mark(PH_CONTROL, &mut clk);
+        self.mark(PH_CONTROL, clk);
 
         // ---- OS tick: migration ----
         if self.time >= self.next_os_tick {
             self.next_os_tick += self.dtm.os_tick;
             self.os_tick(&scales_now);
         }
-        self.mark(PH_MIGRATION, &mut clk);
+        self.mark(PH_MIGRATION, clk);
 
         // ---- Telemetry ----
         if let Some(tel) = &mut self.telemetry {
@@ -791,7 +829,7 @@ impl ThermalTimingSim {
             tel.offer(|| TelemetryRecord {
                 time,
                 sensor_temps,
-                scales: scales_now,
+                scales: scales_now.clone(),
                 assignment,
                 in_fallback,
             });
@@ -803,8 +841,27 @@ impl ThermalTimingSim {
             self.steady_hot.push(hottest);
         }
         self.steady_counter += 1;
-        self.mark(PH_TELEMETRY, &mut clk);
-        Ok(())
+        self.scales_now = scales_now;
+        self.mark(PH_TELEMETRY, clk);
+    }
+
+    /// The thermal lane this sim contributes to a lockstep batch: its
+    /// solver, the block power assembled by the pre-phase, and `dt`.
+    pub(crate) fn thermal_lane(&mut self) -> (&mut TransientSolver, &[f64], f64) {
+        (&mut self.thermal, &self.power_buf, self.dt)
+    }
+
+    /// Whether this sim still has simulated time left before
+    /// `cfg.duration` (the lane-retirement test).
+    pub(crate) fn lane_active(&self) -> bool {
+        self.time < self.cfg.duration
+    }
+
+    /// Whether per-phase profiling is attached. Lockstep batching would
+    /// attribute the shared thermal phase to one arbitrary lane, so a
+    /// profiled sim is stepped scalar instead.
+    pub(crate) fn is_profiled(&self) -> bool {
+        self.prof.is_some()
     }
 
     /// Whether `core`'s DVFS actuator is currently stuck by a fault.

@@ -51,6 +51,7 @@
 //! # }
 //! ```
 
+mod batch;
 mod config;
 mod engine;
 mod metrics;
@@ -59,6 +60,7 @@ mod policy;
 mod runner;
 mod telemetry;
 
+pub use batch::LockstepBatch;
 pub use config::{DtmConfig, LeakageConfig, SimConfig, PAPER_PI_KI, PAPER_PI_KP};
 pub use dtm_control::GainScheduleConfig;
 pub use dtm_faults::{

@@ -159,6 +159,22 @@ impl Experiment {
             .iter()
             .map(|b| self.lib.trace(b))
             .collect();
+        self.build_with_traces(traces, policy)
+    }
+
+    /// Builds a simulator from already-resolved traces, skipping the
+    /// per-build trace-library lookups. Batch executors resolve each
+    /// distinct workload's traces once per lane batch and hand the
+    /// shared `Arc`s to every lane that replays them.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThermalTimingSim::new`].
+    pub fn build_with_traces(
+        &self,
+        traces: Vec<Arc<dtm_power::PowerTrace>>,
+        policy: PolicySpec,
+    ) -> Result<ThermalTimingSim, SimError> {
         let mut sim = ThermalTimingSim::new(self.sim.clone(), self.dtm, policy, traces)?;
         if !self.faults.is_ideal() {
             sim.set_fault_config(&self.faults);

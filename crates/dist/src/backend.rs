@@ -882,6 +882,7 @@ mod tests {
                 obs: &self.obs,
                 sweep_start: Instant::now(),
                 workers: 1,
+                lanes: 1,
             }
         }
     }

@@ -19,6 +19,10 @@ pub struct SweepArgs {
     pub duration: f64,
     /// Worker-pool size override (`--workers` / `-j`).
     pub workers: Option<usize>,
+    /// Lockstep lane-batch width override (`--lanes N`; `--lanes 1`
+    /// disables batching entirely). Falls back to `DTM_LANES`, then the
+    /// default width.
+    pub lanes: Option<usize>,
     /// Emit tables as JSON instead of aligned text.
     pub json: bool,
     /// Bypass the result cache (always simulate).
@@ -42,6 +46,7 @@ impl Default for SweepArgs {
         SweepArgs {
             duration: 0.5,
             workers: None,
+            lanes: None,
             json: false,
             no_cache: false,
             dist_workers: Vec::new(),
@@ -74,6 +79,13 @@ impl SweepArgs {
                     match v {
                         Some(n) => out.workers = Some(n.max(1)),
                         None => usage(&format!("{a} requires a positive integer")),
+                    }
+                }
+                "--lanes" => {
+                    let v = args.next().and_then(|s| s.parse::<usize>().ok());
+                    match v {
+                        Some(n) => out.lanes = Some(n.max(1)),
+                        None => usage("--lanes requires a positive integer"),
                     }
                 }
                 "--dist" => match args.next() {
@@ -122,7 +134,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: <exp> [DURATION_SECONDS] [--workers N | -j N] [--json] [--no-cache]\n\
+        "usage: <exp> [DURATION_SECONDS] [--workers N | -j N] [--lanes N] [--json] [--no-cache]\n\
          \x20          [--dist host:port,...] [--dist-local N] [--dist-deadline S] [--dist-retries N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -162,6 +174,17 @@ mod tests {
     #[test]
     fn zero_workers_clamps_to_one() {
         assert_eq!(parse(&["--workers", "0"]).workers, Some(1));
+    }
+
+    #[test]
+    fn lanes_flag_parses_and_clamps() {
+        assert_eq!(parse(&["--lanes", "8"]).lanes, Some(8));
+        assert_eq!(
+            parse(&["--lanes", "0"]).lanes,
+            Some(1),
+            "zero clamps to one"
+        );
+        assert_eq!(parse(&[]).lanes, None);
     }
 
     #[test]

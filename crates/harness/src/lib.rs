@@ -52,6 +52,7 @@ pub use ledger::{Ledger, DEFAULT_LEDGER_PATH};
 pub use progress::Progress;
 pub use report::Table;
 pub use runner::{
-    run_standard, Backend, BackendCtx, LocalBackend, LocalExec, SweepRunner, WORKERS_ENV,
+    run_standard, Backend, BackendCtx, LocalBackend, LocalExec, SweepRunner, DEFAULT_LANES,
+    LANES_ENV, WORKERS_ENV,
 };
 pub use sweep::{CellIndex, CellOutcome, ConfigVariant, SweepResults, SweepSpec};

@@ -15,7 +15,7 @@ use crate::json::Json;
 use crate::ledger::Ledger;
 use crate::progress::Progress;
 use crate::sweep::{CellIndex, CellOutcome, SweepResults, SweepSpec};
-use dtm_core::{Experiment, ObsHandle, SimError};
+use dtm_core::{Experiment, LockstepBatch, ObsHandle, SimError, SolverBackend};
 use dtm_workloads::{Benchmark, TraceGenConfig, TraceLibrary};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -23,6 +23,16 @@ use std::time::{Duration, Instant};
 
 /// Environment variable overriding the worker count.
 pub const WORKERS_ENV: &str = "DTM_WORKERS";
+
+/// Environment variable overriding the lockstep lane-batch width.
+pub const LANES_ENV: &str = "DTM_LANES";
+
+/// Default lockstep lane-batch width: cells whose variants share a
+/// thermal configuration are simulated up to this many at a time with
+/// one batched thermal phase per step (see [`dtm_core::LockstepBatch`]).
+/// Matches the batched kernel's internal lane block, so full batches
+/// are exactly one block wide.
+pub const DEFAULT_LANES: usize = 8;
 
 /// Everything a [`Backend`] needs to execute the missed cells of one
 /// sweep: the spec and its flattened cells/keys, which cells missed the
@@ -46,6 +56,8 @@ pub struct BackendCtx<'a> {
     pub sweep_start: Instant,
     /// The runner's resolved worker count.
     pub workers: usize,
+    /// The runner's resolved lane-batch width (1 = no batching).
+    pub lanes: usize,
 }
 
 impl BackendCtx<'_> {
@@ -174,6 +186,144 @@ impl LocalExec {
             worker: wid,
         })
     }
+
+    /// Simulates a lane batch (indexes into `ctx.cells` whose variants
+    /// share a thermal configuration) in lockstep as worker `wid`,
+    /// publishing each lane's result and per-cell observability exactly
+    /// as [`LocalExec::run_cell`] would. Each distinct workload's
+    /// traces are resolved once for the whole batch; every lane that
+    /// replays that workload shares the `Arc`s.
+    ///
+    /// Wall time is the batch's (the lanes ran fused, so per-lane wall
+    /// is not separable); results are bit-identical to per-cell runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first lane's simulation failure.
+    pub fn run_lane_batch(
+        &self,
+        ctx: &BackendCtx<'_>,
+        batch: &[usize],
+        wid: usize,
+    ) -> Result<Vec<CellOutcome>, SimError> {
+        if batch.len() == 1 {
+            return Ok(vec![self.run_cell(ctx, batch[0], wid)?]);
+        }
+        let spec = ctx.spec;
+        let obs = ctx.obs;
+        let t0 = Instant::now();
+        let queued = t0.duration_since(ctx.sweep_start);
+        let batch_start_ns = obs.now_ns();
+
+        // One trace resolution per distinct workload in the batch.
+        let mut trace_sets: Vec<(usize, Vec<_>)> = Vec::new();
+        let mut sims = Vec::with_capacity(batch.len());
+        for &i in batch {
+            let cell = ctx.cells[i];
+            let traces = match trace_sets.iter().find(|(w, _)| *w == cell.workload) {
+                Some((_, t)) => t.clone(),
+                None => {
+                    let t: Vec<_> = spec.workload_axis()[cell.workload]
+                        .resolve()
+                        .iter()
+                        .map(|b| ctx.lib.trace(b))
+                        .collect();
+                    trace_sets.push((cell.workload, t.clone()));
+                    t
+                }
+            };
+            let policy = spec.policy_axis()[cell.policy];
+            sims.push(self.experiments[cell.variant].build_with_traces(traces, policy)?);
+        }
+
+        let results = LockstepBatch::new(sims).run()?;
+        let wall = t0.elapsed();
+        let wall_ns = wall.as_nanos() as u64;
+        if obs.is_enabled() {
+            obs.histogram("dtm_batch_lanes").record(batch.len() as u64);
+            obs.counter("dtm_batches_executed_total").inc();
+            obs.counter("dtm_batch_lanes_total").add(batch.len() as u64);
+            obs.counter("dtm_batch_lane_slots_total")
+                .add(ctx.lanes as u64);
+            obs.counter(&format!("dtm_worker_{wid}_busy_ns_total"))
+                .add(wall_ns);
+        }
+        let mut out = Vec::with_capacity(batch.len());
+        for (&i, result) in batch.iter().zip(results) {
+            let cell = ctx.cells[i];
+            ctx.publish(i, &result);
+            if obs.is_enabled() {
+                let workload = &spec.workload_axis()[cell.workload];
+                let policy = spec.policy_axis()[cell.policy];
+                obs.record_span(
+                    "harness",
+                    format!("{}/{}", workload.display_name(), policy.name()),
+                    batch_start_ns,
+                    wall_ns,
+                );
+                obs.histogram("dtm_cell_wall_ns").record(wall_ns);
+                obs.histogram("dtm_cell_queue_ns")
+                    .record(queued.as_nanos() as u64);
+                obs.counter("dtm_cells_executed_total").inc();
+            }
+            out.push(CellOutcome {
+                index: cell,
+                key: ctx.keys[i].hex(),
+                result,
+                cached: false,
+                wall,
+                queued,
+                worker: wid,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Partitions the missed cells into worker tasks: cells whose variants
+/// share a thermal configuration (same floorplan/package, substep, and
+/// propagator backend) are grouped — preserving miss order within each
+/// group — and chunked into `ctx.lanes`-wide lockstep batches; the rest
+/// (non-propagator backends, or `lanes == 1`) stay one cell per task.
+///
+/// Grouping is a scheduling hint, not a correctness requirement:
+/// [`LockstepBatch`] re-checks at run time that its lanes really share
+/// one propagator and steps them scalar otherwise, so an over-broad
+/// group still produces bit-identical results.
+fn lane_batches(ctx: &BackendCtx<'_>) -> Vec<Vec<usize>> {
+    let lanes = ctx.lanes.max(1);
+    if lanes == 1 {
+        return ctx.misses.iter().map(|&i| vec![i]).collect();
+    }
+    let variants = ctx.spec.variant_axis();
+    let variant_key: Vec<Option<String>> = variants
+        .iter()
+        .map(|v| {
+            (v.sim.thermal_solver == SolverBackend::Propagator).then(|| {
+                format!(
+                    "{}|{:?}|{:?}|{:?}",
+                    v.sim.cores, v.sim.package, v.sim.thermal_substep, v.sim.thermal_solver
+                )
+            })
+        })
+        .collect();
+    let mut tasks: Vec<Vec<usize>> = Vec::new();
+    let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+    for &i in ctx.misses {
+        match &variant_key[ctx.cells[i].variant] {
+            Some(key) => match groups.iter_mut().find(|(k, _)| k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            },
+            None => tasks.push(vec![i]),
+        }
+    }
+    for (_, members) in groups {
+        for chunk in members.chunks(lanes) {
+            tasks.push(chunk.to_vec());
+        }
+    }
+    tasks
 }
 
 /// A sweep execution strategy: given the missed cells of one sweep,
@@ -193,14 +343,15 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
 }
 
 /// The classic in-process worker pool: `ctx.workers` threads pulling
-/// cells off a shared index, one prewarmed [`Experiment`] per config
-/// variant.
+/// lane batches (or single cells) off a shared task list, one
+/// prewarmed [`Experiment`] per config variant.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct LocalBackend;
 
 impl Backend for LocalBackend {
     fn run_cells(&self, ctx: &BackendCtx<'_>, tx: &mpsc::Sender<Result<CellOutcome, SimError>>) {
-        let workers = ctx.workers.min(ctx.misses.len().max(1));
+        let tasks = lane_batches(ctx);
+        let workers = ctx.workers.min(tasks.len().max(1));
         ctx.prewarm(ctx.misses, workers);
         let exec = LocalExec::new(ctx);
         let next = AtomicUsize::new(0);
@@ -211,15 +362,16 @@ impl Backend for LocalBackend {
                 let exec = &exec;
                 let next = &next;
                 let abort = &abort;
+                let tasks = &tasks;
                 s.spawn(move || loop {
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
                     let j = next.fetch_add(1, Ordering::SeqCst);
-                    let Some(&i) = ctx.misses.get(j) else { break };
-                    match exec.run_cell(ctx, i, wid) {
-                        Ok(outcome) => {
-                            if tx.send(Ok(outcome)).is_err() {
+                    let Some(batch) = tasks.get(j) else { break };
+                    match exec.run_lane_batch(ctx, batch, wid) {
+                        Ok(outcomes) => {
+                            if outcomes.into_iter().any(|o| tx.send(Ok(o)).is_err()) {
                                 break;
                             }
                         }
@@ -258,6 +410,7 @@ impl Backend for LocalBackend {
 pub struct SweepRunner {
     lib: Arc<TraceLibrary>,
     workers: Option<usize>,
+    lanes: Option<usize>,
     cache: Option<ResultCache>,
     ledger: Option<Ledger>,
     progress: bool,
@@ -279,6 +432,7 @@ impl SweepRunner {
         SweepRunner {
             lib,
             workers: None,
+            lanes: None,
             cache: None,
             ledger: None,
             progress: false,
@@ -295,6 +449,7 @@ impl SweepRunner {
         SweepRunner {
             lib: Arc::new(TraceLibrary::default().with_disk_cache("target/trace-cache")),
             workers: None,
+            lanes: None,
             cache: Some(ResultCache::default_location()),
             ledger: Some(Ledger::default_location()),
             progress: true,
@@ -307,6 +462,16 @@ impl SweepRunner {
     /// the machine's available parallelism).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Overrides the lockstep lane-batch width (otherwise `DTM_LANES`,
+    /// otherwise [`DEFAULT_LANES`]). `1` disables batching: every cell
+    /// runs through the classic scalar path. Batching is an execution
+    /// strategy only — results, cache contents, and ledger rows are
+    /// byte-identical at every width.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = Some(lanes.max(1));
         self
     }
 
@@ -365,6 +530,21 @@ impl SweepRunner {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    }
+
+    /// The effective lane-batch width: explicit override, then the
+    /// `DTM_LANES` environment variable, then [`DEFAULT_LANES`].
+    pub fn lane_count(&self) -> usize {
+        if let Some(n) = self.lanes {
+            return n;
+        }
+        if let Some(n) = std::env::var(LANES_ENV)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        DEFAULT_LANES
     }
 
     /// Executes every cell of `spec` — cache hits served without
@@ -444,6 +624,7 @@ impl SweepRunner {
                 obs: &obs,
                 sweep_start,
                 workers: self.worker_count(),
+                lanes: self.lane_count(),
             };
             let (tx, rx) = mpsc::channel::<Result<CellOutcome, SimError>>();
             let mut first_error: Option<SimError> = None;
@@ -527,6 +708,9 @@ pub fn run_standard(
     let mut runner = SweepRunner::paper_defaults();
     if let Some(n) = args.workers {
         runner = runner.with_workers(n);
+    }
+    if let Some(n) = args.lanes {
+        runner = runner.with_lanes(n);
     }
     if args.no_cache {
         runner = runner.with_cache(None);
@@ -712,6 +896,176 @@ mod tests {
         assert_eq!(r.worker_count(), 3);
         let r0 = SweepRunner::bare(fast_lib()).with_workers(0);
         assert_eq!(r0.worker_count(), 1, "zero clamps to one");
+    }
+
+    #[test]
+    fn lane_count_resolution_prefers_explicit() {
+        let r = SweepRunner::bare(fast_lib()).with_lanes(3);
+        assert_eq!(r.lane_count(), 3);
+        let r0 = SweepRunner::bare(fast_lib()).with_lanes(0);
+        assert_eq!(r0.lane_count(), 1, "zero clamps to one");
+        // No override and (in the test environment) no DTM_LANES: the
+        // default width applies.
+        if std::env::var(LANES_ENV).is_err() {
+            assert_eq!(SweepRunner::bare(fast_lib()).lane_count(), DEFAULT_LANES);
+        }
+    }
+
+    #[test]
+    fn lane_batches_group_by_thermal_config_and_respect_width() {
+        // Two variants sharing one thermal config plus a backward-Euler
+        // variant: the first two variants' cells coalesce into common
+        // batches, the Euler cells stay singletons.
+        let sim = dtm_core::SimConfig::fast_test();
+        let mut hot_dtm = dtm_core::DtmConfig::default();
+        hot_dtm.threshold += 5.0;
+        let mut euler_sim = sim.clone();
+        euler_sim.thermal_solver = SolverBackend::BackwardEuler;
+        let spec = SweepSpec::new(vec![
+            Workload::new("wa", ["gzip", "mcf", "gzip", "mcf"]),
+            Workload::new("wb", ["mesa", "eon", "mesa", "eon"]),
+        ])
+        .variant(crate::ConfigVariant::new(
+            "base",
+            sim.clone(),
+            dtm_core::DtmConfig::default(),
+        ))
+        .add_variant(crate::ConfigVariant::new("hot", sim, hot_dtm))
+        .add_variant(crate::ConfigVariant::new(
+            "euler",
+            euler_sim,
+            dtm_core::DtmConfig::default(),
+        ))
+        .policies([PolicySpec::baseline()]);
+        let cells = spec.cells();
+        let keys = vec![CellKey(0); cells.len()];
+        let misses: Vec<usize> = (0..cells.len()).collect();
+        let lib = Arc::new(fast_lib());
+        let obs = dtm_core::ObsHandle::disabled();
+        let ctx = BackendCtx {
+            spec: &spec,
+            cells: &cells,
+            keys: &keys,
+            misses: &misses,
+            lib: &lib,
+            cache: None,
+            obs: &obs,
+            sweep_start: Instant::now(),
+            workers: 1,
+            lanes: 3,
+        };
+        let tasks = lane_batches(&ctx);
+        // 4 propagator cells in one thermal group (3+1 at width 3) plus
+        // 2 backward-Euler singletons: 6 cells over 4 tasks.
+        assert_eq!(tasks.iter().map(Vec::len).sum::<usize>(), 6);
+        assert_eq!(
+            tasks.iter().filter(|t| t.len() == 3).count(),
+            1,
+            "propagator cells chunk into one full width-3 batch: {tasks:?}"
+        );
+        assert_eq!(
+            tasks.iter().filter(|t| t.len() == 1).count(),
+            3,
+            "one ragged lane plus two Euler singletons: {tasks:?}"
+        );
+        for t in &tasks {
+            assert!(t.len() <= 3, "batch wider than the lane width");
+        }
+        // Every miss appears exactly once.
+        let mut seen: Vec<usize> = tasks.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, misses);
+    }
+
+    #[test]
+    fn lane_width_does_not_change_results_or_cache_bytes() {
+        // The core bit-identity claim at the sweep level: a batched run
+        // and a scalar run produce identical outcomes and byte-identical
+        // cache directories.
+        let spec = tiny_spec();
+        let dir1 = tmpdir("lanes1");
+        let dir8 = tmpdir("lanes8");
+        let scalar = SweepRunner::bare(fast_lib())
+            .with_cache(Some(ResultCache::new(&dir1)))
+            .with_workers(2)
+            .with_lanes(1)
+            .run(spec.clone())
+            .expect("scalar run");
+        let batched = SweepRunner::bare(fast_lib())
+            .with_cache(Some(ResultCache::new(&dir8)))
+            .with_workers(2)
+            .with_lanes(8)
+            .run(spec)
+            .expect("batched run");
+        assert_eq!(scalar.executed(), 4);
+        assert_eq!(batched.executed(), 4);
+        for (a, b) in scalar.outcomes().iter().zip(batched.outcomes()) {
+            assert_eq!(a.result, b.result, "lane width changed a result");
+            assert_eq!(a.result.duty_cycle.to_bits(), b.result.duty_cycle.to_bits());
+            assert_eq!(a.key, b.key, "lane width changed a cache key");
+        }
+        let read_dir = |d: &PathBuf| -> Vec<(String, Vec<u8>)> {
+            let mut entries: Vec<_> = std::fs::read_dir(d)
+                .expect("cache dir")
+                .map(|e| {
+                    let e = e.unwrap();
+                    (
+                        e.file_name().to_string_lossy().into_owned(),
+                        std::fs::read(e.path()).unwrap(),
+                    )
+                })
+                .collect();
+            entries.sort();
+            entries
+        };
+        assert_eq!(
+            read_dir(&dir1),
+            read_dir(&dir8),
+            "cache bytes differ between lane widths"
+        );
+        let _ = std::fs::remove_dir_all(&dir1);
+        let _ = std::fs::remove_dir_all(&dir8);
+    }
+
+    #[test]
+    fn batched_sweep_records_lane_metrics() {
+        let obs = dtm_core::ObsHandle::enabled_default();
+        let results = SweepRunner::bare(fast_lib())
+            .with_workers(1)
+            .with_lanes(4)
+            .with_obs(&obs)
+            .run(tiny_spec())
+            .expect("run");
+        assert_eq!(results.executed(), 4);
+        // 4 cells of one thermal group at width 4: one full batch.
+        assert_eq!(obs.histogram("dtm_batch_lanes").count(), 1);
+        assert_eq!(obs.counter("dtm_batches_executed_total").get(), 1);
+        assert_eq!(obs.counter("dtm_batch_lanes_total").get(), 4);
+        assert_eq!(obs.counter("dtm_batch_lane_slots_total").get(), 4);
+        // Per-cell accounting is preserved through the batched path.
+        assert_eq!(obs.counter("dtm_cells_executed_total").get(), 4);
+        assert_eq!(obs.histogram("dtm_cell_wall_ns").count(), 4);
+    }
+
+    #[test]
+    fn lane_batches_decode_each_workload_trace_once() {
+        // The trace-hoisting fix: a lane batch resolves each distinct
+        // benchmark at most once (via the prewarm pass plus the
+        // per-batch trace map), never once per cell.
+        let lib = Arc::new(fast_lib());
+        let runner = SweepRunner::bare_shared(Arc::clone(&lib))
+            .with_workers(1)
+            .with_lanes(8);
+        let results = runner.run(tiny_spec()).expect("run");
+        assert_eq!(results.executed(), 4);
+        // tiny_spec uses 4 distinct benchmarks across its workloads.
+        let distinct = 4;
+        assert!(
+            lib.decode_count() <= distinct,
+            "traces decoded {} times for {} distinct benchmarks",
+            lib.decode_count(),
+            distinct
+        );
     }
 
     #[test]

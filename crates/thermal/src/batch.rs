@@ -1,0 +1,317 @@
+//! Multi-lane lockstep stepping: one batched propagator advance for a
+//! group of independent solvers that share the same `E`/`F`.
+//!
+//! A sweep evaluates hundreds of simulations over one floorplan and one
+//! `dt`; every one of them advances with the *same* shared
+//! [`Propagator`](crate::propagator) (the process-wide cache hands all
+//! of them the same `Arc`). Stepping them one at a time re-streams the
+//! `n × (n + k)` propagator matrix from cache per run — the thermal
+//! phase is memory-bound on exactly that stream. This module instead
+//! gathers `L` lanes' `[T | p]` columns into a column-major
+//! structure-of-arrays block (padded to [`LANE_BLOCK`]) and advances
+//! all of them with one cache-blocked
+//! [`matmul_strided`](crate::linalg::matmul_strided) call: the matrix
+//! streams once per block of lanes instead of once per lane.
+//!
+//! **Bit-identity contract.** Each lane's output column reduces through
+//! the exact accumulation order of the scalar kernel, every lane's
+//! power vector is validated exactly as its own `step` would, and the
+//! sub-block fast mode runs per lane after the scatter — so a batched
+//! step leaves every solver in a state bit-identical to having called
+//! its scalar `step` with the same inputs.
+//!
+//! **Fallback contract.** Batching is an execution strategy, not a
+//! configuration: when the lanes do *not* all resolve to one shared
+//! propagator (backward-Euler backend, latched fallback, or differing
+//! thermal configurations), [`step_lumped_batch`]/[`step_grid_batch`]
+//! return `Ok(false)` without touching any state, and the caller steps
+//! each lane through its scalar path.
+
+use crate::grid::GridTransient;
+use crate::linalg::LANE_BLOCK;
+use crate::model::{ThermalError, TransientSolver};
+use crate::propagator::Propagator;
+use std::sync::Arc;
+
+/// Reusable gather/scatter buffers for lockstep stepping: the
+/// column-major `(n + k) × L` input block and `n × L` output block,
+/// both padded to a [`LANE_BLOCK`] multiple of lanes. One workspace per
+/// batch driver, reused across every step.
+#[derive(Debug, Default)]
+pub struct BatchWorkspace {
+    x: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl BatchWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The solver-side surface a lockstep lane needs: resolve the shared
+/// propagator, validate power, expose state, and run any post-advance
+/// update. Crate-internal so the lumped and grid solvers keep their
+/// fields private.
+trait LaneSolver {
+    fn lane_prop(&mut self, dt: f64) -> Option<&Arc<Propagator>>;
+    fn lane_check_power(&self, power: &[f64]) -> Result<(), ThermalError>;
+    fn lane_temps_mut(&mut self) -> &mut [f64];
+    fn lane_post_advance(&mut self, power: &[f64], dt: f64);
+}
+
+impl LaneSolver for TransientSolver {
+    fn lane_prop(&mut self, dt: f64) -> Option<&Arc<Propagator>> {
+        self.batch_prop(dt)
+    }
+    fn lane_check_power(&self, power: &[f64]) -> Result<(), ThermalError> {
+        self.batch_check_power(power)
+    }
+    fn lane_temps_mut(&mut self) -> &mut [f64] {
+        self.temps_mut()
+    }
+    fn lane_post_advance(&mut self, power: &[f64], dt: f64) {
+        self.batch_fast_mode(power, dt);
+    }
+}
+
+impl LaneSolver for GridTransient {
+    fn lane_prop(&mut self, dt: f64) -> Option<&Arc<Propagator>> {
+        self.batch_prop(dt)
+    }
+    fn lane_check_power(&self, power: &[f64]) -> Result<(), ThermalError> {
+        self.batch_check_power(power)
+    }
+    fn lane_temps_mut(&mut self) -> &mut [f64] {
+        self.temps_mut()
+    }
+    fn lane_post_advance(&mut self, _power: &[f64], _dt: f64) {
+        // The grid solver has no sub-block fast mode.
+    }
+}
+
+fn step_batch<S: LaneSolver>(
+    lanes: &mut [(&mut S, &[f64])],
+    dt: f64,
+    ws: &mut BatchWorkspace,
+) -> Result<bool, ThermalError> {
+    // A single lane gains nothing over its scalar step; let the caller
+    // take the ordinary path (also covers `--lanes 1` and empty groups).
+    if lanes.len() < 2 {
+        return Ok(false);
+    }
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(ThermalError::NotPhysical(format!("dt = {dt}")));
+    }
+    // Validate every lane's power exactly as its scalar step would,
+    // before any state is touched.
+    for (solver, power) in lanes.iter() {
+        solver.lane_check_power(power)?;
+    }
+    // All lanes must resolve to the *same* shared propagator instance
+    // (`Arc` identity, courtesy of the process-wide cache). Anything
+    // else — backward-Euler, latched fallback, a different thermal
+    // configuration or dt — and the whole group falls back to scalar.
+    let mut shared: Option<Arc<Propagator>> = None;
+    for (solver, _) in lanes.iter_mut() {
+        match solver.lane_prop(dt) {
+            Some(p) => match &shared {
+                Some(first) if Arc::ptr_eq(first, p) => {}
+                Some(_) => return Ok(false),
+                None => shared = Some(Arc::clone(p)),
+            },
+            None => return Ok(false),
+        }
+    }
+    let prop = shared.expect("two or more lanes resolved above");
+    let n = prop.n();
+    let width = prop.width();
+    let padded = lanes.len().div_ceil(LANE_BLOCK) * LANE_BLOCK;
+
+    // Gather: column l is lane l's concatenated [T | p].
+    ws.x.clear();
+    ws.x.resize(padded * width, 0.0);
+    ws.y.clear();
+    ws.y.resize(padded * n, 0.0);
+    for (l, (solver, power)) in lanes.iter_mut().enumerate() {
+        let col = &mut ws.x[l * width..(l + 1) * width];
+        col[..n].copy_from_slice(solver.lane_temps_mut());
+        col[n..].copy_from_slice(power);
+    }
+
+    prop.advance_batch(&ws.x, width, &mut ws.y, n, lanes.len());
+
+    // Scatter, then the per-lane post-advance (fast mode), in the same
+    // advance-then-fast order as the scalar step.
+    for (l, (solver, power)) in lanes.iter_mut().enumerate() {
+        solver
+            .lane_temps_mut()
+            .copy_from_slice(&ws.y[l * n..(l + 1) * n]);
+        solver.lane_post_advance(power, dt);
+    }
+    Ok(true)
+}
+
+/// Advances every lumped-model lane by `dt` in lockstep with one
+/// batched propagator call. Each pair is a solver plus the constant
+/// per-block power it sees over this step.
+///
+/// Returns `Ok(true)` when the batched kernel ran (every lane now
+/// bit-identical to its scalar `step`), `Ok(false)` when the group was
+/// not batchable and **no state was modified** — the caller must then
+/// step each lane scalar.
+///
+/// # Errors
+///
+/// Propagates the per-lane power-vector validation failures a scalar
+/// `step` would raise.
+pub fn step_lumped_batch(
+    lanes: &mut [(&mut TransientSolver, &[f64])],
+    dt: f64,
+    ws: &mut BatchWorkspace,
+) -> Result<bool, ThermalError> {
+    step_batch(lanes, dt, ws)
+}
+
+/// Advances every grid-model lane by `dt` in lockstep with one batched
+/// propagator call. Semantics identical to [`step_lumped_batch`].
+///
+/// # Errors
+///
+/// Propagates the per-lane power-vector validation failures a scalar
+/// `step` would raise.
+pub fn step_grid_batch(
+    lanes: &mut [(&mut GridTransient, &[f64])],
+    dt: f64,
+    ws: &mut BatchWorkspace,
+) -> Result<bool, ThermalError> {
+    step_batch(lanes, dt, ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        GridConfig, GridThermalModel, PackageConfig, SolverBackend, ThermalModel, TransientSolver,
+    };
+    use dtm_floorplan::Floorplan;
+
+    const DT: f64 = 27.78e-6;
+
+    fn lumped_solver() -> TransientSolver {
+        let model = ThermalModel::new(&Floorplan::ppc_cmp(4), &PackageConfig::default()).unwrap();
+        let mut s = TransientSolver::new(model, 7e-6);
+        s.prewarm(DT).unwrap();
+        s
+    }
+
+    fn lane_power(seed: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 0.1 + 0.07 * ((i + seed * 3) % 11) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn lumped_batch_is_bit_identical_to_scalar_steps() {
+        let n_lanes = 5; // ragged vs LANE_BLOCK
+        let nb = lumped_solver().model().n_blocks();
+        let powers: Vec<Vec<f64>> = (0..n_lanes).map(|l| lane_power(l, nb)).collect();
+        let mut batched: Vec<TransientSolver> = (0..n_lanes).map(|_| lumped_solver()).collect();
+        let mut scalar: Vec<TransientSolver> = batched.clone();
+
+        let mut ws = BatchWorkspace::new();
+        for _ in 0..50 {
+            let mut lanes: Vec<(&mut TransientSolver, &[f64])> = batched
+                .iter_mut()
+                .zip(&powers)
+                .map(|(s, p)| (s, p.as_slice()))
+                .collect();
+            assert!(step_lumped_batch(&mut lanes, DT, &mut ws).unwrap());
+            for (s, p) in scalar.iter_mut().zip(&powers) {
+                s.step(p, DT).unwrap();
+            }
+        }
+        for (l, (b, s)) in batched.iter().zip(&scalar).enumerate() {
+            assert_eq!(b.node_temps(), s.node_temps(), "lane {l} node temps");
+            assert_eq!(b.fast_excess(), s.fast_excess(), "lane {l} fast mode");
+        }
+    }
+
+    #[test]
+    fn grid_batch_is_bit_identical_to_scalar_steps() {
+        let fp = Floorplan::ppc_cmp(1);
+        let pkg = PackageConfig::default();
+        let cfg = GridConfig { cols: 8, rows: 12 };
+        let build = || {
+            let m = GridThermalModel::new(&fp, &pkg, cfg).unwrap();
+            let mut s = GridTransient::new(m, 7e-6);
+            s.prewarm(DT).unwrap();
+            s
+        };
+        let n_lanes = 3;
+        let nb = fp.len();
+        let powers: Vec<Vec<f64>> = (0..n_lanes).map(|l| lane_power(l + 9, nb)).collect();
+        let mut batched: Vec<GridTransient> = (0..n_lanes).map(|_| build()).collect();
+        let mut scalar: Vec<GridTransient> = batched.clone();
+
+        let mut ws = BatchWorkspace::new();
+        for _ in 0..40 {
+            let mut lanes: Vec<(&mut GridTransient, &[f64])> = batched
+                .iter_mut()
+                .zip(&powers)
+                .map(|(s, p)| (s, p.as_slice()))
+                .collect();
+            assert!(step_grid_batch(&mut lanes, DT, &mut ws).unwrap());
+            for (s, p) in scalar.iter_mut().zip(&powers) {
+                s.step(p, DT).unwrap();
+            }
+        }
+        for (l, (b, s)) in batched.iter().zip(&scalar).enumerate() {
+            assert_eq!(b.temps().cells(), s.temps().cells(), "lane {l} cells");
+        }
+    }
+
+    #[test]
+    fn backward_euler_lane_defeats_batching_without_touching_state() {
+        let mut a = lumped_solver();
+        let mut b = lumped_solver().with_backend(SolverBackend::BackwardEuler);
+        b.prewarm(DT).unwrap();
+        let nb = a.model().n_blocks();
+        let p = lane_power(1, nb);
+        let before_a = a.node_temps().to_vec();
+        let before_b = b.node_temps().to_vec();
+        let mut ws = BatchWorkspace::new();
+        let mut lanes: Vec<(&mut TransientSolver, &[f64])> =
+            vec![(&mut a, p.as_slice()), (&mut b, p.as_slice())];
+        assert!(!step_lumped_batch(&mut lanes, DT, &mut ws).unwrap());
+        assert_eq!(a.node_temps(), &before_a[..], "no state change on refusal");
+        assert_eq!(b.node_temps(), &before_b[..], "no state change on refusal");
+    }
+
+    #[test]
+    fn single_lane_group_takes_the_scalar_path() {
+        let mut a = lumped_solver();
+        let nb = a.model().n_blocks();
+        let p = lane_power(2, nb);
+        let mut ws = BatchWorkspace::new();
+        let mut lanes: Vec<(&mut TransientSolver, &[f64])> = vec![(&mut a, p.as_slice())];
+        assert!(!step_lumped_batch(&mut lanes, DT, &mut ws).unwrap());
+    }
+
+    #[test]
+    fn mismatched_thermal_configurations_defeat_batching() {
+        // Different core counts ⇒ different models ⇒ different shared
+        // propagators: the group must refuse rather than mix matrices.
+        let mut a = lumped_solver();
+        let model2 = ThermalModel::new(&Floorplan::ppc_cmp(2), &PackageConfig::default()).unwrap();
+        let mut b = TransientSolver::new(model2, 7e-6);
+        b.prewarm(DT).unwrap();
+        let pa = lane_power(3, a.model().n_blocks());
+        let pb = lane_power(4, b.model().n_blocks());
+        let mut ws = BatchWorkspace::new();
+        let mut lanes: Vec<(&mut TransientSolver, &[f64])> =
+            vec![(&mut a, pa.as_slice()), (&mut b, pb.as_slice())];
+        assert!(!step_lumped_batch(&mut lanes, DT, &mut ws).unwrap());
+    }
+}

@@ -530,6 +530,31 @@ impl GridTransient {
         Ok((n_sub, h))
     }
 
+    /// Batched-stepping handle for [`crate::batch`]: see
+    /// `TransientSolver::batch_prop` — identical semantics, including
+    /// latching the permanent fallback on a failed rebuild.
+    pub(crate) fn batch_prop(&mut self, dt: f64) -> Option<&std::sync::Arc<Propagator>> {
+        if self.backend != SolverBackend::Propagator || self.prop_fallback {
+            return None;
+        }
+        self.ensure_propagator(dt);
+        if self.prop_fallback {
+            return None;
+        }
+        self.prop.as_ref()
+    }
+
+    /// Validates a power vector exactly as `step` would before the
+    /// propagator advance.
+    pub(crate) fn batch_check_power(&self, block_power: &[f64]) -> Result<(), ThermalError> {
+        self.model.check_power(block_power)
+    }
+
+    /// Mutable cell/node temperatures, for the batched gather/scatter.
+    pub(crate) fn temps_mut(&mut self) -> &mut [f64] {
+        &mut self.temps
+    }
+
     /// Advances by `dt` seconds at constant per-block power.
     ///
     /// # Errors

@@ -37,6 +37,7 @@
 // kernels below; iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+mod batch;
 mod grid;
 mod leakage;
 pub mod linalg;
@@ -45,6 +46,7 @@ mod package;
 mod propagator;
 mod sensor;
 
+pub use batch::{step_grid_batch, step_lumped_batch, BatchWorkspace};
 pub use grid::{GridConfig, GridTemps, GridThermalModel, GridTransient};
 pub use leakage::LeakageModel;
 pub use model::{ThermalError, ThermalModel, TransientSolver};

@@ -30,23 +30,188 @@ pub fn affine_matvec(cols: usize, a: &[f64], bias: &[f64], x: &[f64], y: &mut [f
     assert_eq!(bias.len(), y.len(), "bias length mismatch");
     for (i, out) in y.iter_mut().enumerate() {
         let row = &a[i * cols..(i + 1) * cols];
-        // Four strided accumulators break the single-chain dependency
-        // and map onto SIMD lanes; the tail is folded in afterwards.
-        let chunks = cols / 4;
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-        for k in 0..chunks {
-            let r = &row[4 * k..4 * k + 4];
-            let v = &x[4 * k..4 * k + 4];
-            s0 += r[0] * v[0];
-            s1 += r[1] * v[1];
-            s2 += r[2] * v[2];
-            s3 += r[3] * v[3];
+        *out = bias[i] + folded_dot(cols, row, x);
+    }
+}
+
+/// The fixed-order dot product both propagator kernels share: four
+/// strided accumulators break the single-chain dependency and map onto
+/// SIMD lanes; the tail is folded in afterwards. Accumulation order is
+/// part of the contract — [`affine_matvec`] and [`matmul_strided`] are
+/// bit-identical per output element *because* they both reduce through
+/// this exact sequence.
+#[inline(always)]
+fn folded_dot(cols: usize, row: &[f64], x: &[f64]) -> f64 {
+    let chunks = cols / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for k in 0..chunks {
+        let r = &row[4 * k..4 * k + 4];
+        let v = &x[4 * k..4 * k + 4];
+        s0 += r[0] * v[0];
+        s1 += r[1] * v[1];
+        s2 += r[2] * v[2];
+        s3 += r[3] * v[3];
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for j in 4 * chunks..cols {
+        acc += row[j] * x[j];
+    }
+    acc
+}
+
+/// How many lanes a [`matmul_strided`] block keeps resident at once;
+/// also the recommended padding granularity for lane-state buffers.
+pub const LANE_BLOCK: usize = 8;
+
+/// Cache-blocked affine matrix–matrix kernel over a column-major lane
+/// block: for each lane `l < lanes`,
+/// `y[l·ldy + i] = bias[i] + Σ_j a[i·cols + j] · x[l·ldx + j]`.
+///
+/// `x` holds one input column per lane (leading dimension `ldx ≥ cols`,
+/// so lane `l`'s column is the contiguous `x[l·ldx .. l·ldx + cols]`);
+/// `y` likewise with leading dimension `ldy ≥ rows`. Columns past
+/// `lanes` — the padded tail of a structure-of-arrays buffer rounded up
+/// to [`LANE_BLOCK`] — are never read or written.
+///
+/// Internally each block of [`LANE_BLOCK`] lanes is repacked
+/// lane-interleaved (element `j` of all lanes adjacent) one
+/// `K_TILE`-column tile at a time, so the matrix streams once per block
+/// instead of once per lane, the packed tile stays L1-resident across
+/// every row, and the four partial sums become [`LANE_BLOCK`]-wide
+/// independent accumulator chains the compiler vectorizes *across
+/// lanes*. The blocking reorders only *which* `(row, lane)` element is
+/// produced when: per lane, every multiply still lands on the same
+/// accumulator in the same (column-order) sequence as
+/// [`affine_matvec`]'s — tiles advance monotonically in `k`, with the
+/// per-row accumulators carried across tiles — followed by the same
+/// fold and tail, so every lane's output column is bit-identical to a
+/// scalar `affine_matvec` over the same data.
+///
+/// # Panics
+///
+/// Panics if `a.len() != rows * cols`, `bias.len() != rows`,
+/// `ldx < cols`, `ldy < rows`, or either lane buffer is too short for
+/// `lanes` columns.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_strided(
+    rows: usize,
+    cols: usize,
+    a: &[f64],
+    bias: &[f64],
+    x: &[f64],
+    ldx: usize,
+    y: &mut [f64],
+    ldy: usize,
+    lanes: usize,
+) {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(bias.len(), rows, "bias length mismatch");
+    assert!(ldx >= cols, "input leading dimension too small");
+    assert!(ldy >= rows, "output leading dimension too small");
+    if lanes == 0 {
+        return;
+    }
+    assert!(x.len() >= (lanes - 1) * ldx + cols, "input block too short");
+    assert!(
+        y.len() >= (lanes - 1) * ldy + rows,
+        "output block too short"
+    );
+    // Columns per packed tile (multiple of 4): 512 × LANE_BLOCK doubles
+    // = 32 KiB, one typical L1 — every propagator in the study fits a
+    // single tile, keeping the accumulators on the stack.
+    const K_TILE: usize = 512;
+    let chunks = cols / 4;
+    let whole = 4 * chunks;
+    // Lane-interleaved scratch for one tile: xt[(k - k0)·LANE_BLOCK + j]
+    // is column k of block-lane j (zero for lanes past the ragged end —
+    // read but never written back).
+    let mut xt = vec![0.0f64; K_TILE.min(whole) * LANE_BLOCK];
+    let pack = |xt: &mut [f64], x: &[f64], l0: usize, lb: usize, k0: usize, k1: usize| {
+        if lb < LANE_BLOCK {
+            xt.iter_mut().for_each(|v| *v = 0.0);
         }
-        let mut acc = (s0 + s1) + (s2 + s3);
-        for j in 4 * chunks..cols {
-            acc += row[j] * x[j];
+        for j in 0..lb {
+            let col = &x[(l0 + j) * ldx + k0..(l0 + j) * ldx + k1];
+            for (k, &v) in col.iter().enumerate() {
+                xt[k * LANE_BLOCK + j] = v;
+            }
         }
-        *out = bias[i] + acc;
+    };
+
+    if whole <= K_TILE {
+        // Single-tile fast path: the accumulators live on the stack for
+        // the whole reduction.
+        for l0 in (0..lanes).step_by(LANE_BLOCK) {
+            let lb = (l0 + LANE_BLOCK).min(lanes) - l0;
+            pack(&mut xt, x, l0, lb, 0, whole);
+            for i in 0..rows {
+                let row = &a[i * cols..(i + 1) * cols];
+                let mut s = [[0.0f64; LANE_BLOCK]; 4];
+                tile_accumulate(&row[..whole], &xt, &mut s);
+                for j in 0..lb {
+                    let mut v = (s[0][j] + s[1][j]) + (s[2][j] + s[3][j]);
+                    for t in whole..cols {
+                        v += row[t] * x[(l0 + j) * ldx + t];
+                    }
+                    y[(l0 + j) * ldy + i] = bias[i] + v;
+                }
+            }
+        }
+        return;
+    }
+
+    // Tiled path for matrices wider than one tile: the four partial
+    // sums per (row, block-lane) are carried across tiles in `acc`
+    // (spilled/reloaded at tile boundaries only), so each lane's
+    // accumulator still sees its multiplies in plain column order.
+    let mut acc = vec![[[0.0f64; LANE_BLOCK]; 4]; rows];
+    for l0 in (0..lanes).step_by(LANE_BLOCK) {
+        let lb = (l0 + LANE_BLOCK).min(lanes) - l0;
+        acc.iter_mut().for_each(|v| *v = [[0.0; LANE_BLOCK]; 4]);
+        let mut k0 = 0;
+        while k0 < whole {
+            let k1 = (k0 + K_TILE).min(whole);
+            pack(&mut xt, x, l0, lb, k0, k1);
+            for i in 0..rows {
+                let row = &a[i * cols + k0..i * cols + k1];
+                let mut s = acc[i];
+                tile_accumulate(row, &xt[..(k1 - k0) * LANE_BLOCK], &mut s);
+                acc[i] = s;
+            }
+            k0 = k1;
+        }
+        // Fold, tail (read straight from the strided columns), bias.
+        for i in 0..rows {
+            let row = &a[i * cols..(i + 1) * cols];
+            let s = &acc[i];
+            for j in 0..lb {
+                let mut v = (s[0][j] + s[1][j]) + (s[2][j] + s[3][j]);
+                for t in whole..cols {
+                    v += row[t] * x[(l0 + j) * ldx + t];
+                }
+                y[(l0 + j) * ldy + i] = bias[i] + v;
+            }
+        }
+    }
+}
+
+/// The shared inner reduction of [`matmul_strided`]: fold one tile of
+/// `row` (length a multiple of 4) against the lane-interleaved packed
+/// tile `xt` into the four [`LANE_BLOCK`]-wide partial sums. The
+/// `chunks_exact` + fixed-size-array shape is what lets the compiler
+/// drop every bounds check and keep the 8 accumulator vectors in
+/// registers.
+#[inline(always)]
+fn tile_accumulate(row: &[f64], xt: &[f64], s: &mut [[f64; LANE_BLOCK]; 4]) {
+    for (r, xk) in row.chunks_exact(4).zip(xt.chunks_exact(4 * LANE_BLOCK)) {
+        let r: &[f64; 4] = r.try_into().unwrap();
+        let xk: &[f64; 4 * LANE_BLOCK] = xk.try_into().unwrap();
+        for j in 0..LANE_BLOCK {
+            s[0][j] += r[0] * xk[j];
+            s[1][j] += r[1] * xk[LANE_BLOCK + j];
+            s[2][j] += r[2] * xk[2 * LANE_BLOCK + j];
+            s[3][j] += r[3] * xk[3 * LANE_BLOCK + j];
+        }
     }
 }
 
@@ -422,6 +587,111 @@ impl LuFactors {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Deterministic pseudo-random fill for kernel tests (splitmix-ish).
+    fn fill(seed: u64, len: usize) -> Vec<f64> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_strided_matches_affine_matvec_bitwise() {
+        // Odd cols exercise the scalar tail; padded leading dimensions
+        // exercise the non-contiguous strides.
+        let (rows, cols) = (13, 29);
+        let (ldx, ldy) = (cols + 3, rows + 5);
+        let lanes = 7;
+        let a = fill(1, rows * cols);
+        let bias = fill(2, rows);
+        let x = fill(3, lanes * ldx);
+        let mut y = vec![0.0; lanes * ldy];
+        matmul_strided(rows, cols, &a, &bias, &x, ldx, &mut y, ldy, lanes);
+        for l in 0..lanes {
+            let mut yref = vec![0.0; rows];
+            affine_matvec(cols, &a, &bias, &x[l * ldx..l * ldx + cols], &mut yref);
+            for i in 0..rows {
+                assert_eq!(
+                    y[l * ldy + i].to_bits(),
+                    yref[i].to_bits(),
+                    "lane {l} row {i} diverged from the scalar kernel"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_strided_leaves_padding_untouched() {
+        let (rows, cols) = (5, 6);
+        let (ldx, ldy) = (cols + 2, rows + 3);
+        let capacity = LANE_BLOCK; // padded SoA buffer
+        let lanes = 3; // ragged: active lanes < capacity
+        let a = fill(4, rows * cols);
+        let bias = fill(5, rows);
+        let x = fill(6, capacity * ldx);
+        let sentinel = -1234.5;
+        let mut y = vec![sentinel; capacity * ldy];
+        matmul_strided(rows, cols, &a, &bias, &x, ldx, &mut y, ldy, lanes);
+        for l in 0..capacity {
+            for i in 0..ldy {
+                let v = y[l * ldy + i];
+                if l < lanes && i < rows {
+                    assert_ne!(v, sentinel, "active element ({l},{i}) unwritten");
+                } else {
+                    assert_eq!(v, sentinel, "padding element ({l},{i}) clobbered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_strided_agrees_with_matrix_matmul() {
+        // Same product through the naive Matrix::matmul (row-major,
+        // plain accumulation): values agree to rounding even though the
+        // accumulation orders differ.
+        let (rows, cols, lanes) = (9, 17, 5);
+        let a_data = fill(7, rows * cols);
+        let x_data = fill(8, lanes * cols);
+        let a = Matrix::from_vec(rows, cols, a_data.clone());
+        // Column l of the lane block as column l of a cols×lanes matrix.
+        let mut xm = Matrix::zeros(cols, lanes);
+        for l in 0..lanes {
+            for j in 0..cols {
+                xm[(j, l)] = x_data[l * cols + j];
+            }
+        }
+        let prod = a.matmul(&xm);
+        let bias = vec![0.0; rows];
+        let mut y = vec![0.0; lanes * rows];
+        matmul_strided(
+            rows, cols, &a_data, &bias, &x_data, cols, &mut y, rows, lanes,
+        );
+        for l in 0..lanes {
+            for i in 0..rows {
+                assert!(
+                    (y[l * rows + i] - prod[(i, l)]).abs() < 1e-12,
+                    "({i},{l}): {} vs {}",
+                    y[l * rows + i],
+                    prod[(i, l)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_strided_zero_lanes_is_a_noop() {
+        let a = fill(9, 4 * 4);
+        let bias = fill(10, 4);
+        let mut y = vec![7.0; 8];
+        matmul_strided(4, 4, &a, &bias, &[], 4, &mut y, 4, 0);
+        assert!(y.iter().all(|&v| v == 7.0));
+    }
 
     fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
         a.mul_vec(x)

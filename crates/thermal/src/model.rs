@@ -697,6 +697,40 @@ impl TransientSolver {
         Ok(())
     }
 
+    /// Batched-stepping handle for [`crate::batch`]: the shared
+    /// propagator this solver would advance with for a step of `dt`, or
+    /// `None` when it would take the backward-Euler path (configured
+    /// backend, or the permanent fallback — possibly latched right here
+    /// by the rebuild attempt, exactly as a scalar `step` would latch
+    /// it).
+    pub(crate) fn batch_prop(&mut self, dt: f64) -> Option<&std::sync::Arc<Propagator>> {
+        if self.backend != SolverBackend::Propagator || self.prop_fallback {
+            return None;
+        }
+        self.ensure_propagator(dt);
+        if self.prop_fallback {
+            return None;
+        }
+        self.prop.as_ref()
+    }
+
+    /// Validates a power vector exactly as `step` would before the
+    /// propagator advance.
+    pub(crate) fn batch_check_power(&self, block_power: &[f64]) -> Result<(), ThermalError> {
+        self.model.check_power(block_power)
+    }
+
+    /// Mutable node temperatures, for the batched gather/scatter.
+    pub(crate) fn temps_mut(&mut self) -> &mut [f64] {
+        &mut self.temps
+    }
+
+    /// Applies the post-advance sub-block fast mode after a batched
+    /// propagator step (the scalar path runs the same update).
+    pub(crate) fn batch_fast_mode(&mut self, block_power: &[f64], dt: f64) {
+        self.step_fast_mode(block_power, dt);
+    }
+
     /// Sub-block fast mode: first-order relaxation toward `r·P` with an
     /// exact exponential update over the full step (shared by both
     /// backends).

@@ -43,7 +43,7 @@
 //! cached per `dt` exactly like the backward-Euler LU factorization,
 //! and is rebuilt whenever `dt` moves by more than 1 part in 10¹⁵.
 
-use crate::linalg::{affine_matvec, LinalgError, Matrix};
+use crate::linalg::{affine_matvec, matmul_strided, LinalgError, Matrix};
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -264,6 +264,43 @@ impl Propagator {
     /// The step this propagator was built for (s).
     pub(crate) fn dt(&self) -> f64 {
         self.dt
+    }
+
+    /// State dimension `n` (rows of `E`).
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Width of the concatenated input `[T | p]`: `n + n_inputs`.
+    pub(crate) fn width(&self) -> usize {
+        self.n + self.n_inputs
+    }
+
+    /// Advances `lanes` independent states at once: column `l` of the
+    /// column-major input block `x` (leading dimension `ldx`) holds lane
+    /// `l`'s concatenated `[T | p]`, and column `l` of `y` (leading
+    /// dimension `ldy`) receives its next temperatures. One cache-blocked
+    /// [`matmul_strided`] call replaces `lanes` [`Propagator::advance`]
+    /// matvecs; each lane's output is bit-identical to the scalar path.
+    pub(crate) fn advance_batch(
+        &self,
+        x: &[f64],
+        ldx: usize,
+        y: &mut [f64],
+        ldy: usize,
+        lanes: usize,
+    ) {
+        matmul_strided(
+            self.n,
+            self.n + self.n_inputs,
+            &self.rows,
+            &self.bias,
+            x,
+            ldx,
+            y,
+            ldy,
+            lanes,
+        );
     }
 
     /// Advances `temps` by one step under constant input `power`,

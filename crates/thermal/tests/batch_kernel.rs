@@ -1,0 +1,112 @@
+//! Property tests for the cache-blocked batched propagator kernel:
+//! [`matmul_strided`] must be bit-identical to [`affine_matvec`] per
+//! lane for every shape, leave the padded tail of a structure-of-arrays
+//! buffer untouched, and handle non-contiguous leading dimensions.
+
+use dtm_thermal::linalg::{affine_matvec, matmul_strided, LANE_BLOCK};
+use proptest::prelude::*;
+
+/// Deterministic data fill, so each sampled shape gets its own values
+/// without needing length-coupled vector strategies.
+fn fill(seed: u64, len: usize) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn strided_kernel_is_bitwise_equal_to_the_scalar_kernel(
+        shape in (1usize..24, 1usize..48, 1usize..12),
+        pads in (0usize..5, 0usize..5),
+        seed in 0u64..1_000_000,
+    ) {
+        let (rows, cols, lanes) = shape;
+        let (ldx, ldy) = (cols + pads.0, rows + pads.1);
+        let a = fill(seed, rows * cols);
+        let bias = fill(seed ^ 1, rows);
+        let x = fill(seed ^ 2, lanes * ldx);
+        let mut y = vec![0.0; lanes * ldy];
+        matmul_strided(rows, cols, &a, &bias, &x, ldx, &mut y, ldy, lanes);
+        let mut yref = vec![0.0; rows];
+        for l in 0..lanes {
+            affine_matvec(cols, &a, &bias, &x[l * ldx..l * ldx + cols], &mut yref);
+            for i in 0..rows {
+                prop_assert_eq!(
+                    y[l * ldy + i].to_bits(),
+                    yref[i].to_bits(),
+                    "lane {} row {} diverged", l, i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padded_tail_lanes_and_rows_are_never_written(
+        shape in (1usize..16, 1usize..24, 1usize..9),
+        pady in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let (rows, cols, lanes) = shape;
+        let ldy = rows + pady;
+        // A full SoA buffer padded up to the block size, only `lanes`
+        // of it active.
+        let capacity = lanes.div_ceil(LANE_BLOCK) * LANE_BLOCK;
+        let a = fill(seed, rows * cols);
+        let bias = fill(seed ^ 3, rows);
+        let x = fill(seed ^ 4, capacity * cols);
+        let sentinel = f64::from_bits(0x7ff8_dead_beef_0001); // quiet NaN payload
+        let mut y = vec![sentinel; capacity * ldy];
+        matmul_strided(rows, cols, &a, &bias, &x, cols, &mut y, ldy, lanes);
+        for l in 0..capacity {
+            for i in 0..ldy {
+                let bits = y[l * ldy + i].to_bits();
+                if l < lanes && i < rows {
+                    prop_assert_ne!(bits, sentinel.to_bits(), "({},{}) unwritten", l, i);
+                } else {
+                    prop_assert_eq!(bits, sentinel.to_bits(), "({},{}) clobbered", l, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leading_dimension_slack_does_not_change_results(
+        shape in (1usize..16, 1usize..24, 2usize..9),
+        seed in 0u64..1_000_000,
+    ) {
+        // The same logical lanes through tight (ld = extent) and padded
+        // buffers must produce bitwise-equal outputs: the kernel reads
+        // only each column's first `cols` entries.
+        let (rows, cols, lanes) = shape;
+        let a = fill(seed, rows * cols);
+        let bias = fill(seed ^ 5, rows);
+        let tight_x = fill(seed ^ 6, lanes * cols);
+        let (ldx, ldy) = (cols + 7, rows + 3);
+        let mut padded_x = vec![f64::NAN; lanes * ldx];
+        for l in 0..lanes {
+            padded_x[l * ldx..l * ldx + cols].copy_from_slice(&tight_x[l * cols..(l + 1) * cols]);
+        }
+        let mut tight_y = vec![0.0; lanes * rows];
+        let mut padded_y = vec![0.0; lanes * ldy];
+        matmul_strided(rows, cols, &a, &bias, &tight_x, cols, &mut tight_y, rows, lanes);
+        matmul_strided(rows, cols, &a, &bias, &padded_x, ldx, &mut padded_y, ldy, lanes);
+        for l in 0..lanes {
+            for i in 0..rows {
+                prop_assert_eq!(
+                    tight_y[l * rows + i].to_bits(),
+                    padded_y[l * ldy + i].to_bits(),
+                    "({},{}) stride-dependent result", l, i
+                );
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@ use dtm_microarch::{CoreConfig, CoreSim};
 use dtm_power::{PowerModel, PowerTrace};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Trace-generation parameters.
@@ -92,6 +93,7 @@ pub struct TraceLibrary {
     cfg: TraceGenConfig,
     cache: Mutex<HashMap<String, Arc<PowerTrace>>>,
     disk_dir: Option<PathBuf>,
+    decodes: AtomicU64,
 }
 
 impl TraceLibrary {
@@ -101,6 +103,7 @@ impl TraceLibrary {
             cfg,
             cache: Mutex::new(HashMap::new()),
             disk_dir: None,
+            decodes: AtomicU64::new(0),
         }
     }
 
@@ -151,6 +154,7 @@ impl TraceLibrary {
         // Try the disk cache, then generate. Both happen outside the
         // lock; duplicate generation on a race is harmless
         // (deterministic output).
+        self.decodes.fetch_add(1, Ordering::Relaxed);
         let trace = Arc::new(self.load_or_generate(bench));
         let mut cache = self.cache.lock().expect("trace cache poisoned");
         Arc::clone(cache.entry(bench.name.clone()).or_insert(trace))
@@ -183,6 +187,14 @@ impl TraceLibrary {
     /// Number of traces currently cached.
     pub fn cached(&self) -> usize {
         self.cache.lock().expect("trace cache poisoned").len()
+    }
+
+    /// How many times a [`TraceLibrary::trace`] call missed the
+    /// in-memory memo and had to decode (disk-load or regenerate) a
+    /// trace. Executors that hoist trace resolution out of their hot
+    /// loop assert this stays at one decode per distinct benchmark.
+    pub fn decode_count(&self) -> u64 {
+        self.decodes.load(Ordering::Relaxed)
     }
 }
 
